@@ -1,0 +1,92 @@
+//! Error type for AFE-block construction.
+
+/// Errors produced when configuring an analog-front-end block.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AfeError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter fell outside its supported range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+}
+
+impl core::fmt::Display for AfeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AfeError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            AfeError::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "parameter `{name}` must lie in [{min}, {max}], got {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AfeError {}
+
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<(), AfeError> {
+    if !(value > 0.0 && value.is_finite()) {
+        return Err(AfeError::NonPositive { name, value });
+    }
+    Ok(())
+}
+
+pub(crate) fn ensure_in_range(
+    name: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<(), AfeError> {
+    if !(value.is_finite() && value >= min && value <= max) {
+        return Err(AfeError::OutOfRange {
+            name,
+            value,
+            min,
+            max,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validators() {
+        assert!(ensure_positive("g", 1.0).is_ok());
+        assert!(ensure_positive("g", 0.0).is_err());
+        assert!(ensure_positive("g", f64::NAN).is_err());
+        assert!(ensure_in_range("x", 0.5, 0.0, 1.0).is_ok());
+        assert!(ensure_in_range("x", 2.0, 0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let e = AfeError::NonPositive {
+            name: "gain",
+            value: -2.0,
+        };
+        assert!(e.to_string().contains("gain"));
+    }
+}

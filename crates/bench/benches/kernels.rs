@@ -1,0 +1,108 @@
+//! Criterion micro-benchmarks of the simulator's hot kernels.
+//!
+//! These bound the wall-clock cost of the experiments: the full pipeline
+//! steps the ΣΔ modulator 256 000 times per simulated second, so the
+//! per-sample kernels below are the budget that matters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hotwire_afe::adc::SigmaDeltaModulator;
+use hotwire_afe::bridge::BridgeConfig;
+use hotwire_dsp::cic::CicDecimator;
+use hotwire_dsp::fix::Q16;
+use hotwire_dsp::iir::{Biquad, BiquadCoeffs, SinglePoleLp};
+use hotwire_dsp::pi::PiController;
+use hotwire_dsp::SineGenerator;
+use hotwire_physics::{KingsLaw, MafDie, MafParams, SensorEnvironment};
+use hotwire_units::{KelvinDelta, MetersPerSecond, Ohms, Seconds, Volts, Watts};
+use rand::SeedableRng;
+
+fn bench_sigma_delta(c: &mut Criterion) {
+    let mut adc = SigmaDeltaModulator::new(Volts::new(2.5)).unwrap();
+    c.bench_function("sigma_delta_push", |b| {
+        b.iter(|| adc.push(black_box(Volts::new(0.73))))
+    });
+}
+
+fn bench_cic(c: &mut Criterion) {
+    let mut cic = CicDecimator::new(3, 256).unwrap();
+    c.bench_function("cic3_r256_push", |b| b.iter(|| cic.push(black_box(1))));
+}
+
+fn bench_biquad(c: &mut Criterion) {
+    let coeffs = BiquadCoeffs::butterworth_lowpass(100.0, 1000.0).unwrap();
+    let mut biquad = Biquad::from_coeffs(&coeffs).unwrap();
+    c.bench_function("biquad_push", |b| b.iter(|| biquad.push(black_box(12345))));
+}
+
+fn bench_single_pole(c: &mut Criterion) {
+    let mut lp = SinglePoleLp::design(0.1, 1000.0).unwrap();
+    c.bench_function("single_pole_0p1hz_push", |b| {
+        b.iter(|| lp.push(black_box(2048)))
+    });
+}
+
+fn bench_pi(c: &mut Criterion) {
+    let mut pi = PiController::new(Q16::from_f64(0.02), Q16::from_f64(0.005), 410, 4095).unwrap();
+    c.bench_function("pi_update", |b| b.iter(|| pi.update(black_box(-150))));
+}
+
+fn bench_dds(c: &mut Criterion) {
+    let mut dds = SineGenerator::new(1000.0, 256_000.0).unwrap();
+    c.bench_function("dds_next_sample", |b| b.iter(|| dds.next_sample()));
+}
+
+fn bench_king_inversion(c: &mut Criterion) {
+    let king = KingsLaw::water_default();
+    let p = king.power(MetersPerSecond::new(1.0), KelvinDelta::new(15.0));
+    c.bench_function("king_velocity_from_power", |b| {
+        b.iter(|| king.velocity_from_power(black_box(p), KelvinDelta::new(15.0)))
+    });
+}
+
+fn bench_bridge_solve(c: &mut Criterion) {
+    let bridge = BridgeConfig::for_operating_point(Ohms::new(51.75), Ohms::new(1965.0)).unwrap();
+    c.bench_function("bridge_solve", |b| {
+        b.iter(|| {
+            bridge.solve(
+                black_box(Volts::new(3.0)),
+                black_box(Ohms::new(51.7)),
+                black_box(Ohms::new(1965.2)),
+            )
+        })
+    });
+}
+
+fn bench_die_step(c: &mut Criterion) {
+    let mut die = MafDie::in_potable_water(MafParams::nominal());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let env = SensorEnvironment {
+        velocity: MetersPerSecond::new(1.0),
+        ..SensorEnvironment::still_water()
+    };
+    let dt = Seconds::from_micros(3.9);
+    c.bench_function("maf_die_step", |b| {
+        b.iter(|| {
+            die.step(
+                dt,
+                black_box(Watts::new(0.015)),
+                black_box(Watts::new(0.015)),
+                env,
+                &mut rng,
+            )
+        })
+    });
+}
+
+criterion_group!(
+    kernels,
+    bench_sigma_delta,
+    bench_cic,
+    bench_biquad,
+    bench_single_pole,
+    bench_pi,
+    bench_dds,
+    bench_king_inversion,
+    bench_bridge_solve,
+    bench_die_step,
+);
+criterion_main!(kernels);

@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the assembled instrument: how many modulator
+//! ticks per second the co-simulation sustains, and the cost of one full
+//! control tick (256 modulator ticks at the silicon decimation).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hotwire_core::{FlowMeter, FlowMeterConfig};
+use hotwire_physics::{MafParams, SensorEnvironment};
+use hotwire_units::MetersPerSecond;
+
+fn env() -> SensorEnvironment {
+    SensorEnvironment {
+        velocity: MetersPerSecond::from_cm_per_s(100.0),
+        ..SensorEnvironment::still_water()
+    }
+}
+
+fn bench_modulator_tick(c: &mut Criterion) {
+    let mut meter =
+        FlowMeter::new(FlowMeterConfig::water_station(), MafParams::nominal(), 1).unwrap();
+    // Warm the loop up to the operating point first.
+    meter.run(0.1, env());
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("flow_meter_modulator_tick", |b| {
+        b.iter(|| meter.step(env()))
+    });
+    group.finish();
+}
+
+fn bench_control_tick(c: &mut Criterion) {
+    let config = FlowMeterConfig::water_station();
+    let decimation = config.decimation as u64;
+    let mut meter = FlowMeter::new(config, MafParams::nominal(), 2).unwrap();
+    meter.run(0.1, env());
+    let mut group = c.benchmark_group("pipeline");
+    group.throughput(Throughput::Elements(decimation));
+    group.bench_function("flow_meter_control_tick_r256", |b| {
+        b.iter(|| {
+            let mut m = None;
+            while m.is_none() {
+                m = meter.step(env());
+            }
+            m
+        })
+    });
+    group.finish();
+}
+
+fn bench_one_simulated_second(c: &mut Criterion) {
+    let mut meter =
+        FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), 3).unwrap();
+    meter.run(0.1, env());
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("test_profile_one_simulated_second", |b| {
+        b.iter(|| meter.run(1.0, env()))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    pipeline,
+    bench_modulator_tick,
+    bench_control_tick,
+    bench_one_simulated_second
+);
+criterion_main!(pipeline);

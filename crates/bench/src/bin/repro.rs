@@ -1,0 +1,91 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```sh
+//! cargo run -p hotwire-bench --release --bin repro -- all
+//! cargo run -p hotwire-bench --release --bin repro -- e1 e5
+//! cargo run -p hotwire-bench --release --bin repro -- --fast e2
+//! ```
+
+use hotwire_bench::experiments::{self, Speed};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: repro [--fast] <experiment…|all>
+experiments:
+  e1   Fig. 11 — water-speed staircase vs Promag 50
+  e2   Table I — resolution across the range
+  e3   Table I — repeatability
+  e4   Table I — flow-direction detection
+  e5   Fig. 7  — bubble generation vs drive scheme
+  e6   Fig. 8  — CaCO₃ deposition vs passivation
+  e7   §5      — pressure robustness (0–3 bar, 7 bar peaks)
+  e8   Table II— comparison vs Promag 50 and turbine wheel
+  e9   §2      — King's-law calibration / nonlinearity
+  e10  §4      — output-filter bandwidth ablation
+  e11  §7      — battery autonomy
+  e12  §2      — CT vs CC vs CP under fluid-temperature change
+  a1   ablation — PI gain design-space exploration
+  a2   ablation — decimation-ratio sweep
+  a3   ablation — probe insertion position";
+
+fn dispatch(id: &str, speed: Speed) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(match id {
+        "e1" => experiments::e01_staircase::run(speed)?.to_string(),
+        "e2" => experiments::e02_resolution::run(speed)?.to_string(),
+        "e3" => experiments::e03_repeatability::run(speed)?.to_string(),
+        "e4" => experiments::e04_direction::run(speed)?.to_string(),
+        "e5" => experiments::e05_bubbles::run(speed)?.to_string(),
+        "e6" => experiments::e06_fouling::run(speed)?.to_string(),
+        "e7" => experiments::e07_pressure::run(speed)?.to_string(),
+        "e8" => experiments::e08_comparison::run(speed)?.to_string(),
+        "e9" => experiments::e09_kings_law::run(speed)?.to_string(),
+        "e10" => experiments::e10_filter::run(speed)?.to_string(),
+        "e11" => experiments::e11_power::run(speed)?.to_string(),
+        "e12" => experiments::e12_modes::run(speed)?.to_string(),
+        "a1" => experiments::a01_pi_gains::run(speed)?.to_string(),
+        "a2" => experiments::a02_decimation::run(speed)?.to_string(),
+        "a3" => experiments::a03_probe_position::run(speed)?.to_string(),
+        other => return Err(format!("unknown experiment `{other}`\n{USAGE}").into()),
+    })
+}
+
+const ALL: &[&str] = &[
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
+];
+
+fn main() -> ExitCode {
+    let mut speed = Speed::Full;
+    let mut ids: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => speed = Speed::Fast,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(ALL.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    for id in &ids {
+        let started = std::time::Instant::now();
+        match dispatch(id, speed) {
+            Ok(report) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+                println!(
+                    "[{id} completed in {:.1} s]\n",
+                    started.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("{id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,156 @@
+//! A1 — ablation: PI gain selection.
+//!
+//! The paper's platform pitch is exactly this exploration: "a quick and
+//! exhaustive design space exploration changing analog settings,
+//! interconnecting digital IPs … finding the fittest solution". This
+//! ablation sweeps the PI gains over a grid and reports settling time and
+//! resolution at the operating point — the two axes a designer trades.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::config::FlowMeterConfig;
+use hotwire_core::CoreError;
+use hotwire_physics::MafParams;
+use hotwire_rig::scenario::{Scenario, Schedule};
+use hotwire_rig::{metrics, LineRunner};
+
+/// One gain pair's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct GainPoint {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain per control sample.
+    pub ki: f64,
+    /// 10–90 % response through a 50→150 cm/s step, s (`None` = never
+    /// settled or unstable).
+    pub response_s: Option<f64>,
+    /// ±σ at the 100 cm/s hold, cm/s.
+    pub resolution_cm_s: f64,
+    /// Whether the supply ever railed (instability indicator).
+    pub railed: bool,
+}
+
+/// A1 results.
+#[derive(Debug, Clone)]
+pub struct PiGainResult {
+    /// Grid points in sweep order.
+    pub points: Vec<GainPoint>,
+    /// The production gains, for reference.
+    pub production: (f64, f64),
+}
+
+/// Runs A1.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if a meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
+    let grid: &[(f64, f64)] = &[
+        (0.002, 0.0005),
+        (0.02, 0.0005),
+        (0.02, 0.005),
+        (0.1, 0.005),
+        (0.1, 0.03),
+        (0.4, 0.1),
+    ];
+    let hold = speed.seconds(30.0);
+    let production = {
+        let c = FlowMeterConfig::water_station();
+        (c.kp, c.ki)
+    };
+    let mut points = Vec::new();
+    for (i, &(kp, ki)) in grid.iter().enumerate() {
+        let config = FlowMeterConfig {
+            kp,
+            ki,
+            ..speed.config()
+        };
+        // An unstable loop fails calibration (garbage points) — that *is*
+        // the data point, not an error.
+        let meter = match super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xA1) {
+            Ok(m) => m,
+            Err(CoreError::Calibration { .. }) => {
+                points.push(GainPoint {
+                    kp,
+                    ki,
+                    response_s: None,
+                    resolution_cm_s: f64::NAN,
+                    railed: true,
+                });
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let scenario = Scenario {
+            flow_cm_s: Schedule::new()
+                .then_hold(100.0, hold)
+                .then_hold(50.0, hold / 2.0)
+                .then_hold(150.0, hold),
+            ..Scenario::steady(0.0, hold * 2.5)
+        };
+        let mut runner = LineRunner::new(scenario, meter, 0xA100 + i as u64);
+        let trace = runner.run(0.02);
+        let resolution = metrics::resolution(&trace.dut_window(hold * 0.4, hold));
+        let step: Vec<(f64, f64)> = trace
+            .samples
+            .iter()
+            .filter(|s| s.t >= hold * 1.5 - 0.5)
+            .map(|s| (s.t, s.dut_cm_s))
+            .collect();
+        let railed = trace.samples.iter().any(|s| s.supply_code >= 4095);
+        points.push(GainPoint {
+            kp,
+            ki,
+            response_s: metrics::rise_time(&step, 50.0, 150.0),
+            resolution_cm_s: resolution,
+            railed,
+        });
+    }
+    Ok(PiGainResult { points, production })
+}
+
+impl core::fmt::Display for PiGainResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "A1 — PI gain design-space exploration (production gains: kp = {}, ki = {})\n",
+            self.production.0, self.production.1
+        )?;
+        let mut t = Table::new(["kp", "ki", "step 10–90 % [s]", "±σ [cm/s]", "railed"]);
+        for p in &self.points {
+            t.row([
+                format!("{}", p.kp),
+                format!("{}", p.ki),
+                p.response_s
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.2}", p.resolution_cm_s),
+                format!("{}", p.railed),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "low gains: sluggish steps; high gains: noise amplification / rail excursions.\n\
+             The production point sits on the knee — the exploration ISIF exists to run."
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_gain_sweep_shows_the_tradeoff() {
+        let r = run(Speed::Fast).unwrap();
+        assert_eq!(r.points.len(), 6);
+        // The slowest-gain point must respond more slowly than the
+        // production-adjacent point (when both settled).
+        let sluggish = &r.points[0];
+        let production = &r.points[2];
+        if let (Some(a), Some(b)) = (sluggish.response_s, production.response_s) {
+            assert!(a >= b, "sluggish {a} s vs production {b} s");
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! A3 — ablation: probe insertion position.
+//!
+//! §4: "The sensor head is set parallel to the flow and its profile has been
+//! smoothed to introduce low perturbations"; §5: the rig carried "a
+//! transparent section for monitoring the water flow and the correct
+//! position of the sensor in the tube". This ablation quantifies *why* the
+//! position had to be monitored: the probe samples the velocity profile at a
+//! point, so a probe displaced from its calibration position reads the wrong
+//! fraction of the bulk velocity.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::CoreError;
+use hotwire_physics::fluid::Water;
+use hotwire_physics::pipe::Pipe;
+use hotwire_physics::SensorEnvironment;
+use hotwire_units::{Celsius, MetersPerSecond};
+
+/// One probe position's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct PositionPoint {
+    /// Radial position as a fraction of the pipe radius (0 = centreline).
+    pub r_over_radius: f64,
+    /// Settled reading at 100 cm/s true bulk flow, cm/s.
+    pub reading_cm_s: f64,
+    /// Error vs the bulk truth, % of reading.
+    pub error_pct: f64,
+}
+
+/// A3 results.
+#[derive(Debug, Clone)]
+pub struct ProbePositionResult {
+    /// Points from centreline outward.
+    pub points: Vec<PositionPoint>,
+}
+
+/// Runs A3: one meter, calibrated with the probe at the centreline, then
+/// evaluated with the same probe displaced to several radial positions.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<ProbePositionResult, CoreError> {
+    let mut meter = super::calibrated_meter(speed, 0xA3)?;
+    let bulk = MetersPerSecond::from_cm_per_s(100.0);
+    let pipe = Pipe::dn50();
+    let water = Water::potable();
+    let temperature = Celsius::new(15.0);
+    let mut points = Vec::new();
+    for &r in &[0.0, 0.2, 0.4, 0.6, 0.8] {
+        // The displaced probe sees the profile at radius r instead of the
+        // centreline it was calibrated against.
+        let local = pipe.local_mean_velocity_at(&water, temperature, bulk, r);
+        let env = SensorEnvironment {
+            velocity: local,
+            ..SensorEnvironment::still_water()
+        };
+        let m = meter
+            .run(speed.seconds(15.0), env)
+            .expect("control loop ran");
+        let reading = m.speed.to_cm_per_s();
+        points.push(PositionPoint {
+            r_over_radius: r,
+            reading_cm_s: reading,
+            error_pct: (reading - 100.0),
+        });
+    }
+    Ok(ProbePositionResult { points })
+}
+
+impl core::fmt::Display for ProbePositionResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "A3 — probe insertion position (calibrated at centreline, 100 cm/s bulk)\n"
+        )?;
+        let mut t = Table::new(["r/R", "reading [cm/s]", "error [% of bulk]"]);
+        for p in &self.points {
+            t.row([
+                format!("{:.1}", p.r_over_radius),
+                format!("{:.1}", p.reading_cm_s),
+                format!("{:+.1}", p.error_pct),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "the 1/7-power profile is flat near the axis (a centred probe is forgiving)\n\
+             but collapses toward the wall — the paper's transparent section existed to\n\
+             verify \"the correct position of the sensor in the tube\""
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_position_sensitivity_shape() {
+        let r = run(Speed::Fast).unwrap();
+        assert_eq!(r.points.len(), 5);
+        // Near the axis the error is small…
+        assert!(
+            r.points[0].error_pct.abs() < 10.0,
+            "centreline error {:+.1} %",
+            r.points[0].error_pct
+        );
+        assert!(
+            r.points[1].error_pct.abs() < 12.0,
+            "r/R=0.2 error {:+.1} %",
+            r.points[1].error_pct
+        );
+        // …and grows sharply toward the wall (monotone under-read).
+        let near_wall = r.points.last().unwrap();
+        assert!(
+            near_wall.error_pct < -10.0,
+            "near-wall error {:+.1} % should under-read hard",
+            near_wall.error_pct
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! E1 — Fig. 11: the water-speed evaluation staircase.
+//!
+//! A calibrated MEMS probe rides a 0 → 250 → 0 cm/s staircase alongside the
+//! Promag 50 reference; the figure's content is the two series tracking the
+//! true flow. We reproduce the series and summarize tracking error over the
+//! settled tail of each dwell.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::CoreError;
+use hotwire_rig::{metrics, LineRunner, Scenario, Trace};
+
+/// E1 results.
+#[derive(Debug, Clone)]
+pub struct StaircaseResult {
+    /// Sampled co-simulation trace (1 s cadence).
+    pub trace: Trace,
+    /// RMS tracking error of the MEMS probe over settled windows, cm/s.
+    pub dut_rms_cm_s: f64,
+    /// RMS tracking error of the Promag 50 over the same windows, cm/s.
+    pub promag_rms_cm_s: f64,
+    /// Worst linearity deviation of the MEMS probe, % FS.
+    pub linearity_pct_fs: f64,
+    /// Worst up-vs-down matched-level difference, % FS.
+    pub hysteresis_pct_fs: f64,
+    /// Dwell time per staircase level, s.
+    pub dwell_s: f64,
+}
+
+/// Runs E1.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<StaircaseResult, CoreError> {
+    let dwell = speed.seconds(8.0);
+    let meter = super::calibrated_meter(speed, 0xE1)?;
+    let mut runner = LineRunner::new(Scenario::fig11_staircase(dwell), meter, 0xE1);
+    let trace = runner.run(dwell / 8.0);
+
+    // Settled tail: the last 30 % of each dwell. The staircase rises for
+    // the first 7 levels and falls afterwards, which also yields the
+    // up-vs-down hysteresis comparison at the shared levels.
+    let mut settled_pairs_dut = Vec::new();
+    let mut settled_pairs_promag = Vec::new();
+    let mut level_means: std::collections::BTreeMap<(u64, bool), (f64, u32)> =
+        std::collections::BTreeMap::new();
+    let rising_levels = 7.0;
+    for s in &trace.samples {
+        let phase = (s.t / dwell).fract();
+        if phase > 0.7 {
+            settled_pairs_dut.push((s.true_cm_s, s.dut_cm_s));
+            settled_pairs_promag.push((s.true_cm_s, s.promag_cm_s));
+            let rising = s.t / dwell < rising_levels;
+            let key = ((s.true_cm_s * 10.0).round() as u64, rising);
+            let e = level_means.entry(key).or_insert((0.0, 0));
+            e.0 += s.dut_cm_s;
+            e.1 += 1;
+        }
+    }
+    let series = |rising: bool| -> Vec<(f64, f64)> {
+        level_means
+            .iter()
+            .filter(|((_, r), _)| *r == rising)
+            .map(|((lvl, _), (sum, n))| (*lvl as f64 / 10.0, sum / *n as f64))
+            .collect()
+    };
+    let hysteresis_pct_fs = metrics::hysteresis(&series(true), &series(false), 250.0) * 100.0;
+    Ok(StaircaseResult {
+        dut_rms_cm_s: metrics::rms_error(&settled_pairs_dut),
+        promag_rms_cm_s: metrics::rms_error(&settled_pairs_promag),
+        linearity_pct_fs: metrics::linearity(&settled_pairs_dut, 250.0) * 100.0,
+        hysteresis_pct_fs,
+        trace,
+        dwell_s: dwell,
+    })
+}
+
+impl core::fmt::Display for StaircaseResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E1 / Fig. 11 — water-speed evaluation (staircase, {} s per level)\n",
+            self.dwell_s
+        )?;
+        let mut t = Table::new([
+            "t [s]",
+            "true [cm/s]",
+            "MEMS [cm/s]",
+            "Promag [cm/s]",
+            "turbine [cm/s]",
+        ]);
+        for s in &self.trace.samples {
+            t.row([
+                format!("{:.1}", s.t),
+                format!("{:.1}", s.true_cm_s),
+                format!("{:.1}", s.dut_cm_s),
+                format!("{:.1}", s.promag_cm_s),
+                format!("{:.1}", s.turbine_cm_s),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "settled tracking error: MEMS {:.2} cm/s rms, Promag {:.2} cm/s rms",
+            self.dut_rms_cm_s, self.promag_rms_cm_s
+        )?;
+        writeln!(
+            f,
+            "MEMS worst linearity deviation: {:.2} % FS; up-vs-down hysteresis: {:.2} % FS",
+            self.linearity_pct_fs, self.hysteresis_pct_fs
+        )?;
+        writeln!(
+            f,
+            "paper: Fig. 11 shows the MEMS output tracking the staircase over 0–250 cm/s"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_staircase_tracks() {
+        let r = run(Speed::Fast).unwrap();
+        assert!(!r.trace.samples.is_empty());
+        assert!(
+            r.dut_rms_cm_s < 20.0,
+            "settled rms {} cm/s too large",
+            r.dut_rms_cm_s
+        );
+        // Promag is the better instrument, but the MEMS tracks the shape.
+        assert!(r.promag_rms_cm_s < r.dut_rms_cm_s + 5.0);
+        let text = r.to_string();
+        assert!(text.contains("Fig. 11"));
+    }
+}

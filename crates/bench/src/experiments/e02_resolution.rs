@@ -1,0 +1,139 @@
+//! E2 — Table I: resolution across the measuring range.
+//!
+//! Paper: "the resolution is in the range of ±0.75 cm/s to ±4 cm/s
+//! (worst-case) that is ±0.35 % up to ±1.76 % with repeatability roughly
+//! ±1 % respect to the full scale (0–250 cm/s)."
+//!
+//! We hold each setpoint, let the 0.1 Hz output settle, and report ±σ of the
+//! conditioned output. The expected *shape*: resolution degrades toward high
+//! flow, because turbulence scales with velocity and King's-law sensitivity
+//! compresses as `dU/dv ∝ v^(n−1)`.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::CoreError;
+use hotwire_rig::{metrics, LineRunner, Scenario};
+
+/// Resolution at one operating point.
+#[derive(Debug, Clone, Copy)]
+pub struct ResolutionPoint {
+    /// True flow, cm/s.
+    pub flow_cm_s: f64,
+    /// ±σ resolution, cm/s.
+    pub resolution_cm_s: f64,
+    /// The same, % of the 250 cm/s full scale.
+    pub resolution_pct_fs: f64,
+}
+
+/// E2 results.
+#[derive(Debug, Clone)]
+pub struct ResolutionResult {
+    /// Per-setpoint resolutions, ascending flow.
+    pub points: Vec<ResolutionPoint>,
+    /// Averaging window, s.
+    pub window_s: f64,
+}
+
+impl ResolutionResult {
+    /// Best (smallest) resolution in cm/s.
+    pub fn best_cm_s(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.resolution_cm_s)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Worst (largest) resolution in cm/s.
+    pub fn worst_cm_s(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.resolution_cm_s)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs E2.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<ResolutionResult, CoreError> {
+    let settle = speed.seconds(8.0);
+    let window = speed.seconds(40.0);
+    let mut meter = Some(super::calibrated_meter(speed, 0xE2)?);
+    let mut points = Vec::new();
+    for (i, &flow) in [10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0]
+        .iter()
+        .enumerate()
+    {
+        let m = meter.take().expect("meter returns from each runner");
+        let mut runner = LineRunner::new(
+            Scenario::steady(flow, settle + window),
+            m,
+            0x2000 + i as u64,
+        );
+        let trace = runner.run(0.02);
+        let samples = trace.dut_window(settle, settle + window);
+        let sigma = metrics::resolution(&samples);
+        points.push(ResolutionPoint {
+            flow_cm_s: flow,
+            resolution_cm_s: sigma,
+            resolution_pct_fs: sigma / 250.0 * 100.0,
+        });
+        meter = Some(runner.into_meter());
+    }
+    Ok(ResolutionResult {
+        points,
+        window_s: window,
+    })
+}
+
+impl core::fmt::Display for ResolutionResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E2 / Table I — resolution across the range ({} s windows)\n",
+            self.window_s
+        )?;
+        let mut t = Table::new(["flow [cm/s]", "±σ [cm/s]", "±% FS"]);
+        for p in &self.points {
+            t.row([
+                format!("{:.0}", p.flow_cm_s),
+                format!("{:.2}", p.resolution_cm_s),
+                format!("{:.3}", p.resolution_pct_fs),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "measured span: ±{:.2} … ±{:.2} cm/s",
+            self.best_cm_s(),
+            self.worst_cm_s()
+        )?;
+        writeln!(
+            f,
+            "paper: ±0.75 … ±4 cm/s (±0.35 % … ±1.76 % FS), degrading toward high flow"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_resolution_shape() {
+        let r = run(Speed::Fast).unwrap();
+        assert_eq!(r.points.len(), 7);
+        // The headline shape: resolution at full scale is clearly worse
+        // than at low flow.
+        let low = r.points[1].resolution_cm_s; // 25 cm/s
+        let high = r.points[6].resolution_cm_s; // 250 cm/s
+        assert!(
+            high > low,
+            "resolution must degrade toward high flow: low ±{low:.2}, high ±{high:.2}"
+        );
+        // And the magnitudes stay in a plausible band around the paper's.
+        assert!(r.worst_cm_s() < 15.0, "worst ±{:.2}", r.worst_cm_s());
+    }
+}

@@ -1,0 +1,98 @@
+//! E3 — Table I: repeatability (~±1 % FS).
+//!
+//! The line revisits the same setpoint interleaved with excursions to other
+//! levels; repeatability is the half-spread of the settled means, % FS.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::CoreError;
+use hotwire_rig::scenario::{Scenario, Schedule};
+use hotwire_rig::{metrics, LineRunner};
+
+/// E3 results.
+#[derive(Debug, Clone)]
+pub struct RepeatabilityResult {
+    /// The revisited setpoint, cm/s.
+    pub setpoint_cm_s: f64,
+    /// Settled mean of each visit, cm/s.
+    pub visit_means: Vec<f64>,
+    /// Half-spread of the means, % FS.
+    pub repeatability_pct_fs: f64,
+}
+
+/// Runs E3.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<RepeatabilityResult, CoreError> {
+    let dwell = speed.seconds(12.0);
+    let setpoint = 100.0;
+    // Interleave the revisited setpoint with excursions across the range.
+    let levels = [
+        setpoint, 50.0, setpoint, 200.0, setpoint, 25.0, setpoint, 250.0, setpoint, 150.0, setpoint,
+    ];
+    let scenario = Scenario {
+        flow_cm_s: Schedule::staircase(&levels, dwell),
+        ..Scenario::steady(0.0, levels.len() as f64 * dwell)
+    };
+    let meter = super::calibrated_meter(speed, 0xE3)?;
+    let mut runner = LineRunner::new(scenario, meter, 0xE3);
+    let trace = runner.run(0.05);
+
+    let mut visit_means = Vec::new();
+    for (k, &level) in levels.iter().enumerate() {
+        if level != setpoint {
+            continue;
+        }
+        let t0 = k as f64 * dwell + 0.7 * dwell;
+        let t1 = (k + 1) as f64 * dwell;
+        let window = trace.dut_window(t0, t1);
+        if !window.is_empty() {
+            visit_means.push(metrics::mean(&window));
+        }
+    }
+    let repeatability_pct_fs = metrics::repeatability(&visit_means, 250.0) * 100.0;
+    Ok(RepeatabilityResult {
+        setpoint_cm_s: setpoint,
+        visit_means,
+        repeatability_pct_fs,
+    })
+}
+
+impl core::fmt::Display for RepeatabilityResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E3 / Table I — repeatability at {} cm/s across {} interleaved visits\n",
+            self.setpoint_cm_s,
+            self.visit_means.len()
+        )?;
+        let mut t = Table::new(["visit", "settled mean [cm/s]"]);
+        for (i, m) in self.visit_means.iter().enumerate() {
+            t.row([format!("{}", i + 1), format!("{m:.2}")]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "repeatability: ±{:.2} % FS   (paper: roughly ±1 % FS)",
+            self.repeatability_pct_fs
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_repeatability_in_band() {
+        let r = run(Speed::Fast).unwrap();
+        assert!(r.visit_means.len() >= 5);
+        assert!(
+            r.repeatability_pct_fs < 4.0,
+            "repeatability ±{:.2} % FS out of band",
+            r.repeatability_pct_fs
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! E4 — Table I: "the flow direction was clearly detected".
+//!
+//! A bidirectional sweep; within each settled window the detected sign must
+//! match the true sign (stagnant segments may report indeterminate).
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::CoreError;
+use hotwire_physics::SensorEnvironment;
+use hotwire_rig::{LineRunner, Scenario};
+
+/// One directional segment's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct DirectionSegment {
+    /// True flow in the segment, cm/s.
+    pub true_cm_s: f64,
+    /// Fraction of settled samples whose detected sign matched.
+    pub agreement: f64,
+}
+
+/// E4 results.
+#[derive(Debug, Clone)]
+pub struct DirectionResult {
+    /// Per-segment agreement.
+    pub segments: Vec<DirectionSegment>,
+    /// Overall agreement over flowing segments.
+    pub overall: f64,
+}
+
+/// Runs E4.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<DirectionResult, CoreError> {
+    let dwell = speed.seconds(10.0);
+    let mut meter = super::calibrated_meter(speed, 0xE4)?;
+    meter.auto_zero_direction(speed.seconds(2.0), SensorEnvironment::still_water());
+    let scenario = Scenario::direction_sweep(80.0, dwell);
+    let mut runner = LineRunner::new(scenario, meter, 0xE4);
+    let trace = runner.run(0.05);
+
+    let levels = [80.0, 0.0, -80.0, 0.0, 80.0, -80.0];
+    let mut segments = Vec::new();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (k, &level) in levels.iter().enumerate() {
+        let t0 = k as f64 * dwell + 0.5 * dwell;
+        let t1 = (k + 1) as f64 * dwell;
+        let window: Vec<&hotwire_rig::TraceSample> = trace
+            .samples
+            .iter()
+            .filter(|s| s.t >= t0 && s.t < t1)
+            .collect();
+        if window.is_empty() {
+            continue;
+        }
+        let agree = window
+            .iter()
+            .filter(|s| {
+                if level > 0.0 {
+                    s.dut_cm_s > 0.0
+                } else if level < 0.0 {
+                    s.dut_cm_s < 0.0
+                } else {
+                    true // stagnant: any report acceptable
+                }
+            })
+            .count();
+        if level != 0.0 {
+            hits += agree;
+            total += window.len();
+        }
+        segments.push(DirectionSegment {
+            true_cm_s: level,
+            agreement: agree as f64 / window.len() as f64,
+        });
+    }
+    Ok(DirectionResult {
+        segments,
+        overall: hits as f64 / total.max(1) as f64,
+    })
+}
+
+impl core::fmt::Display for DirectionResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E4 / Table I — flow-direction detection (±80 cm/s sweep)\n"
+        )?;
+        let mut t = Table::new(["segment flow [cm/s]", "sign agreement"]);
+        for s in &self.segments {
+            t.row([
+                format!("{:.0}", s.true_cm_s),
+                format!("{:.0} %", s.agreement * 100.0),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "overall agreement on flowing segments: {:.1} %   (paper: \"clearly detected\")",
+            self.overall * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_direction_clearly_detected() {
+        let r = run(Speed::Fast).unwrap();
+        assert!(
+            r.overall > 0.9,
+            "direction agreement {:.2} below 'clearly detected'",
+            r.overall
+        );
+    }
+}

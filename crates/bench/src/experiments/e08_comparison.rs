@@ -1,0 +1,179 @@
+//! E8 — Table II: comparison against commercial devices.
+//!
+//! Paper: "Compared to commercial devices, as for example magnetic system
+//! like Promag 50 (resolution lower than ±0.5 % respect to full scale), this
+//! implementation features a slightly higher noise but dramatically reduces
+//! the cost of more than one order of magnitude … achieves the same accuracy
+//! of the turbine wheel devices with cost reduction and improved
+//! reliability since no mechanical moving parts are exposed in water."
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::CoreError;
+use hotwire_rig::scenario::{Scenario, Schedule};
+use hotwire_rig::{metrics, LineRunner};
+
+/// One instrument's scorecard.
+#[derive(Debug, Clone)]
+pub struct InstrumentScore {
+    /// Instrument name.
+    pub name: &'static str,
+    /// ±σ resolution at 100 cm/s, % FS.
+    pub resolution_pct_fs: f64,
+    /// RMS tracking error over the settled staircase, cm/s.
+    pub rms_error_cm_s: f64,
+    /// 10–90 % response through the 50→150 cm/s step, s.
+    pub response_s: Option<f64>,
+    /// Detects flow direction.
+    pub directional: bool,
+    /// Has moving parts exposed to the water.
+    pub moving_parts: bool,
+    /// Relative unit cost (Promag 50 ≡ 1.0; paper: MEMS is >10× cheaper).
+    pub relative_cost: f64,
+}
+
+/// E8 results.
+#[derive(Debug, Clone)]
+pub struct ComparisonResult {
+    /// MEMS, Promag, turbine scorecards.
+    pub instruments: Vec<InstrumentScore>,
+}
+
+/// Runs E8.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<ComparisonResult, CoreError> {
+    let dwell = speed.seconds(16.0);
+    // Steady 100 for resolution, then a 50→150 step for response, then a
+    // short staircase for tracking error.
+    let flow = Schedule::new()
+        .then_hold(100.0, dwell)
+        .then_hold(50.0, dwell)
+        .then_hold(150.0, dwell)
+        .then_hold(250.0, dwell)
+        .then_hold(25.0, dwell);
+    let scenario = Scenario {
+        flow_cm_s: flow,
+        ..Scenario::steady(0.0, 5.0 * dwell)
+    };
+    let meter = super::calibrated_meter(speed, 0xE8)?;
+    let mut runner = LineRunner::new(scenario, meter, 0xE8);
+    let trace = runner.run(0.02);
+
+    let window = |t0: f64, t1: f64, pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<f64> {
+        trace
+            .samples
+            .iter()
+            .filter(|s| s.t >= t0 && s.t < t1)
+            .map(pick)
+            .collect()
+    };
+    let settled_pairs = |pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<(f64, f64)> {
+        trace
+            .samples
+            .iter()
+            .filter(|s| (s.t / dwell).fract() > 0.7)
+            .map(|s| (s.true_cm_s, pick(s)))
+            .collect()
+    };
+    let step_series = |pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<(f64, f64)> {
+        trace
+            .samples
+            .iter()
+            .filter(|s| s.t >= 2.0 * dwell - 0.5 && s.t < 3.0 * dwell)
+            .map(|s| (s.t, pick(s)))
+            .collect()
+    };
+
+    let score = |name: &'static str,
+                 pick: fn(&hotwire_rig::TraceSample) -> f64,
+                 directional: bool,
+                 moving: bool,
+                 cost: f64| {
+        InstrumentScore {
+            name,
+            resolution_pct_fs: metrics::resolution(&window(dwell * 0.5, dwell, pick)) / 250.0
+                * 100.0,
+            rms_error_cm_s: metrics::rms_error(&settled_pairs(pick)),
+            response_s: metrics::rise_time(&step_series(pick), 50.0, 150.0),
+            directional,
+            moving_parts: moving,
+            relative_cost: cost,
+        }
+    };
+
+    Ok(ComparisonResult {
+        instruments: vec![
+            score(
+                "MEMS hot-wire (this work)",
+                |s| s.dut_cm_s,
+                true,
+                false,
+                0.08,
+            ),
+            score("Promag 50 (magnetic)", |s| s.promag_cm_s, true, false, 1.0),
+            score("turbine wheel", |s| s.turbine_cm_s, false, true, 0.35),
+        ],
+    })
+}
+
+impl core::fmt::Display for ComparisonResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "E8 / Table II — comparison against commercial devices\n")?;
+        let mut t = Table::new([
+            "instrument",
+            "resolution [%FS]",
+            "rms err [cm/s]",
+            "response [s]",
+            "direction",
+            "moving parts",
+            "rel. cost",
+        ]);
+        for i in &self.instruments {
+            t.row([
+                i.name.to_string(),
+                format!("±{:.3}", i.resolution_pct_fs),
+                format!("{:.2}", i.rms_error_cm_s),
+                i.response_s
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "-".into()),
+                if i.directional { "yes" } else { "no" }.into(),
+                if i.moving_parts { "yes" } else { "no" }.into(),
+                format!("{:.2}×", i.relative_cost),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper: MEMS slightly noisier than the Promag 50 (< ±0.5 % FS) but >10× cheaper;\n\
+             same accuracy class as turbine meters with no moving parts in the water"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_comparison_shape() {
+        let r = run(Speed::Fast).unwrap();
+        let mems = &r.instruments[0];
+        let promag = &r.instruments[1];
+        let turbine = &r.instruments[2];
+        // Paper shape: Promag is at least as clean as the MEMS probe…
+        assert!(
+            promag.resolution_pct_fs <= mems.resolution_pct_fs + 0.3,
+            "promag ±{:.3} vs mems ±{:.3}",
+            promag.resolution_pct_fs,
+            mems.resolution_pct_fs
+        );
+        // …the MEMS probe is dramatically cheaper…
+        assert!(mems.relative_cost < 0.1 * promag.relative_cost + 1e-9);
+        // …only the turbine has moving parts, and it has no direction.
+        assert!(turbine.moving_parts && !mems.moving_parts);
+        assert!(mems.directional && !turbine.directional);
+    }
+}

@@ -1,0 +1,182 @@
+//! E9 — §2: King's-law nonlinearity and its compensation.
+//!
+//! "However, there are deviations from a linear dependence according to the
+//! Kings Law … This nonlinearity must be compensated by a special signal
+//! conditioning." We fit the calibration both ways — the proper King
+//! inversion and a naive linear `v = a + b·U` model — and compare their
+//! errors across the range.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::calibration::CalPoint;
+use hotwire_core::CoreError;
+use hotwire_physics::{MafParams, SensorEnvironment};
+use hotwire_rig::runner::field_calibrate;
+use hotwire_units::MetersPerSecond;
+
+/// Model error at one verification point.
+#[derive(Debug, Clone, Copy)]
+pub struct InversionPoint {
+    /// True flow, cm/s.
+    pub true_cm_s: f64,
+    /// King-inversion reading error, cm/s.
+    pub king_error_cm_s: f64,
+    /// Linear-model reading error, cm/s.
+    pub linear_error_cm_s: f64,
+}
+
+/// E9 results.
+#[derive(Debug, Clone)]
+pub struct KingsLawResult {
+    /// Fitted A (W/K).
+    pub a: f64,
+    /// Fitted B (W/(K·(m/s)ⁿ)).
+    pub b: f64,
+    /// Fitted exponent n.
+    pub n: f64,
+    /// RMS relative residual of the fit.
+    pub fit_residual: f64,
+    /// Verification points.
+    pub points: Vec<InversionPoint>,
+}
+
+impl KingsLawResult {
+    /// Worst |error| of the King inversion, cm/s.
+    pub fn king_worst(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.king_error_cm_s.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Worst |error| of the linear model, cm/s.
+    pub fn linear_worst(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.linear_error_cm_s.abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs E9.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<KingsLawResult, CoreError> {
+    let mut meter = hotwire_core::FlowMeter::new(speed.config(), MafParams::nominal(), 0xE9)?;
+    let cal_points: Vec<CalPoint> = field_calibrate(
+        &mut meter,
+        &[10.0, 30.0, 60.0, 100.0, 150.0, 200.0, 245.0],
+        speed.seconds(1.5),
+        speed.seconds(0.5),
+        0xE9,
+    )?;
+    let cal = *meter.calibration().expect("calibration installed");
+
+    // Naive linear model v = a + b·G fitted on the same points.
+    let n = cal_points.len() as f64;
+    let sx: f64 = cal_points.iter().map(|p| p.conductance.get()).sum();
+    let sy: f64 = cal_points.iter().map(|p| p.velocity.get()).sum();
+    let sxx: f64 = cal_points.iter().map(|p| p.conductance.get().powi(2)).sum();
+    let sxy: f64 = cal_points
+        .iter()
+        .map(|p| p.conductance.get() * p.velocity.get())
+        .sum();
+    let det = n * sxx - sx * sx;
+    let lin_b = (n * sxy - sx * sy) / det;
+    let lin_a = (sy * sxx - sx * sxy) / det;
+
+    // Verify at untrained points: both models read the *same* measured
+    // conductance, so their error difference isolates the nonlinearity.
+    // The calibration maps conductance → Promag (bulk) velocity, so the
+    // verification environment must present the probe with the same
+    // local-velocity statistics the calibration saw; here we compare in
+    // bulk units by feeding the probe the calibrated local equivalent.
+    let mut points = Vec::new();
+    for &v in &[20.0, 45.0, 80.0, 125.0, 175.0, 230.0] {
+        let env = SensorEnvironment {
+            // Probe sees ~1.22× bulk in the turbulent DN50 line; apply the
+            // same factor the field calibration absorbed.
+            velocity: MetersPerSecond::from_cm_per_s(v * 1.224),
+            ..SensorEnvironment::still_water()
+        };
+        let m = meter.run(speed.seconds(12.0), env).expect("loop ran");
+        let g = m.conductance;
+        let king_reading = cal.velocity_from_conductance(g).to_cm_per_s();
+        let linear_reading = (lin_a + lin_b * g.get()) * 100.0;
+        points.push(InversionPoint {
+            true_cm_s: v,
+            king_error_cm_s: king_reading - v,
+            linear_error_cm_s: linear_reading - v,
+        });
+    }
+    Ok(KingsLawResult {
+        a: cal.a,
+        b: cal.b,
+        n: cal.n,
+        fit_residual: cal.rms_relative_residual(&cal_points),
+        points,
+    })
+}
+
+impl core::fmt::Display for KingsLawResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E9 / §2 — King's-law calibration and nonlinearity compensation\n"
+        )?;
+        writeln!(
+            f,
+            "fit: G = A + B·vⁿ with A = {:.4e} W/K, B = {:.4e}, n = {:.3} (rms residual {:.2} %)\n",
+            self.a,
+            self.b,
+            self.n,
+            self.fit_residual * 100.0
+        )?;
+        let mut t = Table::new(["true [cm/s]", "King err [cm/s]", "linear err [cm/s]"]);
+        for p in &self.points {
+            t.row([
+                format!("{:.0}", p.true_cm_s),
+                format!("{:+.2}", p.king_error_cm_s),
+                format!("{:+.2}", p.linear_error_cm_s),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "worst |error|: King {:.2} cm/s, naive linear {:.2} cm/s",
+            self.king_worst(),
+            self.linear_worst()
+        )?;
+        writeln!(
+            f,
+            "paper: \"deviations from a linear dependence according to the Kings Law …\n\
+             must be compensated by a special signal conditioning\""
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_king_beats_linear() {
+        let r = run(Speed::Fast).unwrap();
+        assert!((0.3..=0.7).contains(&r.n), "exponent {}", r.n);
+        assert!(
+            r.king_worst() < r.linear_worst(),
+            "King {:.2} must beat linear {:.2}",
+            r.king_worst(),
+            r.linear_worst()
+        );
+        // The linear model's nonlinearity error is substantial across a 25:1
+        // range (this is the paper's motivation for the King inversion).
+        assert!(
+            r.linear_worst() > 5.0,
+            "linear worst {:.2}",
+            r.linear_worst()
+        );
+    }
+}

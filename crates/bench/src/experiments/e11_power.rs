@@ -1,0 +1,125 @@
+//! E11 — §7: battery autonomy of the duty-cycled probe.
+//!
+//! "…deep sleep mode for a considerable power saving allowing the whole
+//! system to be supplied by rechargeable batteries (4 alkaline AA) that
+//! guarantees autonomy of one year for a typical sensor usage."
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::power::{DutyCycle, PowerState, FOUR_AA_WH};
+use hotwire_core::CoreError;
+use hotwire_units::{Seconds, Watts};
+
+/// One duty-cycle scenario's budget.
+#[derive(Debug, Clone)]
+pub struct PowerScenario {
+    /// Scenario label.
+    pub label: String,
+    /// Time-averaged draw, mW.
+    pub average_mw: f64,
+    /// Autonomy on 4×AA, days.
+    pub autonomy_days: f64,
+}
+
+/// E11 results.
+#[derive(Debug, Clone)]
+pub struct PowerResult {
+    /// Scenarios, including the paper's "typical usage".
+    pub scenarios: Vec<PowerScenario>,
+}
+
+impl PowerResult {
+    /// The paper-claim scenario ("typical usage").
+    pub fn typical(&self) -> &PowerScenario {
+        &self.scenarios[0]
+    }
+}
+
+/// Runs E11 (pure model — `Speed` has no effect).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Config`] only if a scenario is malformed (they are
+/// static, so this does not happen in practice).
+pub fn run(_speed: Speed) -> Result<PowerResult, CoreError> {
+    let mut scenarios = Vec::new();
+    let mut push = |label: &str, cycle: DutyCycle| {
+        scenarios.push(PowerScenario {
+            label: label.to_string(),
+            average_mw: cycle.average_power().to_milliwatts(),
+            autonomy_days: cycle.autonomy_days_on_4aa(),
+        });
+    };
+    push(
+        "typical usage (1 s burst / 3 min)",
+        DutyCycle::typical_usage(),
+    );
+    push(
+        "fast logging (1 s burst / 30 s)",
+        DutyCycle::new(vec![
+            PowerState {
+                name: "measure",
+                draw: Watts::new(0.160),
+                duration: Seconds::new(1.0),
+            },
+            PowerState {
+                name: "sleep",
+                draw: Watts::new(25e-6),
+                duration: Seconds::new(29.0),
+            },
+        ])?,
+    );
+    push(
+        "continuous (no deep sleep)",
+        DutyCycle::continuous(Watts::new(0.160)),
+    );
+    Ok(PowerResult { scenarios })
+}
+
+impl core::fmt::Display for PowerResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E11 / §7 — battery autonomy on 4×AA ({FOUR_AA_WH} Wh, 15 % derated)\n"
+        )?;
+        let mut t = Table::new([
+            "duty cycle",
+            "avg draw [mW]",
+            "autonomy [days]",
+            "autonomy [yr]",
+        ]);
+        for s in &self.scenarios {
+            t.row([
+                s.label.clone(),
+                format!("{:.3}", s.average_mw),
+                format!("{:.0}", s.autonomy_days),
+                format!("{:.2}", s.autonomy_days / 365.0),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper: deep-sleep ASIC on 4 alkaline AA \"guarantees autonomy of one year for a\n\
+             typical sensor usage\""
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_usage_exceeds_a_year() {
+        let r = run(Speed::Fast).unwrap();
+        assert!(
+            r.typical().autonomy_days > 365.0,
+            "typical autonomy {:.0} days",
+            r.typical().autonomy_days
+        );
+        // Continuous operation collapses to days — the motivation for the
+        // deep-sleep ASIC.
+        let continuous = r.scenarios.last().unwrap();
+        assert!(continuous.autonomy_days < 15.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! E12 — §2 ablation: constant-temperature vs constant-current vs
+//! constant-power under fluid-temperature change.
+//!
+//! "…the latter one \[CT\] maintains a fixed value of the sensing resistor
+//! thus achieving more robustness respect to changes of the temperature of
+//! the fluid itself."
+//!
+//! Each mode is calibrated at 15 °C, then the fluid ramps to 30 °C at
+//! constant flow. CT's bridge tracks ambient through the Rt arm; CC and CP
+//! have no compensation, so their readings drift with the fluid.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::config::{FlowMeterConfig, OperatingMode};
+use hotwire_core::CoreError;
+use hotwire_physics::MafParams;
+use hotwire_rig::{metrics, LineRunner, Scenario};
+
+/// One mode's drift result.
+#[derive(Debug, Clone)]
+pub struct ModeDrift {
+    /// Operating mode.
+    pub mode: OperatingMode,
+    /// Settled reading at 15 °C, cm/s.
+    pub reading_15c: f64,
+    /// Settled reading at 30 °C, cm/s.
+    pub reading_30c: f64,
+    /// Drift as % of the 15 °C reading.
+    pub drift_pct: f64,
+}
+
+/// E12 results.
+#[derive(Debug, Clone)]
+pub struct ModesResult {
+    /// CT, CC, CP drifts.
+    pub modes: Vec<ModeDrift>,
+}
+
+impl ModesResult {
+    /// The CT row.
+    pub fn ct(&self) -> &ModeDrift {
+        &self.modes[0]
+    }
+}
+
+fn run_mode(mode: OperatingMode, speed: Speed) -> Result<ModeDrift, CoreError> {
+    let config = FlowMeterConfig {
+        mode,
+        ..speed.config()
+    };
+    let meter = super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xE12)?;
+    let duration = speed.seconds(120.0);
+    let scenario = Scenario::temperature_ramp(100.0, 15.0, 30.0, duration);
+    let mut runner = LineRunner::new(scenario, meter, 0xE12);
+    let trace = runner.run(0.05);
+    // Settled windows: the last portion of the 15 °C hold and of the 30 °C
+    // hold (holds are the first/last 20 % of the scenario).
+    let reading_15c = metrics::mean(&trace.dut_window(0.1 * duration, 0.2 * duration));
+    let reading_30c = metrics::mean(&trace.dut_window(0.9 * duration, duration));
+    Ok(ModeDrift {
+        mode,
+        reading_15c,
+        reading_30c,
+        drift_pct: (reading_30c - reading_15c) / reading_15c.abs().max(1e-9) * 100.0,
+    })
+}
+
+/// Runs E12.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if a meter cannot be built or calibrated.
+pub fn run(speed: Speed) -> Result<ModesResult, CoreError> {
+    Ok(ModesResult {
+        modes: vec![
+            run_mode(OperatingMode::ConstantTemperature, speed)?,
+            run_mode(OperatingMode::ConstantCurrent, speed)?,
+            run_mode(OperatingMode::ConstantPower, speed)?,
+        ],
+    })
+}
+
+impl core::fmt::Display for ModesResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "E12 / §2 — operating-mode robustness to fluid temperature (100 cm/s, 15 → 30 °C)\n"
+        )?;
+        let mut t = Table::new(["mode", "reading @15 °C", "reading @30 °C", "drift"]);
+        for m in &self.modes {
+            t.row([
+                format!("{:?}", m.mode),
+                format!("{:.1} cm/s", m.reading_15c),
+                format!("{:.1} cm/s", m.reading_30c),
+                format!("{:+.1} %", m.drift_pct),
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "paper: constant-temperature operation \"achiev[es] more robustness respect to\n\
+             changes of the temperature of the fluid itself\" than CC/CP"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ct_most_robust() {
+        let r = run(Speed::Fast).unwrap();
+        let ct = r.ct().drift_pct.abs();
+        let cc = r.modes[1].drift_pct.abs();
+        let cp = r.modes[2].drift_pct.abs();
+        assert!(
+            ct < cc && ct < cp,
+            "CT drift {ct:.1} % must beat CC {cc:.1} % and CP {cp:.1} %"
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! One module per reproduced table/figure. See `DESIGN.md` §4.
+
+pub mod a01_pi_gains;
+pub mod a02_decimation;
+pub mod a03_probe_position;
+pub mod e01_staircase;
+pub mod e02_resolution;
+pub mod e03_repeatability;
+pub mod e04_direction;
+pub mod e05_bubbles;
+pub mod e06_fouling;
+pub mod e07_pressure;
+pub mod e08_comparison;
+pub mod e09_kings_law;
+pub mod e10_filter;
+pub mod e11_power;
+pub mod e12_modes;
+
+use hotwire_core::config::FlowMeterConfig;
+use hotwire_core::{CoreError, FlowMeter};
+use hotwire_physics::MafParams;
+use hotwire_rig::runner::field_calibrate;
+
+/// Experiment fidelity: `Full` reproduces the paper's silicon rates and
+/// dwell times; `Fast` runs the same code at the reduced test profile for
+/// CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Speed {
+    /// Reduced rates/durations (CI).
+    Fast,
+    /// Paper-fidelity rates/durations.
+    Full,
+}
+
+impl Speed {
+    /// The firmware configuration for this fidelity.
+    pub fn config(self) -> FlowMeterConfig {
+        match self {
+            Speed::Fast => FlowMeterConfig::test_profile(),
+            Speed::Full => FlowMeterConfig::water_station(),
+        }
+    }
+
+    /// Scales a full-fidelity duration down for fast runs.
+    pub fn seconds(self, full: f64) -> f64 {
+        match self {
+            Speed::Fast => (full / 8.0).max(0.5),
+            Speed::Full => full,
+        }
+    }
+}
+
+/// Builds a field-calibrated meter — the common starting point of most
+/// experiments (the paper calibrated against the Promag 50 before
+/// evaluating).
+pub fn calibrated_meter(speed: Speed, seed: u64) -> Result<FlowMeter, CoreError> {
+    calibrated_meter_with(speed.config(), MafParams::nominal(), speed, seed)
+}
+
+/// Builds a field-calibrated meter from explicit configuration and die
+/// parameters.
+pub fn calibrated_meter_with(
+    config: FlowMeterConfig,
+    params: MafParams,
+    speed: Speed,
+    seed: u64,
+) -> Result<FlowMeter, CoreError> {
+    let mut meter = FlowMeter::new(config, params, seed)?;
+    field_calibrate(
+        &mut meter,
+        &[15.0, 50.0, 100.0, 160.0, 220.0],
+        speed.seconds(1.5),
+        speed.seconds(0.5),
+        seed ^ 0xCAFE,
+    )?;
+    Ok(meter)
+}

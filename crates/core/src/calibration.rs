@@ -1,0 +1,408 @@
+//! King's-law calibration: fitting, inversion, persistence.
+//!
+//! "The constants A, B and the exponent n are empirically determined and
+//! ambient specific. This nonlinearity must be compensated by a special
+//! signal conditioning." (§2)
+//!
+//! The firmware collects `(velocity, conductance)` points against a
+//! reference meter (the paper used the Promag 50), fits `G = A + B·vⁿ` — a
+//! grid search over `n` with a closed-form linear least-squares solve for
+//! `A, B` at each candidate — and stores the constants in the platform
+//! EEPROM.
+
+use crate::CoreError;
+use hotwire_isif::eeprom::CalibrationStore;
+use hotwire_units::{KelvinDelta, MetersPerSecond, ThermalConductance, Watts};
+
+/// A fitted King's-law calibration.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KingCalibration {
+    /// Zero-flow conductance term, W/K.
+    pub a: f64,
+    /// Forced-convection coefficient, W/(K·(m/s)ⁿ).
+    pub b: f64,
+    /// Velocity exponent.
+    pub n: f64,
+    /// The overheat the constants were fitted at.
+    pub overheat: KelvinDelta,
+}
+
+/// One calibration observation.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CalPoint {
+    /// Reference-meter velocity (magnitude).
+    pub velocity: MetersPerSecond,
+    /// Measured wire-to-fluid conductance at that velocity.
+    pub conductance: ThermalConductance,
+}
+
+impl KingCalibration {
+    /// EEPROM slot used for calibration persistence.
+    pub const EEPROM_SLOT: usize = 0;
+
+    /// Fits King's law to calibration points.
+    ///
+    /// The exponent is grid-searched over `[0.30, 0.70]` in steps of 0.005;
+    /// for each candidate the optimal `A, B` follow from linear least
+    /// squares on the basis `[1, vⁿ]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Calibration`] with fewer than 3 points, with a
+    /// non-positive overheat, or if the fit degenerates (all velocities
+    /// equal, or a non-positive `A`/`B` at the optimum).
+    pub fn fit(points: &[CalPoint], overheat: KelvinDelta) -> Result<Self, CoreError> {
+        if points.len() < 3 {
+            return Err(CoreError::Calibration {
+                reason: "king fit needs at least 3 calibration points",
+            });
+        }
+        if overheat.get() <= 0.0 {
+            return Err(CoreError::Calibration {
+                reason: "overheat must be positive",
+            });
+        }
+        let vmax = points
+            .iter()
+            .map(|p| p.velocity.get().abs())
+            .fold(0.0f64, f64::max);
+        let vmin = points
+            .iter()
+            .map(|p| p.velocity.get().abs())
+            .fold(f64::INFINITY, f64::min);
+        if vmax - vmin < 1e-9 {
+            return Err(CoreError::Calibration {
+                reason: "calibration points must span a velocity range",
+            });
+        }
+
+        let mut best: Option<(f64, f64, f64, f64)> = None; // (sse, a, b, n)
+        let mut n = 0.30;
+        while n <= 0.70 + 1e-12 {
+            if let Some((a, b, sse)) = least_squares_ab(points, n) {
+                if a > 0.0 && b > 0.0 && best.map_or(true, |(s, ..)| sse < s) {
+                    best = Some((sse, a, b, n));
+                }
+            }
+            n += 0.005;
+        }
+        let (_, a, b, n) = best.ok_or(CoreError::Calibration {
+            reason: "no exponent produced a physical (positive A, B) fit",
+        })?;
+        Ok(KingCalibration { a, b, n, overheat })
+    }
+
+    /// Root-mean-square relative residual of the fit over the given points.
+    pub fn rms_relative_residual(&self, points: &[CalPoint]) -> f64 {
+        let sum: f64 = points
+            .iter()
+            .map(|p| {
+                let model = self.a + self.b * p.velocity.get().abs().powf(self.n);
+                ((model - p.conductance.get()) / p.conductance.get()).powi(2)
+            })
+            .sum();
+        (sum / points.len() as f64).sqrt()
+    }
+
+    /// Converts a measured heater power (at the calibrated overheat) into a
+    /// velocity magnitude.
+    pub fn velocity_from_power(&self, power: Watts) -> MetersPerSecond {
+        self.velocity_from_conductance(ThermalConductance::new(power.get() / self.overheat.get()))
+    }
+
+    /// Converts a measured conductance into a velocity magnitude.
+    pub fn velocity_from_conductance(&self, g: ThermalConductance) -> MetersPerSecond {
+        let excess = g.get() - self.a;
+        if excess <= 0.0 {
+            MetersPerSecond::ZERO
+        } else {
+            MetersPerSecond::new((excess / self.b).powf(1.0 / self.n))
+        }
+    }
+
+    /// The conductance King's law predicts at a velocity (forward model).
+    pub fn conductance_at(&self, v: MetersPerSecond) -> ThermalConductance {
+        ThermalConductance::new(self.a + self.b * v.get().abs().powf(self.n))
+    }
+
+    /// Velocity sensitivity `dv/dG` at an operating velocity — the factor
+    /// that turns the electronics' conductance resolution into the velocity
+    /// resolution the paper reports (degrading as `v^(1−n)`).
+    pub fn velocity_sensitivity(&self, v: MetersPerSecond) -> f64 {
+        let vv = v.get().abs().max(1e-6);
+        1.0 / (self.b * self.n * vv.powf(self.n - 1.0))
+    }
+
+    /// Property-compensates the calibration for a fluid temperature other
+    /// than the calibration temperature.
+    ///
+    /// Water's conductivity, viscosity and Prandtl number all shift with
+    /// temperature, moving King's `A` and `B` even at fixed overheat. The
+    /// firmware knows the water property model, so it can scale the fitted
+    /// constants by the ratio of the Kramers-derived laws at the estimated
+    /// vs calibration *film* temperatures (fluid + half the overheat). This
+    /// is the paper's "temperature sensor for tracking thermal flow
+    /// variation" put to use.
+    #[must_use]
+    pub fn compensated_for(
+        &self,
+        fluid_estimate: hotwire_units::Celsius,
+        calibration_temperature: hotwire_units::Celsius,
+    ) -> Self {
+        use hotwire_physics::fluid::Water;
+        use hotwire_physics::kings_law::{KingsLaw, WireGeometry};
+        let half = KelvinDelta::new(self.overheat.get() / 2.0);
+        let geometry = WireGeometry::maf_heater();
+        let at = KingsLaw::from_kramers(&Water::potable(), fluid_estimate + half, geometry);
+        let cal =
+            KingsLaw::from_kramers(&Water::potable(), calibration_temperature + half, geometry);
+        KingCalibration {
+            a: self.a * at.a() / cal.a(),
+            b: self.b * at.b() / cal.b(),
+            n: self.n,
+            overheat: self.overheat,
+        }
+    }
+
+    /// Persists the calibration to the platform EEPROM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] on storage errors.
+    pub fn store(&self, eeprom: &mut CalibrationStore) -> Result<(), CoreError> {
+        let payload = CalibrationStore::encode_f64s(&[self.a, self.b, self.n, self.overheat.get()]);
+        eeprom.write_record(Self::EEPROM_SLOT, &payload)?;
+        Ok(())
+    }
+
+    /// Loads a calibration from the platform EEPROM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] for empty/corrupt slots, or
+    /// [`CoreError::Calibration`] for a malformed record.
+    pub fn load(eeprom: &CalibrationStore) -> Result<Self, CoreError> {
+        let values = CalibrationStore::decode_f64s(eeprom.read_record(Self::EEPROM_SLOT)?)?;
+        if values.len() != 4 {
+            return Err(CoreError::Calibration {
+                reason: "calibration record has wrong length",
+            });
+        }
+        Ok(KingCalibration {
+            a: values[0],
+            b: values[1],
+            n: values[2],
+            overheat: KelvinDelta::new(values[3]),
+        })
+    }
+}
+
+/// Least-squares solve of `g = a + b·v^n` for fixed `n`; returns
+/// `(a, b, sse)` or `None` if the normal equations are singular.
+fn least_squares_ab(points: &[CalPoint], n: f64) -> Option<(f64, f64, f64)> {
+    let m = points.len() as f64;
+    let (mut sx, mut sxx, mut sy, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for p in points {
+        let x = p.velocity.get().abs().powf(n);
+        let y = p.conductance.get();
+        sx += x;
+        sxx += x * x;
+        sy += y;
+        sxy += x * y;
+    }
+    let det = m * sxx - sx * sx;
+    if det.abs() < 1e-18 {
+        return None;
+    }
+    let a = (sy * sxx - sx * sxy) / det;
+    let b = (m * sxy - sx * sy) / det;
+    let sse: f64 = points
+        .iter()
+        .map(|p| {
+            let model = a + b * p.velocity.get().abs().powf(n);
+            (model - p.conductance.get()).powi(2)
+        })
+        .sum();
+    Some((a, b, sse))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_physics::KingsLaw;
+
+    fn synth_points(king: &KingsLaw, velocities: &[f64]) -> Vec<CalPoint> {
+        velocities
+            .iter()
+            .map(|&v| CalPoint {
+                velocity: MetersPerSecond::new(v),
+                conductance: king.conductance(MetersPerSecond::new(v)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_known_law() {
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.2, 0.5, 1.0, 1.5, 2.0, 2.5]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        assert!(
+            (cal.a - king.a()).abs() / king.a() < 0.02,
+            "A {} vs {}",
+            cal.a,
+            king.a()
+        );
+        assert!(
+            (cal.b - king.b()).abs() / king.b() < 0.02,
+            "B {} vs {}",
+            cal.b,
+            king.b()
+        );
+        assert!((cal.n - 0.5).abs() <= 0.01, "n {}", cal.n);
+        assert!(cal.rms_relative_residual(&points) < 1e-3);
+    }
+
+    #[test]
+    fn fit_tolerates_noise() {
+        let king = KingsLaw::water_default();
+        let mut points = synth_points(&king, &[0.05, 0.1, 0.3, 0.6, 1.0, 1.5, 2.0, 2.5]);
+        // ±1 % deterministic "noise".
+        for (i, p) in points.iter_mut().enumerate() {
+            let e = if i % 2 == 0 { 1.01 } else { 0.99 };
+            p.conductance = ThermalConductance::new(p.conductance.get() * e);
+        }
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        // Round-trip velocities within a few percent mid-range.
+        for &v in &[0.5, 1.0, 2.0] {
+            let g = king.conductance(MetersPerSecond::new(v));
+            let back = cal.velocity_from_conductance(g);
+            assert!(
+                (back.get() - v).abs() / v < 0.08,
+                "v={v} decoded {}",
+                back.get()
+            );
+        }
+    }
+
+    #[test]
+    fn inversion_round_trip() {
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.2, 0.5, 1.0, 1.5, 2.0, 2.5]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        for &v in &[0.1, 0.7, 1.8, 2.4] {
+            let p = king.power(MetersPerSecond::new(v), KelvinDelta::new(15.0));
+            let back = cal.velocity_from_power(p);
+            assert!((back.get() - v).abs() < 0.02 * v.max(0.2), "v={v}");
+        }
+    }
+
+    #[test]
+    fn below_zero_flow_clamps() {
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.5, 1.0, 2.0]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        let v = cal.velocity_from_conductance(ThermalConductance::new(cal.a * 0.9));
+        assert_eq!(v.get(), 0.0);
+    }
+
+    #[test]
+    fn sensitivity_degrades_with_speed() {
+        // dv/dG ∝ v^(1−n): the paper's resolution worsens toward full scale.
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.5, 1.0, 2.0, 2.5]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        let s_low = cal.velocity_sensitivity(MetersPerSecond::new(0.2));
+        let s_high = cal.velocity_sensitivity(MetersPerSecond::new(2.5));
+        assert!(
+            s_high > 2.0 * s_low,
+            "sensitivity low {s_low} high {s_high}"
+        );
+    }
+
+    #[test]
+    fn compensation_tracks_property_drift() {
+        use hotwire_physics::fluid::Water;
+        use hotwire_physics::kings_law::WireGeometry;
+        use hotwire_units::Celsius;
+        // Fit at 15 °C against the true 15 °C law, then ask the compensated
+        // calibration to decode conductances produced by the true 30 °C law:
+        // the residual error must be far below the uncompensated one.
+        let t_cal = Celsius::new(15.0);
+        let t_warm = Celsius::new(30.0);
+        let overheat = KelvinDelta::new(15.0);
+        let half = KelvinDelta::new(7.5);
+        let geom = WireGeometry::maf_heater();
+        let king_cal = KingsLaw::from_kramers(&Water::potable(), t_cal + half, geom);
+        let king_warm = KingsLaw::from_kramers(&Water::potable(), t_warm + half, geom);
+        let points = synth_points_for(&king_cal, &[0.05, 0.3, 0.8, 1.5, 2.2]);
+        let cal = KingCalibration::fit(&points, overheat).unwrap();
+
+        let v_true = 1.2;
+        let g_warm = king_warm.conductance(MetersPerSecond::new(v_true));
+        let raw = cal.velocity_from_conductance(g_warm).get();
+        let comp = cal
+            .compensated_for(t_warm, t_cal)
+            .velocity_from_conductance(g_warm)
+            .get();
+        let raw_err = (raw - v_true).abs() / v_true;
+        let comp_err = (comp - v_true).abs() / v_true;
+        assert!(
+            raw_err > 0.15,
+            "uncompensated error {raw_err} suspiciously small"
+        );
+        assert!(
+            comp_err < 0.2 * raw_err,
+            "compensated {comp_err} vs raw {raw_err}"
+        );
+    }
+
+    fn synth_points_for(king: &KingsLaw, velocities: &[f64]) -> Vec<CalPoint> {
+        velocities
+            .iter()
+            .map(|&v| CalPoint {
+                velocity: MetersPerSecond::new(v),
+                conductance: king.conductance(MetersPerSecond::new(v)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn eeprom_round_trip() {
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.5, 1.0, 2.0]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        let mut eeprom = CalibrationStore::new();
+        cal.store(&mut eeprom).unwrap();
+        let loaded = KingCalibration::load(&eeprom).unwrap();
+        assert_eq!(loaded, cal);
+    }
+
+    #[test]
+    fn load_detects_corruption() {
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.5, 1.0, 2.0]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        let mut eeprom = CalibrationStore::new();
+        cal.store(&mut eeprom).unwrap();
+        eeprom.corrupt(KingCalibration::EEPROM_SLOT, 3);
+        assert!(KingCalibration::load(&eeprom).is_err());
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_input() {
+        let king = KingsLaw::water_default();
+        assert!(
+            KingCalibration::fit(&synth_points(&king, &[0.5, 1.0]), KelvinDelta::new(15.0))
+                .is_err()
+        );
+        assert!(KingCalibration::fit(
+            &synth_points(&king, &[1.0, 1.0, 1.0]),
+            KelvinDelta::new(15.0)
+        )
+        .is_err());
+        assert!(
+            KingCalibration::fit(&synth_points(&king, &[0.1, 0.5, 1.0]), KelvinDelta::ZERO)
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for the conditioning firmware.
+
+/// Errors produced by the conditioning firmware.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A platform block rejected its configuration.
+    Platform(hotwire_isif::IsifError),
+    /// A physics parameter was rejected.
+    Physics(hotwire_physics::PhysicsError),
+    /// A DSP block rejected its configuration.
+    Dsp(hotwire_dsp::DspError),
+    /// An AFE block rejected its configuration.
+    Afe(hotwire_afe::AfeError),
+    /// Calibration could not be fitted or inverted.
+    Calibration {
+        /// What went wrong.
+        reason: &'static str,
+    },
+    /// A firmware configuration value was invalid.
+    Config {
+        /// Description of the rejected configuration.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CoreError::Platform(e) => write!(f, "platform error: {e}"),
+            CoreError::Physics(e) => write!(f, "physics error: {e}"),
+            CoreError::Dsp(e) => write!(f, "dsp error: {e}"),
+            CoreError::Afe(e) => write!(f, "afe error: {e}"),
+            CoreError::Calibration { reason } => write!(f, "calibration error: {reason}"),
+            CoreError::Config { reason } => write!(f, "invalid configuration: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Platform(e) => Some(e),
+            CoreError::Physics(e) => Some(e),
+            CoreError::Dsp(e) => Some(e),
+            CoreError::Afe(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hotwire_isif::IsifError> for CoreError {
+    fn from(e: hotwire_isif::IsifError) -> Self {
+        CoreError::Platform(e)
+    }
+}
+
+impl From<hotwire_physics::PhysicsError> for CoreError {
+    fn from(e: hotwire_physics::PhysicsError) -> Self {
+        CoreError::Physics(e)
+    }
+}
+
+impl From<hotwire_dsp::DspError> for CoreError {
+    fn from(e: hotwire_dsp::DspError) -> Self {
+        CoreError::Dsp(e)
+    }
+}
+
+impl From<hotwire_afe::AfeError> for CoreError {
+    fn from(e: hotwire_afe::AfeError) -> Self {
+        CoreError::Afe(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn displays_and_sources() {
+        let e: CoreError = hotwire_dsp::DspError::InvalidConfig {
+            name: "order",
+            constraint: "1..=6",
+        }
+        .into();
+        assert!(e.to_string().contains("dsp"));
+        assert!(e.source().is_some());
+
+        let e = CoreError::Calibration {
+            reason: "not enough points",
+        };
+        assert!(e.to_string().contains("points"));
+        assert!(e.source().is_none());
+    }
+}

@@ -1,0 +1,1035 @@
+//! The assembled instrument: MAF die + ISIF platform + conditioning
+//! firmware, co-simulated sample-by-sample.
+//!
+//! [`FlowMeter::step`] advances exactly one ΣΔ modulator tick:
+//!
+//! 1. the current supply-DAC voltage drives both Wheatstone bridges;
+//! 2. the resulting Joule power heats the die (physics step);
+//! 3. the bridge differentials enter the two input channels
+//!    (channel 0: average-vs-reference for the CTA loop, channel 1:
+//!    heater-A-vs-heater-B for direction);
+//! 4. every `decimation` ticks the channels emit 16-bit codes and the
+//!    control tick runs: pulse scheduling, the mode driver (CT/CC/CP),
+//!    output conditioning, King inversion, direction and fault detection.
+
+use crate::calibration::{CalPoint, KingCalibration};
+use crate::config::{FlowMeterConfig, OperatingMode};
+use crate::cta::{ConductanceEstimator, CtaLoop, SUPPLY_CODE_MAX};
+use crate::direction::{DirectionDetector, FlowDirection};
+use crate::faults::{DriftMonitor, FaultFlags, SaturationMonitor, SpikeMonitor};
+use crate::modes::{ConstantCurrentDrive, ConstantPowerDrive, WireStateEstimator};
+use crate::output::OutputPipeline;
+use crate::pulsed::{PulsePhase, PulsedScheduler};
+use crate::CoreError;
+use hotwire_afe::bridge::BridgeConfig;
+use hotwire_isif::channel::{AnalogInput, ChannelConfig};
+use hotwire_isif::IsifPlatform;
+use hotwire_physics::kings_law::KingsLaw;
+use hotwire_physics::sensor::HeaterId;
+use hotwire_physics::{MafDie, MafParams, SensorEnvironment};
+use hotwire_units::{MetersPerSecond, Ohms, Seconds, ThermalConductance, Volts, Watts};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Index of the CTA control channel on the platform.
+pub const CTRL_CHANNEL: usize = 0;
+/// Index of the direction channel on the platform.
+pub const DIR_CHANNEL: usize = 1;
+/// Index of the fluid-temperature channel (the `Rt` arm readout).
+pub const TEMP_CHANNEL: usize = 2;
+
+/// One conditioned measurement, produced at the control rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Signed velocity (direction applied).
+    pub velocity: MetersPerSecond,
+    /// Velocity magnitude from the King inversion of the conditioned signal.
+    pub speed: MetersPerSecond,
+    /// Detected flow direction.
+    pub direction: FlowDirection,
+    /// Raw supply-DAC code commanded this tick.
+    pub supply_code: u32,
+    /// Despiked + 0.1 Hz-filtered code (supply code in CT mode, bridge code
+    /// in CC/CP modes).
+    pub conditioned_code: i32,
+    /// Wire-to-fluid conductance implied by the conditioned signal.
+    pub conductance: ThermalConductance,
+    /// Electrical power in one heater.
+    pub wire_power: Watts,
+    /// Health flags.
+    pub faults: FaultFlags,
+    /// Control-tick index since start.
+    pub tick: u64,
+}
+
+/// Mode-specific driver state.
+#[derive(Debug)]
+#[allow(clippy::enum_variant_names)] // the paper's mode names all begin "Constant"
+enum ModeDriver {
+    ConstantTemperature(CtaLoop),
+    ConstantCurrent(ConstantCurrentDrive),
+    ConstantPower(ConstantPowerDrive),
+}
+
+/// The assembled flow meter.
+#[derive(Debug)]
+pub struct FlowMeter {
+    config: FlowMeterConfig,
+    die: MafDie,
+    platform: IsifPlatform,
+    bridge: BridgeConfig,
+    rh_star: Ohms,
+    driver: ModeDriver,
+    estimator: ConductanceEstimator,
+    wire_estimator: WireStateEstimator,
+    output: OutputPipeline,
+    direction: DirectionDetector,
+    pulsed: Option<PulsedScheduler>,
+    calibration: Option<KingCalibration>,
+    spikes: SpikeMonitor,
+    drift: DriftMonitor,
+    saturation: SaturationMonitor,
+    rng: StdRng,
+    dt: Seconds,
+    control_tick: u64,
+    last_dir_code: i32,
+    /// Learned zero-flow offset of the supply-normalized direction metric
+    /// (codes per volt). Both the die-mismatch offset and the coupling
+    /// signal scale with the bridge supply, so the metric `code/U` makes a
+    /// single-point auto-zero valid across the whole operating range.
+    dir_offset_per_volt: f64,
+    /// Latest decimated temperature-channel code.
+    last_temp_code: i32,
+    /// Smoothed firmware estimate of the fluid temperature.
+    fluid_temp_estimate: f64,
+    /// Zero-point correction of the estimate, learned at field calibration
+    /// (absorbs the ±1.5 % reference-resistor tolerance).
+    temp_estimate_offset: f64,
+    /// Nominal reference-branch ratio at the calibration temperature.
+    ref_ratio_cal: f64,
+    /// Input-referred volts per channel LSB.
+    volts_per_code: f64,
+    /// Supply code held across pulsed-off phases.
+    last_on_code: u32,
+    last_measurement: Option<Measurement>,
+    /// Conductance from the most recent *valid* (settled, driven) control
+    /// tick — what calibration and burst averaging consume. Pulsed-off
+    /// phases hold the previous value instead of reading a dead bridge.
+    instant_conductance: ThermalConductance,
+    fault_latch: FaultFlags,
+    /// Control ticks to ignore for fault latching (startup transient).
+    fault_warmup_ticks: u64,
+    /// Consecutive settled measurement ticks (resets at every pulsed-off
+    /// phase); spike monitoring arms only once a short streak has passed so
+    /// pulse-resume transients don't read as bubble events.
+    settled_streak: u32,
+}
+
+impl FlowMeter {
+    /// Builds the instrument around a die with the given parameters,
+    /// deterministic under `seed`.
+    ///
+    /// The meter starts with a *factory calibration* derived from the die's
+    /// design model (the Kramers-derived King's law at the calibration
+    /// temperature); [`calibrate`](Self::calibrate) replaces it with a field
+    /// calibration against a reference meter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the configuration or any platform block is
+    /// invalid.
+    pub fn new(
+        config: FlowMeterConfig,
+        maf_params: MafParams,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        maf_params.validate()?;
+        let die = MafDie::in_potable_water(maf_params);
+        let mut platform = IsifPlatform::new(config.modulator_rate)?;
+        let default_channel = ChannelConfig::maf_bridge();
+        let channel_config = ChannelConfig {
+            decimation: config.decimation,
+            // Keep the anti-alias corner realizable when tests run the
+            // modulator slower than the 256 kHz silicon clock.
+            antialias_corner: hotwire_units::Hertz::new(
+                default_channel
+                    .antialias_corner
+                    .get()
+                    .min(config.modulator_rate.get() / 8.0),
+            ),
+            ..default_channel
+        };
+        platform.configure_channel(CTRL_CHANNEL, channel_config)?;
+        platform.configure_channel(DIR_CHANNEL, channel_config)?;
+        platform.configure_channel(TEMP_CHANNEL, channel_config)?;
+
+        let heater_nominal = maf_params.heater;
+        let reference_nominal = maf_params.reference;
+        let bridge = config.design_bridge(&heater_nominal, &reference_nominal)?;
+        let rh_star = config.target_heater_resistance(&heater_nominal);
+        let estimator = ConductanceEstimator::new(&bridge, rh_star, &config, 2);
+        let volts_per_code = {
+            // Input-referred LSB of the acquisition channel.
+            Volts::new(channel_config.vref.get() / 32768.0 / channel_config.inamp.gain)
+        };
+        let wire_estimator = WireStateEstimator::new(
+            &bridge,
+            heater_nominal,
+            &reference_nominal,
+            &config,
+            volts_per_code,
+        );
+        let rt_cal = reference_nominal.resistance(config.calibration_temperature);
+        let ref_ratio_cal = rt_cal.get() / (bridge.r_series_reference.get() + rt_cal.get());
+
+        // Factory calibration from the design model.
+        let king = KingsLaw::from_kramers(
+            die.fluid(),
+            config.calibration_temperature,
+            maf_params.geometry,
+        );
+        let factory = KingCalibration {
+            a: king.a() * 1.0,
+            b: king.b() * 1.0,
+            n: king.n(),
+            overheat: config.overheat,
+        };
+
+        let driver = match config.mode {
+            OperatingMode::ConstantTemperature => {
+                ModeDriver::ConstantTemperature(CtaLoop::new(&config)?)
+            }
+            OperatingMode::ConstantCurrent => {
+                let g = king.conductance(MetersPerSecond::new(1.0));
+                ModeDriver::ConstantCurrent(ConstantCurrentDrive::design(
+                    &config,
+                    rh_star,
+                    &bridge,
+                    g,
+                    Volts::new(5.0),
+                    SUPPLY_CODE_MAX as u32,
+                ))
+            }
+            OperatingMode::ConstantPower => {
+                let g = king.conductance(MetersPerSecond::new(1.0));
+                let target = Watts::new(g.get() * config.overheat.get());
+                ModeDriver::ConstantPower(ConstantPowerDrive::new(
+                    target,
+                    1500,
+                    SUPPLY_CODE_MAX as u32,
+                ))
+            }
+        };
+
+        let control_rate = config.control_rate();
+        let output = OutputPipeline::new(config.output_filter, control_rate)?;
+        let mut meter = FlowMeter {
+            direction: DirectionDetector::new(config.direction_deadband, 8),
+            pulsed: config.pulsed.map(PulsedScheduler::new),
+            calibration: Some(factory),
+            // Threshold sized ~5σ above the turbulence-driven supply swing
+            // so the flag reacts to detachment events, not ordinary flow
+            // noise.
+            spikes: SpikeMonitor::new(150, control_rate.get() as u32, 0.002),
+            drift: DriftMonitor::new(1e6, 0.05),
+            saturation: SaturationMonitor::new(
+                config.supply_code_min,
+                SUPPLY_CODE_MAX as u32,
+                control_rate.get() as u32 / 2,
+            ),
+            rng: StdRng::seed_from_u64(seed),
+            dt: config.modulator_rate.period(),
+            control_tick: 0,
+            last_dir_code: 0,
+            dir_offset_per_volt: 0.0,
+            last_temp_code: 0,
+            fluid_temp_estimate: config.calibration_temperature.get(),
+            temp_estimate_offset: 0.0,
+            ref_ratio_cal,
+            volts_per_code: volts_per_code.get(),
+            last_on_code: config.supply_code_min,
+            last_measurement: None,
+            instant_conductance: ThermalConductance::ZERO,
+            fault_latch: FaultFlags::default(),
+            fault_warmup_ticks: (3.0 * control_rate.get()) as u64,
+            settled_streak: 0,
+            config,
+            die,
+            platform,
+            bridge,
+            rh_star,
+            driver,
+            estimator,
+            wire_estimator,
+            output,
+        };
+        meter.platform.set_supply_code(meter.config.supply_code_min);
+        Ok(meter)
+    }
+
+    /// The firmware configuration.
+    #[inline]
+    pub fn config(&self) -> &FlowMeterConfig {
+        &self.config
+    }
+
+    /// The simulated die (inspection of bubbles, fouling, temperatures).
+    #[inline]
+    pub fn die(&self) -> &MafDie {
+        &self.die
+    }
+
+    /// Mutable die access (fault injection, aging).
+    #[inline]
+    pub fn die_mut(&mut self) -> &mut MafDie {
+        &mut self.die
+    }
+
+    /// The platform (EEPROM, registers, scheduler).
+    #[inline]
+    pub fn platform_mut(&mut self) -> &mut IsifPlatform {
+        &mut self.platform
+    }
+
+    /// The active calibration.
+    #[inline]
+    pub fn calibration(&self) -> Option<&KingCalibration> {
+        self.calibration.as_ref()
+    }
+
+    /// The latest measurement, if a control tick has completed.
+    #[inline]
+    pub fn last_measurement(&self) -> Option<&Measurement> {
+        self.last_measurement.as_ref()
+    }
+
+    /// The designed Wheatstone bridge.
+    #[inline]
+    pub fn bridge(&self) -> &BridgeConfig {
+        &self.bridge
+    }
+
+    /// The heater resistance the loop regulates to at the calibration
+    /// temperature.
+    #[inline]
+    pub fn regulated_resistance(&self) -> Ohms {
+        self.rh_star
+    }
+
+    /// One modulator tick of co-simulation; returns a measurement on control
+    /// ticks.
+    pub fn step(&mut self, env: SensorEnvironment) -> Option<Measurement> {
+        // --- analog domain at the modulator rate ---
+        let supply = self.platform.supply_voltage();
+        let rh_a = self.die.heater_resistance(HeaterId::A);
+        let rh_b = self.die.heater_resistance(HeaterId::B);
+        let rt = self.die.reference_resistance();
+        let out_a = self.bridge.solve(supply, rh_a, rt);
+        let out_b = self.bridge.solve(supply, rh_b, rt);
+        self.die.step(
+            self.dt,
+            out_a.heater_power,
+            out_b.heater_power,
+            env,
+            &mut self.rng,
+        );
+
+        let ctrl_diff = (out_a.differential + out_b.differential) * 0.5;
+        let dir_diff = out_a.differential - out_b.differential;
+        // Chip self-heating above the 25 °C characterization point: the die
+        // runs near the fluid temperature.
+        let overtemp = env.fluid_temperature.get() - 25.0;
+
+        let dir_code = {
+            let chan = self
+                .platform
+                .channel_mut(DIR_CHANNEL)
+                .expect("configured in new()");
+            chan.sample(AnalogInput::Differential(dir_diff), overtemp, &mut self.rng)
+        };
+        if let Some(code) = dir_code {
+            self.last_dir_code = code;
+        }
+        // Temperature channel: the Rt-arm midpoint against its
+        // calibration-time divider ratio.
+        let temp_diff = out_a.reference_mid - supply * self.ref_ratio_cal;
+        let temp_code = {
+            let chan = self
+                .platform
+                .channel_mut(TEMP_CHANNEL)
+                .expect("configured in new()");
+            chan.sample(
+                AnalogInput::Differential(temp_diff),
+                overtemp,
+                &mut self.rng,
+            )
+        };
+        if let Some(code) = temp_code {
+            self.last_temp_code = code;
+        }
+        let ctrl_code = {
+            let chan = self
+                .platform
+                .channel_mut(CTRL_CHANNEL)
+                .expect("configured in new()");
+            chan.sample(
+                AnalogInput::Differential(ctrl_diff),
+                overtemp,
+                &mut self.rng,
+            )
+        };
+        let code = ctrl_code?;
+
+        // --- digital domain at the control rate ---
+        Some(self.control_step(code, supply))
+    }
+
+    /// Decodes the fluid temperature from the temperature channel: the
+    /// reference midpoint ratio `x = Rt/(R2+Rt)` is recovered from the
+    /// measured deviation, inverted to `Rt`, and converted through the
+    /// nominal RTD law, then smoothed (the fluid changes slowly).
+    fn update_fluid_estimate(&mut self, supply: Volts) {
+        let u = supply.get();
+        if u < 0.2 {
+            return; // pulsed-off or startup: hold the estimate
+        }
+        let x = self.ref_ratio_cal + self.last_temp_code as f64 * self.volts_per_code / u;
+        if !(0.01..0.99).contains(&x) {
+            return;
+        }
+        let rt = self.bridge.r_series_reference.get() * x / (1.0 - x);
+        let t = self
+            .wire_estimator_reference_rtd()
+            .temperature(hotwire_units::Ohms::new(rt))
+            .get();
+        // Reject implausible decodes (transients) and clamp to the station's
+        // plausible band around the calibration temperature.
+        let cal = self.config.calibration_temperature.get();
+        if t.is_finite() && (cal - 20.0..cal + 25.0).contains(&t) {
+            // Single-pole smoothing, τ ≈ 20 control ticks.
+            self.fluid_temp_estimate += 0.05 * (t - self.fluid_temp_estimate);
+        }
+    }
+
+    /// Nominal reference RTD law (firmware knowledge; tolerance is absorbed
+    /// by calibration).
+    fn wire_estimator_reference_rtd(&self) -> hotwire_physics::resistor::Rtd {
+        // The nominal law; stored implicitly via MafParams defaults.
+        hotwire_physics::resistor::Rtd::ambient_reference()
+    }
+
+    /// The firmware's current fluid-temperature estimate (zero-corrected).
+    pub fn fluid_temperature_estimate(&self) -> hotwire_units::Celsius {
+        hotwire_units::Celsius::new(self.fluid_temp_estimate - self.temp_estimate_offset)
+    }
+
+    fn control_step(&mut self, code: i32, supply: Volts) -> Measurement {
+        self.control_tick += 1;
+        let phase = self
+            .pulsed
+            .as_mut()
+            .map(|p| p.advance())
+            .unwrap_or(PulsePhase::On { settled: true });
+
+        let (supply_code, measure_now) = match phase {
+            PulsePhase::Off => {
+                // Heater unbiased; loop frozen.
+                self.platform.set_supply_code(0);
+                (0, false)
+            }
+            PulsePhase::On { settled } => {
+                let was_off = self.platform.supply_code() == 0;
+                if was_off {
+                    // Resume bumplessly at the last operating point.
+                    if let ModeDriver::ConstantTemperature(cta) = &mut self.driver {
+                        cta.preset_output(self.last_on_code);
+                    }
+                    self.platform.set_supply_code(self.last_on_code);
+                }
+                let next = match &mut self.driver {
+                    ModeDriver::ConstantTemperature(cta) => cta.update(code),
+                    ModeDriver::ConstantCurrent(cc) => cc.code(),
+                    ModeDriver::ConstantPower(cp) => {
+                        let power = self
+                            .wire_estimator
+                            .estimate(code, supply)
+                            .map(|s| s.power)
+                            .unwrap_or(Watts::ZERO);
+                        cp.update(power)
+                    }
+                };
+                self.platform.set_supply_code(next);
+                self.last_on_code = next;
+                (next, settled)
+            }
+        };
+
+        // The fluid-temperature estimate and the instantaneous conductance
+        // only update on trustworthy (settled, driven) ticks — pulse
+        // transients would poison them.
+        if measure_now {
+            self.update_fluid_estimate(supply);
+            if self.config.mode == OperatingMode::ConstantTemperature {
+                let u = self.platform.supply_dac().convert(supply_code);
+                self.instant_conductance = if self.config.temperature_compensation {
+                    self.estimator
+                        .conductance_at_ambient(u, self.fluid_temperature_estimate())
+                } else {
+                    self.estimator.conductance(u)
+                };
+            }
+        }
+
+        // Condition the flow-bearing signal.
+        let raw_signal = match self.config.mode {
+            OperatingMode::ConstantTemperature => supply_code as i32,
+            _ => code,
+        };
+        let conditioned = if measure_now {
+            self.output.push(raw_signal)
+        } else {
+            self.output.value()
+        };
+
+        // Fault monitors. Spikes are judged against the *despiked* (median)
+        // reference, which tracks setpoint ramps within two ticks — so only
+        // genuinely short events (bubble detachments) count. A short settled
+        // streak is required after each pulsed resume so the median's stale
+        // history doesn't read as an event.
+        if measure_now {
+            self.settled_streak = self.settled_streak.saturating_add(1);
+        } else {
+            self.settled_streak = 0;
+        }
+        let spike_rate = if measure_now && self.settled_streak > 4 {
+            self.spikes.update(raw_signal, self.output.despiked())
+        } else {
+            self.spikes.rate()
+        };
+        let saturated = self.saturation.update(supply_code.max(1));
+
+        // Conductance + velocity from the conditioned signal.
+        let (conductance, wire_power) = match self.config.mode {
+            OperatingMode::ConstantTemperature => {
+                let u = self
+                    .platform
+                    .supply_dac()
+                    .convert(conditioned.clamp(0, SUPPLY_CODE_MAX) as u32);
+                let g = if self.config.temperature_compensation {
+                    self.estimator
+                        .conductance_at_ambient(u, self.fluid_temperature_estimate())
+                } else {
+                    self.estimator.conductance(u)
+                };
+                (g, self.estimator.heater_power(u))
+            }
+            _ => {
+                let state = self.wire_estimator.estimate(conditioned, supply);
+                (
+                    state
+                        .map(|s| s.conductance)
+                        .unwrap_or(ThermalConductance::ZERO),
+                    state.map(|s| s.power).unwrap_or(Watts::ZERO),
+                )
+            }
+        };
+        let speed = self
+            .calibration
+            .as_ref()
+            .map(|c| {
+                if self.config.temperature_compensation
+                    && self.config.mode == OperatingMode::ConstantTemperature
+                {
+                    c.compensated_for(
+                        self.fluid_temperature_estimate(),
+                        self.config.calibration_temperature,
+                    )
+                    .velocity_from_conductance(conductance)
+                } else {
+                    c.velocity_from_conductance(conductance)
+                }
+            })
+            .unwrap_or(MetersPerSecond::ZERO);
+
+        let direction = if measure_now {
+            let u = supply.get().max(0.2);
+            let metric = self.last_dir_code as f64 / u - self.dir_offset_per_volt;
+            self.direction.update(metric.round() as i32)
+        } else {
+            self.direction.direction()
+        };
+        let velocity = match direction {
+            FlowDirection::Reverse => -speed,
+            _ => speed,
+        };
+
+        // The drift baseline must not be seeded from the startup ramp, so
+        // the monitor only runs after the fault warm-up window.
+        let drift_dev = if measure_now && self.control_tick > self.fault_warmup_ticks {
+            self.drift.update(conductance.get().max(1e-12))
+        } else {
+            0.0
+        };
+        let _ = spike_rate;
+        let faults = FaultFlags {
+            bubble_activity: self.spikes.sustained(2),
+            fouling_suspected: self.drift.is_drifting(drift_dev) && drift_dev < 0.0,
+            loop_saturated: saturated,
+        };
+        // Hold off latching until the startup transient has cleared: the
+        // supply ramp from the observable floor to the operating point looks
+        // like a spike burst to the monitors.
+        if self.control_tick > self.fault_warmup_ticks {
+            self.fault_latch.bubble_activity |= faults.bubble_activity;
+            self.fault_latch.fouling_suspected |= faults.fouling_suspected;
+            self.fault_latch.loop_saturated |= faults.loop_saturated;
+        }
+
+        self.platform.watchdog_mut().kick();
+        self.platform.watchdog_mut().tick();
+
+        let m = Measurement {
+            velocity,
+            speed,
+            direction,
+            supply_code,
+            conditioned_code: conditioned,
+            conductance,
+            wire_power,
+            faults,
+            tick: self.control_tick,
+        };
+        self.last_measurement = Some(m);
+        m
+    }
+
+    /// Runs `seconds` of simulated time at a constant environment and
+    /// returns the final measurement (if at least one control tick ran).
+    pub fn run(&mut self, seconds: f64, env: SensorEnvironment) -> Option<Measurement> {
+        let steps = (seconds / self.dt.get()).round() as u64;
+        let mut last = None;
+        for _ in 0..steps {
+            if let Some(m) = self.step(env) {
+                last = Some(m);
+            }
+        }
+        last
+    }
+
+    /// The instantaneous (unconditioned) conductance implied by the present
+    /// supply code — used by calibration, which averages externally.
+    pub fn instantaneous_conductance(&self) -> ThermalConductance {
+        match self.config.mode {
+            OperatingMode::ConstantTemperature => self.instant_conductance,
+            _ => self
+                .last_measurement
+                .map(|m| m.conductance)
+                .unwrap_or(ThermalConductance::ZERO),
+        }
+    }
+
+    /// The instantaneous (unconditioned) speed decode — what burst-mode
+    /// operation averages over its short measurement window instead of
+    /// waiting for the 0.1 Hz filter.
+    pub fn instantaneous_speed(&self) -> MetersPerSecond {
+        let g = self.instantaneous_conductance();
+        match self.calibration.as_ref() {
+            Some(c)
+                if self.config.temperature_compensation
+                    && self.config.mode == OperatingMode::ConstantTemperature =>
+            {
+                c.compensated_for(
+                    self.fluid_temperature_estimate(),
+                    self.config.calibration_temperature,
+                )
+                .velocity_from_conductance(g)
+            }
+            Some(c) => c.velocity_from_conductance(g),
+            None => MetersPerSecond::ZERO,
+        }
+    }
+
+    /// Total electrical power currently drawn from the supply by the two
+    /// bridges (burst-mode energy accounting).
+    pub fn bridge_power_draw(&self) -> Watts {
+        let u = self.platform.supply_voltage();
+        let rt = self
+            .wire_estimator_reference_rtd()
+            .resistance(self.fluid_temperature_estimate());
+        self.estimator
+            .total_bridge_power(u, self.bridge.r_series_reference, rt)
+    }
+
+    /// Records one calibration point at a known reference velocity, running
+    /// `settle_s` of simulation then averaging `average_s` of conductance.
+    pub fn record_calibration_point(
+        &mut self,
+        reference: MetersPerSecond,
+        env: SensorEnvironment,
+        settle_s: f64,
+        average_s: f64,
+    ) -> CalPoint {
+        let env = SensorEnvironment {
+            velocity: reference,
+            ..env
+        };
+        self.run(settle_s, env);
+        let steps = (average_s / self.dt.get()).round() as u64;
+        let mut sum = 0.0;
+        let mut n = 0u64;
+        for _ in 0..steps {
+            if self.step(env).is_some() {
+                sum += self.instantaneous_conductance().get();
+                n += 1;
+            }
+        }
+        CalPoint {
+            velocity: reference,
+            conductance: ThermalConductance::new(sum / n.max(1) as f64),
+        }
+    }
+
+    /// Fits and installs a field calibration, persisting it to the platform
+    /// EEPROM.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Calibration`] if the fit fails.
+    pub fn calibrate(&mut self, points: &[CalPoint]) -> Result<&KingCalibration, CoreError> {
+        // The calibration bath's fluid temperature is known: zero the
+        // temperature channel here, absorbing the reference resistor's
+        // manufacturing tolerance.
+        self.temp_estimate_offset =
+            self.fluid_temp_estimate - self.config.calibration_temperature.get();
+        let cal = KingCalibration::fit(points, self.config.overheat)?;
+        cal.store(self.platform.eeprom_mut())?;
+        self.calibration = Some(cal);
+        // The calibration procedure slews the line hard between setpoints;
+        // whatever the monitors latched during it is procedure noise, not a
+        // field diagnosis.
+        self.clear_faults();
+        Ok(self.calibration.as_ref().expect("just installed"))
+    }
+
+    /// Reloads the calibration from EEPROM (power-cycle recovery).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] if the record is missing or corrupt.
+    pub fn reload_calibration(&mut self) -> Result<(), CoreError> {
+        self.calibration = Some(KingCalibration::load(self.platform.eeprom())?);
+        Ok(())
+    }
+
+    /// Auto-zeroes the direction channel: runs `seconds` of simulation at
+    /// the given (zero-flow) environment and learns the channel's
+    /// supply-normalized offset, which is subtracted from all subsequent
+    /// direction decisions. This removes both the in-amp offset and the
+    /// heater-pair mismatch (±1 % tolerance → an offset that would otherwise
+    /// dwarf the coupling signal), so the detector can use a tight deadband.
+    pub fn auto_zero_direction(&mut self, seconds: f64, env: SensorEnvironment) {
+        let env = SensorEnvironment {
+            velocity: MetersPerSecond::ZERO,
+            ..env
+        };
+        let steps = (seconds / self.dt.get()).round() as u64;
+        let mut sum = 0.0;
+        let mut n: u64 = 0;
+        for _ in 0..steps {
+            if self.step(env).is_some() {
+                let u = self.platform.supply_voltage().get().max(0.2);
+                sum += self.last_dir_code as f64 / u;
+                n += 1;
+            }
+        }
+        if n > 0 {
+            self.dir_offset_per_volt = sum / n as f64;
+        }
+        self.direction.reset();
+    }
+
+    /// The learned direction-channel offset in codes per volt of bridge
+    /// supply (0 until auto-zeroed).
+    #[inline]
+    pub fn direction_offset(&self) -> f64 {
+        self.dir_offset_per_volt
+    }
+
+    /// Latched fault flags since start (or the last clear).
+    pub fn fault_latch(&self) -> FaultFlags {
+        self.fault_latch
+    }
+
+    /// Clears the latched fault flags and resets the spike monitor's window
+    /// state (full diagnostic reset).
+    pub fn clear_faults(&mut self) {
+        self.fault_latch = FaultFlags::default();
+        self.spikes.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hotwire_units::Celsius;
+
+    fn meter(seed: u64) -> FlowMeter {
+        FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), seed).unwrap()
+    }
+
+    fn env(v_cm_s: f64) -> SensorEnvironment {
+        SensorEnvironment {
+            velocity: MetersPerSecond::from_cm_per_s(v_cm_s),
+            ..SensorEnvironment::still_water()
+        }
+    }
+
+    #[test]
+    fn loop_reaches_overheat_setpoint() {
+        let mut m = meter(1);
+        m.run(0.5, env(50.0));
+        let t_wire = m.die().heater_temperature(HeaterId::A);
+        // Target: 15 °C fluid + 15 K overheat = 30 °C (±1 K: direction
+        // asymmetry and in-amp offset shift the balance slightly).
+        assert!(
+            (t_wire.get() - 30.0).abs() < 1.5,
+            "wire settled at {t_wire}"
+        );
+    }
+
+    #[test]
+    fn supply_rises_with_flow() {
+        let mut m = meter(2);
+        let slow = m.run(0.4, env(20.0)).unwrap();
+        let fast = m.run(0.4, env(200.0)).unwrap();
+        assert!(
+            fast.supply_code > slow.supply_code + 100,
+            "supply {} → {}",
+            slow.supply_code,
+            fast.supply_code
+        );
+    }
+
+    #[test]
+    fn velocity_tracks_true_flow_with_factory_calibration() {
+        let mut m = meter(3);
+        for v in [30.0, 100.0, 200.0] {
+            let meas = m.run(1.0, env(v)).unwrap();
+            let measured = meas.speed.to_cm_per_s();
+            assert!(
+                (measured - v).abs() < 0.25 * v + 5.0,
+                "true {v} cm/s measured {measured:.1} cm/s"
+            );
+        }
+    }
+
+    #[test]
+    fn field_calibration_beats_factory() {
+        let mut m = meter(4);
+        let base_env = env(0.0);
+        let points: Vec<CalPoint> = [10.0, 40.0, 80.0, 130.0, 180.0, 230.0]
+            .iter()
+            .map(|&v| {
+                m.record_calibration_point(MetersPerSecond::from_cm_per_s(v), base_env, 0.3, 0.2)
+            })
+            .collect();
+        m.calibrate(&points).unwrap();
+        // After calibration, mid-range accuracy should be a few per cent.
+        let meas = m.run(1.0, env(100.0)).unwrap();
+        let measured = meas.speed.to_cm_per_s();
+        assert!(
+            (measured - 100.0).abs() < 8.0,
+            "calibrated reading {measured:.1} cm/s at 100 cm/s"
+        );
+    }
+
+    #[test]
+    fn direction_detected_both_ways() {
+        let mut m = meter(5);
+        let fwd = m.run(0.6, env(80.0)).unwrap();
+        assert_eq!(fwd.direction, FlowDirection::Forward, "forward flow");
+        assert!(fwd.velocity.get() > 0.0);
+        let rev = m.run(1.0, env(-80.0)).unwrap();
+        assert_eq!(rev.direction, FlowDirection::Reverse, "reverse flow");
+        assert!(rev.velocity.get() < 0.0);
+    }
+
+    #[test]
+    fn measurements_arrive_at_control_rate() {
+        let mut m = meter(6);
+        let mut count = 0;
+        let e = env(50.0);
+        for _ in 0..64 * 50 {
+            if m.step(e).is_some() {
+                count += 1;
+            }
+        }
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn calibration_survives_power_cycle() {
+        let mut m = meter(7);
+        let points: Vec<CalPoint> = [20.0, 80.0, 150.0, 220.0]
+            .iter()
+            .map(|&v| {
+                m.record_calibration_point(MetersPerSecond::from_cm_per_s(v), env(0.0), 0.3, 0.2)
+            })
+            .collect();
+        let fitted = *m.calibrate(&points).unwrap();
+        // Clear in-RAM calibration, then reload from EEPROM.
+        m.calibration = None;
+        m.reload_calibration().unwrap();
+        assert_eq!(*m.calibration().unwrap(), fitted);
+    }
+
+    #[test]
+    fn warmer_fluid_does_not_break_ct_loop() {
+        let mut m = meter(8);
+        m.run(0.5, env(100.0));
+        let warm = SensorEnvironment {
+            fluid_temperature: Celsius::new(25.0),
+            ..env(100.0)
+        };
+        let meas = m.run(2.0, warm).unwrap();
+        // CT mode with temperature compensation: reading stays within
+        // several per cent despite the 10 K fluid shift.
+        let measured = meas.speed.to_cm_per_s();
+        assert!(
+            (measured - 100.0).abs() < 20.0,
+            "CT reading at 25 °C fluid: {measured:.1} cm/s"
+        );
+    }
+
+    #[test]
+    fn fluid_temperature_estimated_through_rt_arm() {
+        let mut m = meter(30);
+        m.run(0.5, env(50.0));
+        assert!(
+            (m.fluid_temperature_estimate().get() - 15.0).abs() < 1.0,
+            "estimate {} at 15 °C fluid",
+            m.fluid_temperature_estimate()
+        );
+        let warm = SensorEnvironment {
+            fluid_temperature: Celsius::new(28.0),
+            ..env(50.0)
+        };
+        m.run(2.0, warm);
+        assert!(
+            (m.fluid_temperature_estimate().get() - 28.0).abs() < 1.5,
+            "estimate {} at 28 °C fluid",
+            m.fluid_temperature_estimate()
+        );
+    }
+
+    #[test]
+    fn compensation_beats_uncompensated_under_fluid_shift() {
+        // At 2 bar the outgassing onset (~48 °C) stays above the wall even
+        // with 30 °C fluid, so this isolates the thermal-compensation effect
+        // from the bubble failure mode.
+        let at_2bar = |v: f64, t: f64| SensorEnvironment {
+            velocity: MetersPerSecond::from_cm_per_s(v),
+            fluid_temperature: Celsius::new(t),
+            pressure: hotwire_units::Pascals::from_bar(2.0),
+        };
+        let run_with = |compensate: bool| {
+            let cfg = FlowMeterConfig {
+                temperature_compensation: compensate,
+                ..FlowMeterConfig::test_profile()
+            };
+            let mut m = FlowMeter::new(cfg, MafParams::nominal(), 31).unwrap();
+            m.run(1.0, at_2bar(100.0, 15.0));
+            let baseline = m
+                .run(1.0, at_2bar(100.0, 15.0))
+                .unwrap()
+                .speed
+                .to_cm_per_s();
+            m.run(4.0, at_2bar(100.0, 30.0));
+            let shifted = m
+                .run(2.0, at_2bar(100.0, 30.0))
+                .unwrap()
+                .speed
+                .to_cm_per_s();
+            (shifted - baseline).abs()
+        };
+        let with = run_with(true);
+        let without = run_with(false);
+        assert!(
+            with < 0.6 * without,
+            "compensated drift {with:.1} cm/s vs uncompensated {without:.1} cm/s"
+        );
+    }
+
+    #[test]
+    fn pulsed_mode_produces_measurements_and_less_power() {
+        let cfg = FlowMeterConfig {
+            pulsed: Some(crate::config::PulsedConfig {
+                period_ticks: 50,
+                duty: 0.3,
+            }),
+            ..FlowMeterConfig::test_profile()
+        };
+        let mut pulsed = FlowMeter::new(cfg, MafParams::nominal(), 9).unwrap();
+        let mut continuous = meter(9);
+        let e = env(100.0);
+        // Average supply power over the run.
+        let mut p_pulsed = 0.0;
+        let mut p_cont = 0.0;
+        let mut n = 0;
+        for _ in 0..64 * 1000 {
+            pulsed.step(e);
+            continuous.step(e);
+            p_pulsed += pulsed.platform.supply_voltage().get().powi(2);
+            p_cont += continuous.platform.supply_voltage().get().powi(2);
+            n += 1;
+        }
+        assert!(n > 0);
+        assert!(
+            p_pulsed < 0.6 * p_cont,
+            "pulsed V² {p_pulsed} vs continuous {p_cont}"
+        );
+        assert!(pulsed.last_measurement().is_some());
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_in_healthy_loop() {
+        let mut m = meter(10);
+        m.run(0.5, env(50.0));
+        assert_eq!(m.platform_mut().watchdog_mut().reset_count(), 0);
+    }
+
+    #[test]
+    fn auto_zero_tightens_direction_deadband() {
+        let cfg = FlowMeterConfig {
+            direction_deadband: 80,
+            ..FlowMeterConfig::test_profile()
+        };
+        let mut m = FlowMeter::new(cfg, MafParams::nominal(), 21).unwrap();
+        m.auto_zero_direction(0.5, SensorEnvironment::still_water());
+        // The in-amp offset (~130 codes) must have been learned.
+        assert!(
+            m.direction_offset().abs() > 40.0,
+            "offset {} suspiciously small",
+            m.direction_offset()
+        );
+        // With the offset removed, still water stays indeterminate even at
+        // the tight deadband.
+        let meas = m.run(0.5, env(0.0)).unwrap();
+        assert_eq!(meas.direction, FlowDirection::Indeterminate);
+        // And real flow still resolves.
+        let meas = m.run(0.6, env(60.0)).unwrap();
+        assert_eq!(meas.direction, FlowDirection::Forward);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = meter(42);
+        let mut b = meter(42);
+        let e = env(70.0);
+        let ma = a.run(0.3, e).unwrap();
+        let mb = b.run(0.3, e).unwrap();
+        assert_eq!(ma.supply_code, mb.supply_code);
+        assert_eq!(ma.conditioned_code, mb.conditioned_code);
+    }
+}

@@ -1,0 +1,228 @@
+//! Telemetry encoding of measurements for the probe's UART/SPI link.
+//!
+//! §6 envisions probes "widely diffused all over the water distribution
+//! channels" reporting to the network operator. This module defines the wire
+//! record — fixed-point fields, explicitly little-endian — and rides it on
+//! the CRC-framed UART transport from `hotwire-isif`.
+
+use crate::direction::FlowDirection;
+use crate::flow_meter::Measurement;
+use crate::CoreError;
+use hotwire_isif::uart::{encode_frame, FrameDecoder};
+use hotwire_units::MetersPerSecond;
+
+/// Wire version tag of the record layout.
+pub const RECORD_VERSION: u8 = 1;
+/// Encoded record length in bytes.
+pub const RECORD_LEN: usize = 16;
+
+/// The compact telemetry record sent per reporting interval.
+///
+/// Layout (little-endian):
+///
+/// ```text
+/// 0      version (u8)
+/// 1      direction (0 = indeterminate, 1 = forward, 2 = reverse)
+/// 2..4   flags (u16): bit0 bubble, bit1 fouling, bit2 saturated
+/// 4..8   signed velocity in hundredths of cm/s (i32)
+/// 8..12  conductance in nW/K (u32)
+/// 12..16 control tick (u32, wrapping)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// Signed velocity in hundredths of cm/s.
+    pub velocity_centi_cm_s: i32,
+    /// Direction code.
+    pub direction: FlowDirection,
+    /// Fault bits.
+    pub bubble: bool,
+    /// Fouling-drift bit.
+    pub fouling: bool,
+    /// Loop-saturation bit.
+    pub saturated: bool,
+    /// Conductance in nW/K.
+    pub conductance_nw_per_k: u32,
+    /// Control tick (wrapping).
+    pub tick: u32,
+}
+
+impl TelemetryRecord {
+    /// Builds a record from a conditioned measurement.
+    pub fn from_measurement(m: &Measurement) -> Self {
+        TelemetryRecord {
+            velocity_centi_cm_s: (m.velocity.to_cm_per_s() * 100.0)
+                .clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+            direction: m.direction,
+            bubble: m.faults.bubble_activity,
+            fouling: m.faults.fouling_suspected,
+            saturated: m.faults.loop_saturated,
+            conductance_nw_per_k: (m.conductance.get() * 1e9).clamp(0.0, u32::MAX as f64) as u32,
+            tick: (m.tick & 0xFFFF_FFFF) as u32,
+        }
+    }
+
+    /// The decoded velocity.
+    pub fn velocity(&self) -> MetersPerSecond {
+        MetersPerSecond::from_cm_per_s(self.velocity_centi_cm_s as f64 / 100.0)
+    }
+
+    /// Serializes to the 16-byte wire layout.
+    pub fn to_bytes(&self) -> [u8; RECORD_LEN] {
+        let mut out = [0u8; RECORD_LEN];
+        out[0] = RECORD_VERSION;
+        out[1] = match self.direction {
+            FlowDirection::Indeterminate => 0,
+            FlowDirection::Forward => 1,
+            FlowDirection::Reverse => 2,
+        };
+        let flags: u16 =
+            (self.bubble as u16) | ((self.fouling as u16) << 1) | ((self.saturated as u16) << 2);
+        out[2..4].copy_from_slice(&flags.to_le_bytes());
+        out[4..8].copy_from_slice(&self.velocity_centi_cm_s.to_le_bytes());
+        out[8..12].copy_from_slice(&self.conductance_nw_per_k.to_le_bytes());
+        out[12..16].copy_from_slice(&self.tick.to_le_bytes());
+        out
+    }
+
+    /// Deserializes from the wire layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Config`] for a wrong length, unknown version, or
+    /// invalid direction code.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        if bytes.len() != RECORD_LEN {
+            return Err(CoreError::Config {
+                reason: "telemetry record has wrong length",
+            });
+        }
+        if bytes[0] != RECORD_VERSION {
+            return Err(CoreError::Config {
+                reason: "unknown telemetry record version",
+            });
+        }
+        let direction = match bytes[1] {
+            0 => FlowDirection::Indeterminate,
+            1 => FlowDirection::Forward,
+            2 => FlowDirection::Reverse,
+            _ => {
+                return Err(CoreError::Config {
+                    reason: "invalid direction code in telemetry record",
+                })
+            }
+        };
+        let flags = u16::from_le_bytes([bytes[2], bytes[3]]);
+        Ok(TelemetryRecord {
+            velocity_centi_cm_s: i32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")),
+            direction,
+            bubble: flags & 1 != 0,
+            fouling: flags & 2 != 0,
+            saturated: flags & 4 != 0,
+            conductance_nw_per_k: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
+            tick: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
+        })
+    }
+
+    /// Encodes the record into a complete UART frame (SOH + len + payload +
+    /// CRC-16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] only on framing errors (cannot happen
+    /// for the fixed 16-byte payload).
+    pub fn to_frame(&self) -> Result<Vec<u8>, CoreError> {
+        Ok(encode_frame(&self.to_bytes())?)
+    }
+
+    /// Decodes all complete, CRC-valid records from a byte stream.
+    pub fn decode_stream(decoder: &mut FrameDecoder, bytes: &[u8]) -> Vec<TelemetryRecord> {
+        bytes
+            .iter()
+            .filter_map(|&b| decoder.push(b))
+            .filter_map(|payload| TelemetryRecord::from_bytes(&payload).ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultFlags;
+    use hotwire_units::{ThermalConductance, Watts};
+
+    fn sample_measurement() -> Measurement {
+        Measurement {
+            velocity: MetersPerSecond::from_cm_per_s(-123.45),
+            speed: MetersPerSecond::from_cm_per_s(123.45),
+            direction: FlowDirection::Reverse,
+            supply_code: 2100,
+            conditioned_code: 2100,
+            conductance: ThermalConductance::new(2.345e-3),
+            wire_power: Watts::new(0.033),
+            faults: FaultFlags {
+                bubble_activity: true,
+                fouling_suspected: false,
+                loop_saturated: true,
+            },
+            tick: 77_000,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_bytes() {
+        let rec = TelemetryRecord::from_measurement(&sample_measurement());
+        let back = TelemetryRecord::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(back, rec);
+        assert_eq!(back.velocity_centi_cm_s, -12345);
+        assert!(back.bubble && back.saturated && !back.fouling);
+        assert_eq!(back.direction, FlowDirection::Reverse);
+        assert_eq!(back.conductance_nw_per_k, 2_345_000);
+        assert!((back.velocity().to_cm_per_s() + 123.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_rides_the_uart_framing() {
+        let rec = TelemetryRecord::from_measurement(&sample_measurement());
+        let mut wire = vec![0x00, 0xFF]; // line noise
+        wire.extend(rec.to_frame().unwrap());
+        wire.push(0x55); // more noise
+        wire.extend(rec.to_frame().unwrap());
+        let mut decoder = FrameDecoder::new();
+        let records = TelemetryRecord::decode_stream(&mut decoder, &wire);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], rec);
+    }
+
+    #[test]
+    fn corrupt_frame_dropped_cleanly() {
+        let rec = TelemetryRecord::from_measurement(&sample_measurement());
+        let mut frame = rec.to_frame().unwrap();
+        frame[6] ^= 0xA5;
+        let mut decoder = FrameDecoder::new();
+        let records = TelemetryRecord::decode_stream(&mut decoder, &frame);
+        assert!(records.is_empty());
+        assert_eq!(decoder.crc_errors(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(TelemetryRecord::from_bytes(&[0u8; 4]).is_err());
+        let mut bytes = [0u8; RECORD_LEN];
+        bytes[0] = 99; // bad version
+        assert!(TelemetryRecord::from_bytes(&bytes).is_err());
+        let mut bytes = [0u8; RECORD_LEN];
+        bytes[0] = RECORD_VERSION;
+        bytes[1] = 9; // bad direction
+        assert!(TelemetryRecord::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn velocity_clamps_at_wire_limits() {
+        let m = Measurement {
+            velocity: MetersPerSecond::new(1e9),
+            ..sample_measurement()
+        };
+        let rec = TelemetryRecord::from_measurement(&m);
+        assert_eq!(rec.velocity_centi_cm_s, i32::MAX);
+    }
+}

@@ -1,0 +1,217 @@
+//! CIC (cascaded integrator-comb) decimator — the first stage after the ΣΔ
+//! modulator.
+//!
+//! The paper: "The digital section decimates the ΣΔ ADC output and low-pass
+//! filters". A CIC is the canonical multiplier-free decimator for a 1-bit
+//! oversampled stream: `N` integrators at the modulator rate, decimation by
+//! `R`, then `N` combs at the low rate. DC gain is `R^N`; with a 1-bit input
+//! and `N ≤ 6`, `R ≤ 4096` the 64-bit accumulators never overflow, so the
+//! classic modular-arithmetic trick is exact here.
+
+use crate::error::DspError;
+
+/// Maximum supported CIC order.
+pub const MAX_ORDER: usize = 6;
+
+/// A CIC decimator of order `N` and decimation ratio `R` (differential delay
+/// fixed at 1).
+///
+/// ```
+/// use hotwire_dsp::cic::CicDecimator;
+///
+/// let mut cic = CicDecimator::new(2, 8)?;
+/// // Feed an alternating ±1 stream: decimated output averages to ~0.
+/// let mut last = None;
+/// for i in 0..64 {
+///     if let Some(y) = cic.push(if i % 2 == 0 { 1 } else { -1 }) {
+///         last = Some(y);
+///     }
+/// }
+/// assert!(last.unwrap().abs() <= cic.gain() / 8);
+/// # Ok::<(), hotwire_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CicDecimator {
+    order: usize,
+    ratio: u32,
+    integrators: [i64; MAX_ORDER],
+    combs: [i64; MAX_ORDER],
+    phase: u32,
+}
+
+impl CicDecimator {
+    /// Creates a CIC with the given order (1..=6) and decimation ratio
+    /// (2..=4096).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidConfig`] for an unsupported order or ratio.
+    pub fn new(order: usize, ratio: u32) -> Result<Self, DspError> {
+        if !(1..=MAX_ORDER).contains(&order) {
+            return Err(DspError::InvalidConfig {
+                name: "order",
+                constraint: "must lie in 1..=6",
+            });
+        }
+        if !(2..=4096).contains(&ratio) {
+            return Err(DspError::InvalidConfig {
+                name: "ratio",
+                constraint: "must lie in 2..=4096",
+            });
+        }
+        Ok(CicDecimator {
+            order,
+            ratio,
+            integrators: [0; MAX_ORDER],
+            combs: [0; MAX_ORDER],
+            phase: 0,
+        })
+    }
+
+    /// Filter order `N`.
+    #[inline]
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Decimation ratio `R`.
+    #[inline]
+    pub fn ratio(&self) -> u32 {
+        self.ratio
+    }
+
+    /// DC gain `R^N`: a constant input `x` produces output `x · gain()`.
+    pub fn gain(&self) -> i64 {
+        (self.ratio as i64).pow(self.order as u32)
+    }
+
+    /// Number of output bits needed: `input_bits + N·log2(R)`.
+    pub fn output_bits(&self, input_bits: u32) -> u32 {
+        input_bits + self.order as u32 * (32 - (self.ratio - 1).leading_zeros())
+    }
+
+    /// Pushes one high-rate sample; returns a decimated output every `R`
+    /// samples.
+    pub fn push(&mut self, x: i32) -> Option<i64> {
+        let mut acc = x as i64;
+        for stage in self.integrators.iter_mut().take(self.order) {
+            *stage = stage.wrapping_add(acc);
+            acc = *stage;
+        }
+        self.phase += 1;
+        if self.phase < self.ratio {
+            return None;
+        }
+        self.phase = 0;
+        let mut y = acc;
+        for stage in self.combs.iter_mut().take(self.order) {
+            let prev = *stage;
+            *stage = y;
+            y = y.wrapping_sub(prev);
+        }
+        Some(y)
+    }
+
+    /// Clears all integrator and comb state.
+    pub fn reset(&mut self) {
+        self.integrators = [0; MAX_ORDER];
+        self.combs = [0; MAX_ORDER];
+        self.phase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cic: &mut CicDecimator, input: impl Iterator<Item = i32>) -> Vec<i64> {
+        input.filter_map(|x| cic.push(x)).collect()
+    }
+
+    #[test]
+    fn dc_gain_is_r_to_the_n() {
+        for (order, ratio) in [(1usize, 4u32), (2, 8), (3, 64), (4, 16)] {
+            let mut cic = CicDecimator::new(order, ratio).unwrap();
+            let settle = ratio as usize * (order + 2);
+            let out = collect(&mut cic, std::iter::repeat(1).take(settle * 4));
+            let expected = (ratio as i64).pow(order as u32);
+            assert_eq!(*out.last().unwrap(), expected, "N={order} R={ratio}");
+            assert_eq!(cic.gain(), expected);
+        }
+    }
+
+    #[test]
+    fn zero_in_zero_out() {
+        let mut cic = CicDecimator::new(3, 32).unwrap();
+        let out = collect(&mut cic, std::iter::repeat(0).take(320));
+        assert!(out.iter().all(|&y| y == 0));
+    }
+
+    #[test]
+    fn output_cadence() {
+        let mut cic = CicDecimator::new(2, 16).unwrap();
+        let out = collect(&mut cic, std::iter::repeat(1).take(160));
+        assert_eq!(out.len(), 10);
+    }
+
+    #[test]
+    fn linearity() {
+        let signal: Vec<i32> = (0..1024).map(|i| ((i * 7) % 13) - 6).collect();
+        let mut a = CicDecimator::new(3, 16).unwrap();
+        let mut b = CicDecimator::new(3, 16).unwrap();
+        let out1 = collect(&mut a, signal.iter().copied());
+        let out3 = collect(&mut b, signal.iter().map(|&x| 3 * x));
+        for (y1, y3) in out1.iter().zip(&out3) {
+            assert_eq!(*y3, 3 * *y1);
+        }
+    }
+
+    #[test]
+    fn attenuates_high_frequency() {
+        // Nyquist-rate tone (+1,-1,...) vs DC: CIC must crush the tone.
+        let mut cic_dc = CicDecimator::new(3, 64).unwrap();
+        let mut cic_ny = CicDecimator::new(3, 64).unwrap();
+        let n = 64 * 32;
+        let dc = collect(&mut cic_dc, std::iter::repeat(1).take(n));
+        let ny = collect(&mut cic_ny, (0..n).map(|i| if i % 2 == 0 { 1 } else { -1 }));
+        let dc_level = *dc.last().unwrap();
+        let ny_level = ny.iter().skip(4).map(|y| y.abs()).max().unwrap();
+        assert!(
+            ny_level < dc_level / 1000,
+            "nyquist leakage {ny_level} vs dc {dc_level}"
+        );
+    }
+
+    #[test]
+    fn one_bit_stream_density_recovered() {
+        // A 75 %-ones bitstream (+1/−1) has mean 0.5.
+        let mut cic = CicDecimator::new(3, 128).unwrap();
+        let n = 128 * 64;
+        let out = collect(&mut cic, (0..n).map(|i| if i % 4 != 3 { 1 } else { -1 }));
+        let level = *out.last().unwrap() as f64 / cic.gain() as f64;
+        assert!((level - 0.5).abs() < 0.01, "level {level}");
+    }
+
+    #[test]
+    fn output_bits_estimate() {
+        let cic = CicDecimator::new(3, 256).unwrap();
+        assert_eq!(cic.output_bits(1), 1 + 3 * 8);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut cic = CicDecimator::new(2, 8).unwrap();
+        collect(&mut cic, std::iter::repeat(1).take(80));
+        cic.reset();
+        let out = collect(&mut cic, std::iter::repeat(0).take(80));
+        assert!(out.iter().all(|&y| y == 0));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(CicDecimator::new(0, 8).is_err());
+        assert!(CicDecimator::new(7, 8).is_err());
+        assert!(CicDecimator::new(3, 1).is_err());
+        assert!(CicDecimator::new(3, 8192).is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Direct digital synthesis sine generator — ISIF's "sine wave generator" IP.
+//!
+//! A 32-bit phase accumulator indexes a quarter-wave Q15 lookup table.
+//! Used for AC sensor excitation and as the local oscillator of the
+//! [`crate::demod`] I/Q demodulator.
+
+use crate::error::DspError;
+
+/// Quarter-wave LUT length (must be a power of two).
+const QUARTER_LEN: usize = 256;
+
+/// Quarter-wave sine table in Q15, generated at first use.
+fn quarter_table() -> &'static [i16; QUARTER_LEN] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[i16; QUARTER_LEN]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0i16; QUARTER_LEN];
+        for (i, v) in t.iter_mut().enumerate() {
+            // Sample at bin centres to make the quarter symmetric.
+            let phi = (i as f64 + 0.5) / QUARTER_LEN as f64 * core::f64::consts::FRAC_PI_2;
+            *v = (phi.sin() * 32767.0).round() as i16;
+        }
+        t
+    })
+}
+
+/// A 32-bit phase-accumulator sine generator with Q15 output.
+///
+/// ```
+/// use hotwire_dsp::dds::SineGenerator;
+///
+/// // 1 kHz tone at a 256 kHz sample rate.
+/// let mut dds = SineGenerator::new(1000.0, 256_000.0)?;
+/// let first: Vec<i16> = (0..4).map(|_| dds.next_sample()).collect();
+/// assert!(first[0] >= 0 && first[3] > first[0]); // rising from phase 0
+/// # Ok::<(), hotwire_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SineGenerator {
+    phase: u32,
+    increment: u32,
+}
+
+impl SineGenerator {
+    /// Creates a generator producing `frequency` at `sample_rate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidConfig`] unless
+    /// `0 < frequency < sample_rate / 2`.
+    pub fn new(frequency: f64, sample_rate: f64) -> Result<Self, DspError> {
+        if !(frequency > 0.0 && frequency < sample_rate / 2.0) {
+            return Err(DspError::InvalidConfig {
+                name: "frequency",
+                constraint: "must lie strictly between 0 and half the sample rate",
+            });
+        }
+        let increment = (frequency / sample_rate * 2f64.powi(32)).round() as u32;
+        Ok(SineGenerator {
+            phase: 0,
+            increment,
+        })
+    }
+
+    /// Phase increment per sample (frequency-tuning word).
+    #[inline]
+    pub fn tuning_word(&self) -> u32 {
+        self.increment
+    }
+
+    /// Sine of the current phase without advancing (Q15).
+    pub fn sample_at_phase(phase: u32) -> i16 {
+        let table = quarter_table();
+        // Top 2 bits select the quadrant, next 8 bits the table index.
+        let quadrant = (phase >> 30) & 0b11;
+        let idx = ((phase >> 22) & (QUARTER_LEN as u32 - 1)) as usize;
+        match quadrant {
+            0 => table[idx],
+            1 => table[QUARTER_LEN - 1 - idx],
+            2 => -table[idx],
+            _ => -table[QUARTER_LEN - 1 - idx],
+        }
+    }
+
+    /// Returns the next sine sample and advances the phase.
+    pub fn next_sample(&mut self) -> i16 {
+        let y = Self::sample_at_phase(self.phase);
+        self.phase = self.phase.wrapping_add(self.increment);
+        y
+    }
+
+    /// Returns the next (sine, cosine) pair and advances the phase — the I/Q
+    /// local oscillator.
+    pub fn next_iq(&mut self) -> (i16, i16) {
+        let s = Self::sample_at_phase(self.phase);
+        let c = Self::sample_at_phase(self.phase.wrapping_add(1 << 30));
+        self.phase = self.phase.wrapping_add(self.increment);
+        (s, c)
+    }
+
+    /// Resets the phase to zero.
+    pub fn reset(&mut self) {
+        self.phase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn amplitude_spans_q15() {
+        let mut dds = SineGenerator::new(1000.0, 64_000.0).unwrap();
+        let samples: Vec<i16> = (0..64).map(|_| dds.next_sample()).collect();
+        let max = *samples.iter().max().unwrap();
+        let min = *samples.iter().min().unwrap();
+        assert!(max > 32_700, "peak {max}");
+        assert!(min < -32_700, "trough {min}");
+    }
+
+    #[test]
+    fn frequency_via_zero_crossings() {
+        let fs = 100_000.0;
+        let f = 1250.0;
+        let mut dds = SineGenerator::new(f, fs).unwrap();
+        let n = 100_000;
+        let mut crossings = 0;
+        let mut prev = dds.next_sample();
+        for _ in 1..n {
+            let s = dds.next_sample();
+            if prev < 0 && s >= 0 {
+                crossings += 1;
+            }
+            prev = s;
+        }
+        let measured = crossings as f64 * fs / n as f64;
+        assert!(
+            (measured - f).abs() < f * 0.01,
+            "measured {measured} Hz vs {f} Hz"
+        );
+    }
+
+    #[test]
+    fn mean_is_near_zero() {
+        let mut dds = SineGenerator::new(997.0, 50_000.0).unwrap();
+        let sum: i64 = (0..500_000).map(|_| dds.next_sample() as i64).sum();
+        let mean = sum as f64 / 500_000.0;
+        assert!(mean.abs() < 20.0, "mean {mean}");
+    }
+
+    #[test]
+    fn iq_is_quadrature() {
+        let mut dds = SineGenerator::new(500.0, 64_000.0).unwrap();
+        // I·I + Q·Q ≈ const for all phases.
+        for _ in 0..1000 {
+            let (s, c) = dds.next_iq();
+            let mag = (s as f64).hypot(c as f64);
+            assert!(
+                (mag - 32_767.0).abs() < 350.0,
+                "magnitude {mag} not constant"
+            );
+        }
+    }
+
+    #[test]
+    fn quadrant_symmetry() {
+        // sin(θ) == −sin(θ+π)
+        for k in 0..16u32 {
+            let phase = k << 27;
+            let a = SineGenerator::sample_at_phase(phase);
+            let b = SineGenerator::sample_at_phase(phase.wrapping_add(1 << 31));
+            assert_eq!(a, -b, "phase {phase:#x}");
+        }
+    }
+
+    #[test]
+    fn reset_restores_phase() {
+        let mut dds = SineGenerator::new(1000.0, 64_000.0).unwrap();
+        let first = dds.next_sample();
+        dds.next_sample();
+        dds.reset();
+        assert_eq!(dds.next_sample(), first);
+    }
+
+    #[test]
+    fn rejects_bad_frequency() {
+        assert!(SineGenerator::new(0.0, 64_000.0).is_err());
+        assert!(SineGenerator::new(40_000.0, 64_000.0).is_err());
+    }
+}

@@ -1,0 +1,214 @@
+//! Polyphase decimating FIR — the second decimation stage after the CIC.
+//!
+//! A CIC gets the rate down cheaply but droops; the classic follow-up is a
+//! modest FIR that (a) compensates the droop and (b) decimates a further
+//! small factor. The polyphase arrangement computes each output from one
+//! sub-filter pass instead of filtering at the high rate and discarding —
+//! `M×` fewer MACs, which on a LEON-class core is the difference between a
+//! software IP fitting its tick budget or not.
+
+use crate::error::DspError;
+use crate::fix::{saturate_i32, Q15};
+
+/// A decimate-by-`M` polyphase FIR with Q15 coefficients.
+///
+/// ```
+/// use hotwire_dsp::decimate::PolyphaseDecimator;
+/// use hotwire_dsp::fir::{design_lowpass, quantize_q15, Window};
+///
+/// // Decimate by 4 with a half-band-ish prototype.
+/// let taps = quantize_q15(&design_lowpass(32, 0.1, Window::Hamming)?);
+/// let mut dec = PolyphaseDecimator::new(taps, 4)?;
+/// let mut outputs = 0;
+/// for _ in 0..64 {
+///     if dec.push(1000).is_some() {
+///         outputs += 1;
+///     }
+/// }
+/// assert_eq!(outputs, 16);
+/// # Ok::<(), hotwire_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolyphaseDecimator {
+    /// Phase sub-filters: `phases[p][k] = h[k·M + p]`.
+    phases: Vec<Vec<Q15>>,
+    /// Per-phase delay lines (shared input history, stored per phase).
+    delay: Vec<Vec<i32>>,
+    factor: usize,
+    /// Input phase counter.
+    phase: usize,
+}
+
+impl PolyphaseDecimator {
+    /// Builds a decimator from prototype taps and factor `M` (≥ 2). The tap
+    /// count must be a multiple of `M`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidConfig`] for `M < 2` or a tap count not
+    /// divisible by `M`.
+    pub fn new(taps: Vec<Q15>, factor: usize) -> Result<Self, DspError> {
+        if factor < 2 {
+            return Err(DspError::InvalidConfig {
+                name: "factor",
+                constraint: "must be at least 2",
+            });
+        }
+        if taps.is_empty() || taps.len() % factor != 0 {
+            return Err(DspError::InvalidConfig {
+                name: "taps",
+                constraint: "tap count must be a non-zero multiple of the factor",
+            });
+        }
+        let sub_len = taps.len() / factor;
+        let mut phases = vec![Vec::with_capacity(sub_len); factor];
+        for (k, &t) in taps.iter().enumerate() {
+            phases[k % factor].push(t);
+        }
+        Ok(PolyphaseDecimator {
+            delay: vec![vec![0; sub_len]; factor],
+            phases,
+            factor,
+            phase: 0,
+        })
+    }
+
+    /// Decimation factor `M`.
+    #[inline]
+    pub fn factor(&self) -> usize {
+        self.factor
+    }
+
+    /// Pushes one high-rate sample; every `M` samples returns one filtered
+    /// low-rate output.
+    pub fn push(&mut self, x: i32) -> Option<i32> {
+        // Input with index n goes to phase p = n mod M; its sub-filter is
+        // phases[p] operating on every M-th input.
+        let p = self.phase;
+        let line = &mut self.delay[p];
+        line.rotate_right(1);
+        line[0] = x;
+        self.phase += 1;
+        if self.phase < self.factor {
+            return None;
+        }
+        self.phase = 0;
+        // Output: sum over all phases of their dot products. Polyphase
+        // identity: y[m] = Σ_p Σ_k h[kM+p]·x[mM−kM−p].
+        let mut acc: i64 = 0;
+        for (p, sub) in self.phases.iter().enumerate() {
+            // The most recent sample of phase p is x[mM + (M−1−p)]... our
+            // per-phase delay lines hold that phase's samples, newest first.
+            let line = &self.delay[self.factor - 1 - p];
+            for (k, &c) in sub.iter().enumerate() {
+                acc += line[k] as i64 * c.raw() as i64;
+            }
+        }
+        Some(saturate_i32((acc + (1 << 14)) >> 15))
+    }
+
+    /// Clears all delay lines.
+    pub fn reset(&mut self) {
+        for line in &mut self.delay {
+            line.fill(0);
+        }
+        self.phase = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fir::{design_lowpass, quantize_q15, Window};
+
+    fn prototype(taps: usize, cutoff: f64) -> Vec<Q15> {
+        quantize_q15(&design_lowpass(taps, cutoff, Window::Hamming).unwrap())
+    }
+
+    #[test]
+    fn output_cadence() {
+        let mut d = PolyphaseDecimator::new(prototype(32, 0.1), 4).unwrap();
+        let outs = (0..400).filter(|&i| d.push(i).is_some()).count();
+        assert_eq!(outs, 100);
+    }
+
+    #[test]
+    fn dc_gain_preserved() {
+        let mut d = PolyphaseDecimator::new(prototype(32, 0.1), 4).unwrap();
+        let mut last = 0;
+        for _ in 0..200 {
+            if let Some(y) = d.push(20_000) {
+                last = y;
+            }
+        }
+        assert!((last - 20_000).abs() <= 8, "dc out {last}");
+    }
+
+    #[test]
+    fn matches_filter_then_discard_reference() {
+        // The polyphase output must equal filtering at full rate with the
+        // same prototype and keeping every M-th output.
+        let taps = prototype(24, 0.08);
+        let factor = 4;
+        let mut poly = PolyphaseDecimator::new(taps.clone(), factor).unwrap();
+        let mut reference = crate::FirFilter::new(taps).unwrap();
+        let signal: Vec<i32> = (0..240).map(|i| ((i * 37) % 2001) - 1000).collect();
+        let mut poly_out = Vec::new();
+        let mut ref_out = Vec::new();
+        for (i, &x) in signal.iter().enumerate() {
+            if let Some(y) = poly.push(x) {
+                poly_out.push(y);
+            }
+            let y = reference.push(x);
+            if i % factor == factor - 1 {
+                ref_out.push(y);
+            }
+        }
+        assert_eq!(poly_out.len(), ref_out.len());
+        for (a, b) in poly_out.iter().zip(&ref_out) {
+            assert!((a - b).abs() <= 1, "polyphase {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn attenuates_aliasing_band() {
+        // A tone just above the post-decimation Nyquist must be crushed
+        // before decimation folds it down.
+        let taps = prototype(48, 0.1);
+        let mut d = PolyphaseDecimator::new(taps, 4).unwrap();
+        let mut peak = 0i32;
+        for i in 0..2000 {
+            // f = 0.2 of input rate — folds to 0.8 of output Nyquist.
+            let x = (20_000.0 * (core::f64::consts::TAU * 0.2 * i as f64).sin()) as i32;
+            if let Some(y) = d.push(x) {
+                if i > 400 {
+                    peak = peak.max(y.abs());
+                }
+            }
+        }
+        assert!(peak < 600, "alias leakage {peak}");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = PolyphaseDecimator::new(prototype(16, 0.1), 4).unwrap();
+        for _ in 0..40 {
+            d.push(30_000);
+        }
+        d.reset();
+        let mut first = None;
+        for _ in 0..4 {
+            if let Some(y) = d.push(0) {
+                first = Some(y);
+            }
+        }
+        assert_eq!(first, Some(0));
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(PolyphaseDecimator::new(prototype(16, 0.1), 1).is_err());
+        assert!(PolyphaseDecimator::new(prototype(15, 0.1), 4).is_err());
+        assert!(PolyphaseDecimator::new(Vec::new(), 4).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! I/Q demodulator — ISIF's "channel demodulator" IP.
+//!
+//! Mixes the input against a DDS local oscillator and low-passes both arms,
+//! recovering amplitude and phase of a carrier-borne sensor signal (used on
+//! ISIF for AC-excited sensors; included here for platform completeness and
+//! used by the rig's lock-in diagnostics).
+
+use crate::dds::SineGenerator;
+use crate::error::DspError;
+use crate::iir::SinglePoleLp;
+
+/// Amplitude/phase demodulator: mixer pair + single-pole low-pass arms.
+///
+/// ```
+/// use hotwire_dsp::demod::IqDemodulator;
+///
+/// let fs = 64_000.0;
+/// let mut demod = IqDemodulator::new(1000.0, fs, 50.0)?;
+/// // Feed a full-scale 1 kHz tone; the magnitude settles near Q15 half
+/// // scale (mixer halves the amplitude).
+/// let mut mag = 0.0;
+/// let mut dds = hotwire_dsp::dds::SineGenerator::new(1000.0, fs)?;
+/// for _ in 0..20_000 {
+///     let x = dds.next_sample() as i32;
+///     let (i, q) = demod.push(x);
+///     mag = ((i as f64).powi(2) + (q as f64).powi(2)).sqrt();
+/// }
+/// assert!((mag / 16_384.0 - 1.0).abs() < 0.05);
+/// # Ok::<(), hotwire_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct IqDemodulator {
+    lo: SineGenerator,
+    lp_i: SinglePoleLp,
+    lp_q: SinglePoleLp,
+}
+
+impl IqDemodulator {
+    /// Creates a demodulator for carrier `carrier_hz` at sample rate `fs`,
+    /// with arm bandwidth `bandwidth_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError`] if the carrier or bandwidth is unrealizable at
+    /// `fs`.
+    pub fn new(carrier_hz: f64, fs: f64, bandwidth_hz: f64) -> Result<Self, DspError> {
+        Ok(IqDemodulator {
+            lo: SineGenerator::new(carrier_hz, fs)?,
+            lp_i: SinglePoleLp::design(bandwidth_hz, fs)?,
+            lp_q: SinglePoleLp::design(bandwidth_hz, fs)?,
+        })
+    }
+
+    /// Pushes one sample; returns the filtered `(I, Q)` baseband pair.
+    pub fn push(&mut self, x: i32) -> (i32, i32) {
+        let (s, c) = self.lo.next_iq();
+        // Mix in Q15: x·sin >> 15.
+        let i_mix = ((x as i64 * s as i64) >> 15) as i32;
+        let q_mix = ((x as i64 * c as i64) >> 15) as i32;
+        (self.lp_i.push(i_mix), self.lp_q.push(q_mix))
+    }
+
+    /// Magnitude of a baseband pair (integer hypot).
+    pub fn magnitude(i: i32, q: i32) -> i32 {
+        (i as f64).hypot(q as f64).round() as i32
+    }
+
+    /// Resets oscillator phase and both arms.
+    pub fn reset(&mut self) {
+        self.lo.reset();
+        self.lp_i.reset();
+        self.lp_q.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dds::SineGenerator;
+
+    #[test]
+    fn recovers_carrier_amplitude() {
+        let fs = 64_000.0;
+        let mut demod = IqDemodulator::new(2000.0, fs, 100.0).unwrap();
+        let mut tone = SineGenerator::new(2000.0, fs).unwrap();
+        let mut mag = 0;
+        for _ in 0..30_000 {
+            let x = (tone.next_sample() as i32) / 2; // half-scale tone
+            let (i, q) = demod.push(x);
+            mag = IqDemodulator::magnitude(i, q);
+        }
+        // Mixer halves the amplitude: expect ~ 32768/2/2 = 8192.
+        assert!((mag - 8192).abs() < 500, "magnitude {mag}");
+    }
+
+    #[test]
+    fn rejects_off_carrier_tone() {
+        let fs = 64_000.0;
+        let mut demod = IqDemodulator::new(2000.0, fs, 20.0).unwrap();
+        let mut tone = SineGenerator::new(7000.0, fs).unwrap();
+        let mut mag = 0;
+        for i in 0..30_000 {
+            let x = tone.next_sample() as i32;
+            let (ii, qq) = demod.push(x);
+            if i > 20_000 {
+                mag = mag.max(IqDemodulator::magnitude(ii, qq));
+            }
+        }
+        assert!(mag < 600, "off-carrier leakage {mag}");
+    }
+
+    #[test]
+    fn zero_input_zero_output() {
+        let mut demod = IqDemodulator::new(1000.0, 64_000.0, 50.0).unwrap();
+        for _ in 0..1000 {
+            let (i, q) = demod.push(0);
+            assert_eq!((i, q), (0, 0));
+        }
+    }
+
+    #[test]
+    fn reset_restarts_cleanly() {
+        let mut demod = IqDemodulator::new(1000.0, 64_000.0, 50.0).unwrap();
+        for _ in 0..100 {
+            demod.push(10_000);
+        }
+        demod.reset();
+        let (i, q) = demod.push(0);
+        assert_eq!((i, q), (0, 0));
+    }
+
+    #[test]
+    fn magnitude_helper() {
+        assert_eq!(IqDemodulator::magnitude(3, 4), 5);
+        assert_eq!(IqDemodulator::magnitude(-3, 4), 5);
+        assert_eq!(IqDemodulator::magnitude(0, 0), 0);
+    }
+}

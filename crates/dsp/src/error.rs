@@ -1,0 +1,51 @@
+//! Error type for DSP-block construction.
+
+/// Errors produced when configuring a DSP block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DspError {
+    /// A configuration value was outside the supported range.
+    InvalidConfig {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable constraint, e.g. `"must lie in 1..=6"`.
+        constraint: &'static str,
+    },
+    /// A filter design request was unrealizable (e.g. cutoff above Nyquist).
+    UnrealizableDesign {
+        /// What went wrong.
+        reason: &'static str,
+    },
+}
+
+impl core::fmt::Display for DspError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DspError::InvalidConfig { name, constraint } => {
+                write!(f, "invalid configuration for `{name}`: {constraint}")
+            }
+            DspError::UnrealizableDesign { reason } => {
+                write!(f, "unrealizable filter design: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DspError::InvalidConfig {
+            name: "order",
+            constraint: "must lie in 1..=6",
+        };
+        assert!(e.to_string().contains("order"));
+        let e = DspError::UnrealizableDesign {
+            reason: "cutoff above nyquist",
+        };
+        assert!(e.to_string().contains("nyquist"));
+    }
+}

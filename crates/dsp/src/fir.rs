@@ -1,0 +1,406 @@
+//! FIR filters: windowed-sinc low-pass design and a Q15 direct-form engine.
+//!
+//! ISIF's digital section carries hardware FIR IPs with software twins. The
+//! design path (floating point, done once at configuration time on the host
+//! or the LEON core) produces Q15 coefficients; the runtime path is an
+//! integer MAC loop identical to the hardware datapath.
+
+use crate::error::DspError;
+use crate::fix::{saturate_i32, Q15};
+
+/// Window functions for FIR design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Window {
+    /// Rectangular (no) window — narrowest transition, worst sidelobes.
+    Rectangular,
+    /// Hamming window — −53 dB sidelobes.
+    Hamming,
+    /// Blackman window — −74 dB sidelobes.
+    Blackman,
+}
+
+impl Window {
+    /// Window weight at tap `i` of `n`.
+    fn weight(self, i: usize, n: usize) -> f64 {
+        let x = i as f64 / (n - 1) as f64;
+        let tau = core::f64::consts::TAU;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
+        }
+    }
+}
+
+/// Designs a windowed-sinc low-pass prototype with unit DC gain.
+///
+/// `cutoff` is the −6 dB corner as a fraction of the sample rate
+/// (`0 < cutoff < 0.5`); `taps` must be ≥ 3.
+///
+/// # Errors
+///
+/// Returns [`DspError::UnrealizableDesign`] for a cutoff outside `(0, 0.5)`
+/// or fewer than 3 taps.
+pub fn design_lowpass(taps: usize, cutoff: f64, window: Window) -> Result<Vec<f64>, DspError> {
+    if !(cutoff > 0.0 && cutoff < 0.5) {
+        return Err(DspError::UnrealizableDesign {
+            reason: "cutoff must lie strictly between 0 and 0.5 of the sample rate",
+        });
+    }
+    if taps < 3 {
+        return Err(DspError::UnrealizableDesign {
+            reason: "a low-pass needs at least 3 taps",
+        });
+    }
+    let mid = (taps - 1) as f64 / 2.0;
+    let mut h: Vec<f64> = (0..taps)
+        .map(|i| {
+            let t = i as f64 - mid;
+            let sinc = if t == 0.0 {
+                2.0 * cutoff
+            } else {
+                (core::f64::consts::TAU * cutoff * t).sin() / (core::f64::consts::PI * t)
+            };
+            sinc * window.weight(i, taps)
+        })
+        .collect();
+    // Normalize to exactly unit DC gain.
+    let sum: f64 = h.iter().sum();
+    for c in &mut h {
+        *c /= sum;
+    }
+    Ok(h)
+}
+
+/// Quantizes a floating-point tap set to Q15, preserving DC gain as closely
+/// as the format allows.
+pub fn quantize_q15(taps: &[f64]) -> Vec<Q15> {
+    taps.iter().map(|&c| Q15::from_f64(c)).collect()
+}
+
+/// Designs a CIC droop-compensation filter: an inverse-sinc-shaped FIR that
+/// flattens the passband of an order-`n` CIC decimating by `r`, up to
+/// `passband` (fraction of the *decimated* rate, `< 0.5`).
+///
+/// Design method: frequency sampling of the ideal inverse response
+/// `[sin(πf/r)/(r·sin(πf/r²))]⁻ⁿ ≈ [sinc(f/r… )]⁻ⁿ` on a fine grid, windowed
+/// back to `taps` coefficients, and normalized to unit DC gain.
+///
+/// # Errors
+///
+/// Returns [`DspError::UnrealizableDesign`] for a passband outside
+/// `(0, 0.5)` or fewer than 5 taps.
+pub fn design_cic_compensator(
+    taps: usize,
+    cic_order: usize,
+    passband: f64,
+) -> Result<Vec<f64>, DspError> {
+    if !(passband > 0.0 && passband < 0.5) {
+        return Err(DspError::UnrealizableDesign {
+            reason: "compensator passband must lie strictly between 0 and 0.5",
+        });
+    }
+    if taps < 5 || taps % 2 == 0 {
+        return Err(DspError::UnrealizableDesign {
+            reason: "compensator needs an odd tap count of at least 5",
+        });
+    }
+    // Ideal target on a dense grid: inverse of the CIC's sinc^N droop inside
+    // the passband (in decimated-rate frequencies the droop is
+    // [sinc(f)]^N with sinc(f) = sin(πf)/(πf)), flat zero beyond.
+    let grid = 1024usize;
+    let mid = (taps - 1) as f64 / 2.0;
+    let mut h = vec![0.0f64; taps];
+    // Inverse DFT of the (real, even) target response.
+    for (k, hk) in h.iter_mut().enumerate() {
+        let t = k as f64 - mid;
+        let mut acc = 0.0;
+        for g in 0..grid {
+            let f = g as f64 / (2 * grid) as f64; // 0 .. 0.5
+                                                  // Inverse sinc^N over the whole band: bounded ((π/2)^N at
+                                                  // Nyquist), so no sharp transition fights the window. The
+                                                  // passband parameter only controls verification, not the target.
+            let x = core::f64::consts::PI * f;
+            let sinc = if x.abs() < 1e-12 { 1.0 } else { x.sin() / x };
+            let target = sinc.powi(-(cic_order as i32));
+            let weight = if g == 0 { 0.5 } else { 1.0 };
+            acc += weight * target * (core::f64::consts::TAU * f * t).cos();
+        }
+        // Hamming window against frequency-sampling ripple.
+        let w = 0.54 - 0.46 * (core::f64::consts::TAU * k as f64 / (taps - 1) as f64).cos();
+        *hk = acc * w;
+    }
+    let sum: f64 = h.iter().sum();
+    for c in &mut h {
+        *c /= sum;
+    }
+    Ok(h)
+}
+
+/// A direct-form FIR filter with Q15 coefficients and a 64-bit accumulator —
+/// the hardware datapath.
+///
+/// ```
+/// use hotwire_dsp::fir::{design_lowpass, quantize_q15, Window};
+/// use hotwire_dsp::FirFilter;
+///
+/// let taps = design_lowpass(31, 0.1, Window::Hamming)?;
+/// let mut fir = FirFilter::new(quantize_q15(&taps))?;
+/// // DC passes at unit gain (±Q15 quantization).
+/// let mut y = 0;
+/// for _ in 0..31 {
+///     y = fir.push(1000);
+/// }
+/// assert!((y - 1000).abs() <= 2);
+/// # Ok::<(), hotwire_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    coeffs: Vec<Q15>,
+    delay: Vec<i32>,
+    head: usize,
+}
+
+impl FirFilter {
+    /// Creates a filter from Q15 coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidConfig`] if no coefficients are given.
+    pub fn new(coeffs: Vec<Q15>) -> Result<Self, DspError> {
+        if coeffs.is_empty() {
+            return Err(DspError::InvalidConfig {
+                name: "coeffs",
+                constraint: "must contain at least one tap",
+            });
+        }
+        let n = coeffs.len();
+        Ok(FirFilter {
+            coeffs,
+            delay: vec![0; n],
+            head: 0,
+        })
+    }
+
+    /// Number of taps.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` if the filter has no taps (never true for a constructed
+    /// filter).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The filter's group delay in samples (linear phase: `(N−1)/2`).
+    #[inline]
+    pub fn group_delay(&self) -> f64 {
+        (self.coeffs.len() as f64 - 1.0) / 2.0
+    }
+
+    /// Pushes one sample and returns the filtered output, saturated to `i32`.
+    pub fn push(&mut self, x: i32) -> i32 {
+        self.delay[self.head] = x;
+        let n = self.coeffs.len();
+        let mut acc: i64 = 0;
+        let mut idx = self.head;
+        for c in &self.coeffs {
+            acc += self.delay[idx] as i64 * c.raw() as i64;
+            idx = if idx == 0 { n - 1 } else { idx - 1 };
+        }
+        self.head = (self.head + 1) % n;
+        saturate_i32((acc + (1 << 14)) >> 15)
+    }
+
+    /// Clears the delay line.
+    pub fn reset(&mut self) {
+        self.delay.fill(0);
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_has_unit_dc_gain() {
+        let taps = design_lowpass(63, 0.2, Window::Hamming).unwrap();
+        let sum: f64 = taps.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn design_is_symmetric() {
+        let taps = design_lowpass(33, 0.15, Window::Blackman).unwrap();
+        for i in 0..taps.len() / 2 {
+            assert!(
+                (taps[i] - taps[taps.len() - 1 - i]).abs() < 1e-12,
+                "tap {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn frequency_response_shape() {
+        let taps = design_lowpass(101, 0.1, Window::Blackman).unwrap();
+        let gain = |f: f64| -> f64 {
+            let (mut re, mut im) = (0.0, 0.0);
+            for (i, &c) in taps.iter().enumerate() {
+                let phi = core::f64::consts::TAU * f * i as f64;
+                re += c * phi.cos();
+                im -= c * phi.sin();
+            }
+            (re * re + im * im).sqrt()
+        };
+        assert!((gain(0.0) - 1.0).abs() < 1e-9, "DC gain {}", gain(0.0));
+        assert!(gain(0.05) > 0.9, "passband {}", gain(0.05));
+        assert!(gain(0.2) < 1e-3, "stopband {}", gain(0.2));
+        assert!(gain(0.4) < 1e-3, "deep stopband {}", gain(0.4));
+    }
+
+    #[test]
+    fn window_sidelobe_ordering() {
+        // Blackman's stopband is deeper than Hamming's which beats
+        // rectangular, at the same length and cutoff.
+        let stop_gain = |w: Window| {
+            let taps = design_lowpass(63, 0.1, w).unwrap();
+            let f = 0.3;
+            let (mut re, mut im) = (0.0, 0.0);
+            for (i, &c) in taps.iter().enumerate() {
+                let phi = core::f64::consts::TAU * f * i as f64;
+                re += c * phi.cos();
+                im -= c * phi.sin();
+            }
+            (re * re + im * im).sqrt()
+        };
+        let r = stop_gain(Window::Rectangular);
+        let h = stop_gain(Window::Hamming);
+        let b = stop_gain(Window::Blackman);
+        assert!(b < h && h < r, "blackman {b} hamming {h} rect {r}");
+    }
+
+    #[test]
+    fn quantized_filter_passes_dc() {
+        let taps = design_lowpass(31, 0.25, Window::Hamming).unwrap();
+        let mut fir = FirFilter::new(quantize_q15(&taps)).unwrap();
+        let mut last = 0;
+        for _ in 0..100 {
+            last = fir.push(20_000);
+        }
+        assert!((last - 20_000).abs() <= 4, "dc out {last}");
+    }
+
+    #[test]
+    fn impulse_response_replays_coefficients() {
+        let coeffs = vec![
+            Q15::from_f64(0.5),
+            Q15::from_f64(0.25),
+            Q15::from_f64(-0.125),
+        ];
+        let mut fir = FirFilter::new(coeffs.clone()).unwrap();
+        let out: Vec<i32> = [32768, 0, 0, 0].iter().map(|&x| fir.push(x)).collect();
+        assert_eq!(out[0], 16384);
+        assert_eq!(out[1], 8192);
+        assert_eq!(out[2], -4096);
+        assert_eq!(out[3], 0);
+    }
+
+    #[test]
+    fn linearity_in_fixed_point() {
+        let taps = quantize_q15(&design_lowpass(15, 0.2, Window::Hamming).unwrap());
+        let mut a = FirFilter::new(taps.clone()).unwrap();
+        let mut b = FirFilter::new(taps).unwrap();
+        let xs: Vec<i32> = (0..200).map(|i| ((i * 37) % 1001) - 500).collect();
+        for &x in &xs {
+            let y1 = a.push(x);
+            let y2 = b.push(2 * x);
+            // Fixed-point rounding allows ±1 count of nonlinearity per tap.
+            assert!((y2 - 2 * y1).abs() <= 2, "y1={y1} y2={y2}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let taps = quantize_q15(&design_lowpass(15, 0.2, Window::Hamming).unwrap());
+        let mut fir = FirFilter::new(taps).unwrap();
+        for _ in 0..20 {
+            fir.push(30_000);
+        }
+        fir.reset();
+        assert_eq!(fir.push(0), 0);
+    }
+
+    #[test]
+    fn group_delay() {
+        let taps = quantize_q15(&design_lowpass(31, 0.2, Window::Hamming).unwrap());
+        let fir = FirFilter::new(taps).unwrap();
+        assert_eq!(fir.group_delay(), 15.0);
+        assert_eq!(fir.len(), 31);
+        assert!(!fir.is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_designs() {
+        assert!(design_lowpass(31, 0.0, Window::Hamming).is_err());
+        assert!(design_lowpass(31, 0.5, Window::Hamming).is_err());
+        assert!(design_lowpass(2, 0.1, Window::Hamming).is_err());
+        assert!(FirFilter::new(Vec::new()).is_err());
+        assert!(design_cic_compensator(33, 3, 0.0).is_err());
+        assert!(design_cic_compensator(33, 3, 0.6).is_err());
+        assert!(design_cic_compensator(3, 3, 0.2).is_err());
+        assert!(design_cic_compensator(32, 3, 0.2).is_err());
+    }
+
+    /// Magnitude response of real taps at normalized frequency `f`.
+    fn mag(taps: &[f64], f: f64) -> f64 {
+        let (mut re, mut im) = (0.0, 0.0);
+        for (i, &c) in taps.iter().enumerate() {
+            let phi = core::f64::consts::TAU * f * i as f64;
+            re += c * phi.cos();
+            im -= c * phi.sin();
+        }
+        (re * re + im * im).sqrt()
+    }
+
+    #[test]
+    fn cic_compensator_flattens_droop() {
+        // Order-3 CIC droop at f (decimated-rate units): sinc(f)³. Combined
+        // with the compensator the passband must be flat within ±0.5 dB
+        // where the bare droop is several dB.
+        let comp = design_cic_compensator(33, 3, 0.25).unwrap();
+        assert!(
+            (comp.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "unit DC gain"
+        );
+        let droop = |f: f64| {
+            let x = core::f64::consts::PI * f;
+            (x.sin() / x).powi(3)
+        };
+        for &f in &[0.05, 0.1, 0.15, 0.2, 0.25] {
+            let combined = droop(f) * mag(&comp, f);
+            let bare_db = 20.0 * droop(f).log10();
+            let combined_db = 20.0 * combined.log10();
+            assert!(
+                combined_db.abs() < 0.5,
+                "at f={f}: bare {bare_db:.2} dB, compensated {combined_db:.2} dB"
+            );
+        }
+        // The droop is genuinely significant at the band edge (> 2.5 dB).
+        assert!(20.0 * droop(0.25).log10() < -2.0);
+    }
+
+    #[test]
+    fn cic_compensator_runs_in_q15() {
+        let comp = quantize_q15(&design_cic_compensator(33, 3, 0.25).unwrap());
+        let mut fir = FirFilter::new(comp).unwrap();
+        let mut y = 0;
+        for _ in 0..100 {
+            y = fir.push(10_000);
+        }
+        assert!((y - 10_000).abs() <= 16, "dc through compensator: {y}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Goertzel single-bin DFT — the cheap spectral probe of the IP library.
+//!
+//! A full FFT has no place on a LEON-class core at kilohertz rates, but a
+//! Goertzel recursion computes one frequency bin in two multiplies per
+//! sample. The rig's diagnostics use it to quantify how much pump-induced
+//! periodic ripple or bubble-cycle tone sits on the conditioned output.
+
+use crate::error::DspError;
+
+/// A single-bin Goertzel analyzer over fixed-length blocks.
+///
+/// ```
+/// use hotwire_dsp::goertzel::Goertzel;
+///
+/// let fs = 1000.0;
+/// let mut g = Goertzel::new(50.0, fs, 200)?;
+/// let mut power = None;
+/// for i in 0..400 {
+///     let x = (core::f64::consts::TAU * 50.0 * i as f64 / fs).sin() * 1000.0;
+///     if let Some(p) = g.push(x as i32) {
+///         power = Some(p);
+///     }
+/// }
+/// // A full block of on-bin tone has magnitude ≈ N/2 · amplitude.
+/// let magnitude = power.unwrap().sqrt();
+/// assert!((magnitude - 100.0 * 1000.0).abs() < 5_000.0);
+/// # Ok::<(), hotwire_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Goertzel {
+    coeff: f64,
+    block: usize,
+    s1: f64,
+    s2: f64,
+    n: usize,
+}
+
+impl Goertzel {
+    /// Creates an analyzer for `frequency` at sample rate `fs` over blocks
+    /// of `block` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidConfig`] unless `0 < frequency < fs/2` and
+    /// `block ≥ 8`.
+    pub fn new(frequency: f64, fs: f64, block: usize) -> Result<Self, DspError> {
+        if !(frequency > 0.0 && frequency < fs / 2.0) {
+            return Err(DspError::InvalidConfig {
+                name: "frequency",
+                constraint: "must lie strictly between 0 and fs/2",
+            });
+        }
+        if block < 8 {
+            return Err(DspError::InvalidConfig {
+                name: "block",
+                constraint: "must be at least 8 samples",
+            });
+        }
+        let omega = core::f64::consts::TAU * frequency / fs;
+        Ok(Goertzel {
+            coeff: 2.0 * omega.cos(),
+            block,
+            s1: 0.0,
+            s2: 0.0,
+            n: 0,
+        })
+    }
+
+    /// Block length.
+    #[inline]
+    pub fn block_len(&self) -> usize {
+        self.block
+    }
+
+    /// Pushes one sample; at each block boundary returns the bin *power*
+    /// (squared magnitude) and restarts.
+    pub fn push(&mut self, x: i32) -> Option<f64> {
+        let s0 = x as f64 + self.coeff * self.s1 - self.s2;
+        self.s2 = self.s1;
+        self.s1 = s0;
+        self.n += 1;
+        if self.n < self.block {
+            return None;
+        }
+        let power = self.s1 * self.s1 + self.s2 * self.s2 - self.coeff * self.s1 * self.s2;
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.n = 0;
+        Some(power)
+    }
+
+    /// Clears the recursion mid-block.
+    pub fn reset(&mut self) {
+        self.s1 = 0.0;
+        self.s2 = 0.0;
+        self.n = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(f: f64, fs: f64, amp: f64, n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| (amp * (core::f64::consts::TAU * f * i as f64 / fs).sin()) as i32)
+            .collect()
+    }
+
+    fn bin_magnitude(g: &mut Goertzel, samples: &[i32]) -> f64 {
+        let mut last = 0.0;
+        for &x in samples {
+            if let Some(p) = g.push(x) {
+                last = p;
+            }
+        }
+        last.sqrt()
+    }
+
+    #[test]
+    fn on_bin_tone_detected() {
+        let fs = 1000.0;
+        let mut g = Goertzel::new(100.0, fs, 100).unwrap();
+        let mag = bin_magnitude(&mut g, &tone(100.0, fs, 2000.0, 300));
+        // N/2 · amplitude = 50 · 2000.
+        assert!((mag - 100_000.0).abs() < 5_000.0, "magnitude {mag}");
+    }
+
+    #[test]
+    fn off_bin_tone_rejected() {
+        let fs = 1000.0;
+        let mut g = Goertzel::new(100.0, fs, 100).unwrap();
+        // 250 Hz lands exactly on another bin of a 100-sample block → deep null.
+        let mag = bin_magnitude(&mut g, &tone(250.0, fs, 2000.0, 300));
+        assert!(mag < 3_000.0, "off-bin leakage {mag}");
+    }
+
+    #[test]
+    fn dc_does_not_leak_into_ac_bin() {
+        let fs = 1000.0;
+        let mut g = Goertzel::new(100.0, fs, 100).unwrap();
+        let samples = vec![5000i32; 300];
+        let mag = bin_magnitude(&mut g, &samples);
+        assert!(mag < 1_000.0, "dc leakage {mag}");
+    }
+
+    #[test]
+    fn emits_once_per_block() {
+        let mut g = Goertzel::new(100.0, 1000.0, 50).unwrap();
+        let count = (0..500).filter(|_| g.push(1).is_some()).count();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn reset_restarts_block() {
+        let mut g = Goertzel::new(100.0, 1000.0, 50).unwrap();
+        for _ in 0..25 {
+            g.push(100);
+        }
+        g.reset();
+        let count = (0..49).filter(|_| g.push(0).is_some()).count();
+        assert_eq!(count, 0, "reset must restart the block");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        assert!(Goertzel::new(0.0, 1000.0, 100).is_err());
+        assert!(Goertzel::new(600.0, 1000.0, 100).is_err());
+        assert!(Goertzel::new(100.0, 1000.0, 4).is_err());
+    }
+}

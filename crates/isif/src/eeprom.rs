@@ -1,0 +1,241 @@
+//! CRC-protected calibration storage — ISIF's EEPROM.
+//!
+//! Calibration (King's-law constants, bridge trims) must survive power
+//! cycles and be trusted: each record slot carries a CRC-16/CCITT over its
+//! payload, checked on every read.
+
+use crate::IsifError;
+
+/// Number of record slots.
+pub const SLOT_COUNT: usize = 8;
+/// Payload capacity of one slot in bytes.
+pub const SLOT_CAPACITY: usize = 64;
+
+/// Computes CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF).
+pub fn crc16_ccitt(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            crc = if crc & 0x8000 != 0 {
+                (crc << 1) ^ 0x1021
+            } else {
+                crc << 1
+            };
+        }
+    }
+    crc
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    len: usize,
+    crc: u16,
+    data: [u8; SLOT_CAPACITY],
+    written: bool,
+}
+
+impl Default for Slot {
+    fn default() -> Self {
+        Slot {
+            len: 0,
+            crc: 0,
+            data: [0; SLOT_CAPACITY],
+            written: false,
+        }
+    }
+}
+
+/// A slot-organized calibration EEPROM with per-record CRC.
+///
+/// ```
+/// use hotwire_isif::CalibrationStore;
+///
+/// let mut eeprom = CalibrationStore::new();
+/// eeprom.write_record(0, b"king a=3.5e-4")?;
+/// assert_eq!(eeprom.read_record(0)?, b"king a=3.5e-4");
+/// # Ok::<(), hotwire_isif::IsifError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CalibrationStore {
+    slots: [Slot; SLOT_COUNT],
+    write_cycles: u64,
+}
+
+impl CalibrationStore {
+    /// Creates an erased store.
+    pub fn new() -> Self {
+        CalibrationStore::default()
+    }
+
+    /// Writes a record into `slot`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::NoSuchChannel`]-style slot error for an invalid
+    /// slot, or [`IsifError::RecordTooLarge`] if the payload exceeds
+    /// [`SLOT_CAPACITY`].
+    pub fn write_record(&mut self, slot: usize, payload: &[u8]) -> Result<(), IsifError> {
+        let s = self
+            .slots
+            .get_mut(slot)
+            .ok_or(IsifError::EmptySlot { slot })?;
+        if payload.len() > SLOT_CAPACITY {
+            return Err(IsifError::RecordTooLarge {
+                size: payload.len(),
+                capacity: SLOT_CAPACITY,
+            });
+        }
+        s.data[..payload.len()].copy_from_slice(payload);
+        s.len = payload.len();
+        s.crc = crc16_ccitt(payload);
+        s.written = true;
+        self.write_cycles += 1;
+        Ok(())
+    }
+
+    /// Reads the record in `slot`, verifying its CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::EmptySlot`] if nothing was written, or
+    /// [`IsifError::CorruptRecord`] if the CRC check fails.
+    pub fn read_record(&self, slot: usize) -> Result<&[u8], IsifError> {
+        let s = self.slots.get(slot).ok_or(IsifError::EmptySlot { slot })?;
+        if !s.written {
+            return Err(IsifError::EmptySlot { slot });
+        }
+        let payload = &s.data[..s.len];
+        if crc16_ccitt(payload) != s.crc {
+            return Err(IsifError::CorruptRecord { slot });
+        }
+        Ok(payload)
+    }
+
+    /// Erases one slot.
+    pub fn erase(&mut self, slot: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            *s = Slot::default();
+        }
+    }
+
+    /// Total write cycles (endurance bookkeeping).
+    #[inline]
+    pub fn write_cycles(&self) -> u64 {
+        self.write_cycles
+    }
+
+    /// Deliberately corrupts a byte of a slot (for fault-injection tests).
+    pub fn corrupt(&mut self, slot: usize, byte: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            if byte < s.len {
+                s.data[byte] ^= 0xFF;
+            }
+        }
+    }
+
+    /// Serializes an `f64` array into a record payload (little-endian).
+    pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes a record payload back into `f64`s.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::FrameError`] if the payload length is not a
+    /// multiple of 8.
+    pub fn decode_f64s(payload: &[u8]) -> Result<Vec<f64>, IsifError> {
+        if payload.len() % 8 != 0 {
+            return Err(IsifError::FrameError {
+                reason: "payload length not a multiple of 8",
+            });
+        }
+        Ok(payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc16_known_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789"), 0x29B1);
+        assert_eq!(crc16_ccitt(b""), 0xFFFF);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut e = CalibrationStore::new();
+        e.write_record(3, b"hello").unwrap();
+        assert_eq!(e.read_record(3).unwrap(), b"hello");
+        assert_eq!(e.write_cycles(), 1);
+    }
+
+    #[test]
+    fn empty_slot_reports() {
+        let e = CalibrationStore::new();
+        assert!(matches!(e.read_record(0), Err(IsifError::EmptySlot { .. })));
+        assert!(matches!(
+            e.read_record(99),
+            Err(IsifError::EmptySlot { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut e = CalibrationStore::new();
+        e.write_record(1, b"calibration").unwrap();
+        e.corrupt(1, 4);
+        assert!(matches!(
+            e.read_record(1),
+            Err(IsifError::CorruptRecord { slot: 1 })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut e = CalibrationStore::new();
+        let big = [0u8; SLOT_CAPACITY + 1];
+        assert!(matches!(
+            e.write_record(0, &big),
+            Err(IsifError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn erase_empties_slot() {
+        let mut e = CalibrationStore::new();
+        e.write_record(0, b"x").unwrap();
+        e.erase(0);
+        assert!(matches!(e.read_record(0), Err(IsifError::EmptySlot { .. })));
+    }
+
+    #[test]
+    fn f64_encoding_round_trip() {
+        let values = [3.5e-4, 1.1e-3, 0.5, -273.15];
+        let payload = CalibrationStore::encode_f64s(&values);
+        let back = CalibrationStore::decode_f64s(&payload).unwrap();
+        assert_eq!(back, values);
+        assert!(CalibrationStore::decode_f64s(&payload[..7]).is_err());
+    }
+
+    #[test]
+    fn f64_record_survives_eeprom() {
+        let mut e = CalibrationStore::new();
+        let king = [3.47e-4, 1.92e-3, 0.5];
+        e.write_record(2, &CalibrationStore::encode_f64s(&king))
+            .unwrap();
+        let back = CalibrationStore::decode_f64s(e.read_record(2).unwrap()).unwrap();
+        assert_eq!(back, king);
+    }
+}

@@ -1,0 +1,255 @@
+//! The assembled ISIF platform.
+//!
+//! Owns the four input channels, the sensor-driving DACs, the configuration
+//! registers, the software-IP scheduler, the watchdog and the calibration
+//! EEPROM — the complete chip of the paper's Fig. 3, minus the sensor, which
+//! lives in `hotwire-physics` and is wired up by the conditioning firmware in
+//! `hotwire-core`.
+
+use crate::channel::{ChannelConfig, InputChannel};
+use crate::eeprom::CalibrationStore;
+use crate::regs::RegisterFile;
+use crate::sched::Scheduler;
+use crate::timer::Watchdog;
+use crate::IsifError;
+use hotwire_afe::dac::ThermometerDac;
+use hotwire_units::{Hertz, Volts};
+
+/// Number of analog input channels on the chip.
+pub const CHANNEL_COUNT: usize = 4;
+
+/// Default LEON cycle budget per control tick (40 MHz CPU, 1 kHz control
+/// rate).
+pub const DEFAULT_CYCLE_BUDGET: u64 = 40_000;
+
+/// The assembled mixed-signal platform.
+#[derive(Debug)]
+pub struct IsifPlatform {
+    modulator_rate: Hertz,
+    channels: [Option<InputChannel>; CHANNEL_COUNT],
+    supply_dac: ThermometerDac,
+    supply_code: u32,
+    aux_dac: ThermometerDac,
+    aux_code: u32,
+    regs: RegisterFile,
+    scheduler: Scheduler,
+    watchdog: Watchdog,
+    eeprom: CalibrationStore,
+}
+
+impl IsifPlatform {
+    /// Builds a platform clocked at `modulator_rate`, with ideal 12-bit
+    /// supply and 10-bit auxiliary DACs (use
+    /// [`set_supply_dac`](Self::set_supply_dac) to install a mismatched
+    /// one).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::Config`] if any block rejects its defaults.
+    pub fn new(modulator_rate: Hertz) -> Result<Self, IsifError> {
+        Ok(IsifPlatform {
+            modulator_rate,
+            channels: [None, None, None, None],
+            supply_dac: ThermometerDac::ideal(12, Volts::new(5.0))?,
+            supply_code: 0,
+            aux_dac: ThermometerDac::ideal(10, Volts::new(5.0))?,
+            aux_code: 0,
+            regs: RegisterFile::new(),
+            scheduler: Scheduler::new(DEFAULT_CYCLE_BUDGET)?,
+            watchdog: Watchdog::new(16),
+            eeprom: CalibrationStore::new(),
+        })
+    }
+
+    /// The ΣΔ modulator clock.
+    #[inline]
+    pub fn modulator_rate(&self) -> Hertz {
+        self.modulator_rate
+    }
+
+    /// Installs a channel configuration into slot `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::NoSuchChannel`] for an index ≥ 4 or
+    /// [`IsifError::Config`] for invalid parameters.
+    pub fn configure_channel(
+        &mut self,
+        index: usize,
+        config: ChannelConfig,
+    ) -> Result<(), IsifError> {
+        if index >= CHANNEL_COUNT {
+            return Err(IsifError::NoSuchChannel { index });
+        }
+        self.channels[index] = Some(InputChannel::new(config, self.modulator_rate)?);
+        Ok(())
+    }
+
+    /// Borrows a configured channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::NoSuchChannel`] if the slot is out of range or
+    /// unconfigured.
+    pub fn channel_mut(&mut self, index: usize) -> Result<&mut InputChannel, IsifError> {
+        self.channels
+            .get_mut(index)
+            .and_then(|c| c.as_mut())
+            .ok_or(IsifError::NoSuchChannel { index })
+    }
+
+    /// Number of configured channels.
+    pub fn configured_channels(&self) -> usize {
+        self.channels.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Replaces the supply DAC (e.g. with a mismatched instance).
+    pub fn set_supply_dac(&mut self, dac: ThermometerDac) {
+        self.supply_dac = dac;
+        self.supply_code = self.supply_code.min(self.supply_dac.max_code());
+    }
+
+    /// Writes the bridge-supply DAC code.
+    pub fn set_supply_code(&mut self, code: u32) {
+        self.supply_code = code.min(self.supply_dac.max_code());
+    }
+
+    /// The current bridge-supply DAC code.
+    #[inline]
+    pub fn supply_code(&self) -> u32 {
+        self.supply_code
+    }
+
+    /// The analog bridge-supply voltage for the current code.
+    pub fn supply_voltage(&self) -> Volts {
+        self.supply_dac.convert(self.supply_code)
+    }
+
+    /// The supply DAC itself (resolution queries).
+    #[inline]
+    pub fn supply_dac(&self) -> &ThermometerDac {
+        &self.supply_dac
+    }
+
+    /// Writes the auxiliary DAC code.
+    pub fn set_aux_code(&mut self, code: u32) {
+        self.aux_code = code.min(self.aux_dac.max_code());
+    }
+
+    /// The auxiliary DAC output voltage.
+    pub fn aux_voltage(&self) -> Volts {
+        self.aux_dac.convert(self.aux_code)
+    }
+
+    /// The configuration register file.
+    pub fn regs_mut(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// Read-only register file access.
+    pub fn regs(&self) -> &RegisterFile {
+        &self.regs
+    }
+
+    /// The software-IP scheduler.
+    pub fn scheduler_mut(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// The watchdog.
+    pub fn watchdog_mut(&mut self) -> &mut Watchdog {
+        &mut self.watchdog
+    }
+
+    /// The calibration EEPROM.
+    pub fn eeprom_mut(&mut self) -> &mut CalibrationStore {
+        &mut self.eeprom
+    }
+
+    /// Read-only EEPROM access.
+    pub fn eeprom(&self) -> &CalibrationStore {
+        &self.eeprom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::AnalogInput;
+    use rand::SeedableRng;
+
+    fn platform() -> IsifPlatform {
+        IsifPlatform::new(Hertz::from_kilohertz(256.0)).unwrap()
+    }
+
+    #[test]
+    fn channel_configuration_lifecycle() {
+        let mut p = platform();
+        assert_eq!(p.configured_channels(), 0);
+        assert!(p.channel_mut(0).is_err());
+        p.configure_channel(0, ChannelConfig::maf_bridge()).unwrap();
+        assert_eq!(p.configured_channels(), 1);
+        assert!(p.channel_mut(0).is_ok());
+        assert!(matches!(
+            p.configure_channel(7, ChannelConfig::maf_bridge()),
+            Err(IsifError::NoSuchChannel { index: 7 })
+        ));
+    }
+
+    #[test]
+    fn channel_converts_through_platform() {
+        let mut p = platform();
+        p.configure_channel(1, ChannelConfig::maf_bridge()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let chan = p.channel_mut(1).unwrap();
+        let mut outputs = 0;
+        for _ in 0..256 * 5 {
+            if chan
+                .sample(AnalogInput::Differential(Volts::ZERO), 0.0, &mut rng)
+                .is_some()
+            {
+                outputs += 1;
+            }
+        }
+        assert_eq!(outputs, 5);
+    }
+
+    #[test]
+    fn supply_dac_codes_clamp() {
+        let mut p = platform();
+        p.set_supply_code(99_999);
+        assert_eq!(p.supply_code(), 4095);
+        assert!((p.supply_voltage().get() - 5.0).abs() < 1e-9);
+        p.set_supply_code(0);
+        assert_eq!(p.supply_voltage().get(), 0.0);
+    }
+
+    #[test]
+    fn supply_resolution_is_millivolt_scale() {
+        let p = platform();
+        let lsb = p.supply_dac().lsb();
+        assert!((lsb.get() - 5.0 / 4095.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aux_dac_is_10_bits() {
+        let mut p = platform();
+        p.set_aux_code(1023);
+        assert!((p.aux_voltage().get() - 5.0).abs() < 1e-9);
+        p.set_aux_code(2000);
+        assert!((p.aux_voltage().get() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subsystems_reachable() {
+        let mut p = platform();
+        p.regs_mut()
+            .write(crate::regs::addr::DECIMATION, 256)
+            .unwrap();
+        assert_eq!(p.regs().read(crate::regs::addr::DECIMATION).unwrap(), 256);
+        p.eeprom_mut().write_record(0, b"cal").unwrap();
+        assert_eq!(p.eeprom().read_record(0).unwrap(), b"cal");
+        p.watchdog_mut().kick();
+        assert_eq!(p.scheduler_mut().tick(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! The configuration register file.
+//!
+//! The real chip configures its analog blocks through digitally-controlled
+//! trimming bits carried over a safe digital/analog boundary (the paper's
+//! "JLCC approach"). The emulation keeps a flat 16-bit-addressed space of
+//! 32-bit registers with a change journal, so experiment code can snapshot
+//! and replay configurations exactly as a production tester would.
+
+use crate::IsifError;
+use std::collections::BTreeMap;
+
+/// Well-known register addresses (one block per 0x100 window).
+pub mod addr {
+    /// Channel 0 readout-mode select.
+    pub const CH0_MODE: u16 = 0x0000;
+    /// Channel 0 in-amp gain code.
+    pub const CH0_GAIN: u16 = 0x0004;
+    /// Channel 0 anti-alias corner code.
+    pub const CH0_FILTER: u16 = 0x0008;
+    /// Channel stride: channel `n` register = `CH0_* + n·0x100`.
+    pub const CHANNEL_STRIDE: u16 = 0x0100;
+    /// Decimation ratio register.
+    pub const DECIMATION: u16 = 0x0400;
+    /// Supply-DAC code (12-bit).
+    pub const SUPPLY_DAC: u16 = 0x0404;
+    /// Watchdog period in control ticks.
+    pub const WATCHDOG_PERIOD: u16 = 0x0408;
+    /// Pulsed-drive duty register (per-mille).
+    pub const PULSE_DUTY: u16 = 0x040C;
+    /// Last mapped address (exclusive).
+    pub const SPACE_END: u16 = 0x0500;
+}
+
+/// A flat register file with change journaling.
+///
+/// ```
+/// use hotwire_isif::regs::{addr, RegisterFile};
+///
+/// let mut regs = RegisterFile::new();
+/// regs.write(addr::SUPPLY_DAC, 2048)?;
+/// assert_eq!(regs.read(addr::SUPPLY_DAC)?, 2048);
+/// assert_eq!(regs.journal().len(), 1);
+/// # Ok::<(), hotwire_isif::IsifError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RegisterFile {
+    values: BTreeMap<u16, u32>,
+    journal: Vec<(u16, u32)>,
+}
+
+impl RegisterFile {
+    /// Creates an empty register file (all registers read as zero).
+    pub fn new() -> Self {
+        RegisterFile::default()
+    }
+
+    fn check(address: u16) -> Result<(), IsifError> {
+        if address >= addr::SPACE_END || address % 4 != 0 {
+            return Err(IsifError::UnmappedRegister { address });
+        }
+        Ok(())
+    }
+
+    /// Reads a register (unwritten registers read as zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::UnmappedRegister`] for an address outside the
+    /// mapped space or not 4-byte aligned.
+    pub fn read(&self, address: u16) -> Result<u32, IsifError> {
+        Self::check(address)?;
+        Ok(self.values.get(&address).copied().unwrap_or(0))
+    }
+
+    /// Writes a register and journals the change.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::UnmappedRegister`] for an invalid address.
+    pub fn write(&mut self, address: u16, value: u32) -> Result<(), IsifError> {
+        Self::check(address)?;
+        self.values.insert(address, value);
+        self.journal.push((address, value));
+        Ok(())
+    }
+
+    /// The ordered list of `(address, value)` writes since creation or the
+    /// last [`clear_journal`](Self::clear_journal).
+    pub fn journal(&self) -> &[(u16, u32)] {
+        &self.journal
+    }
+
+    /// Clears the change journal (keeps values).
+    pub fn clear_journal(&mut self) {
+        self.journal.clear();
+    }
+
+    /// Snapshots all current register values.
+    pub fn snapshot(&self) -> Vec<(u16, u32)> {
+        self.values.iter().map(|(&a, &v)| (a, v)).collect()
+    }
+
+    /// Replays a snapshot (journaling each write).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first invalid address encountered; prior writes stick.
+    pub fn restore(&mut self, snapshot: &[(u16, u32)]) -> Result<(), IsifError> {
+        for &(a, v) in snapshot {
+            self.write(a, v)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_back_and_default_zero() {
+        let mut r = RegisterFile::new();
+        assert_eq!(r.read(addr::CH0_GAIN).unwrap(), 0);
+        r.write(addr::CH0_GAIN, 50).unwrap();
+        assert_eq!(r.read(addr::CH0_GAIN).unwrap(), 50);
+    }
+
+    #[test]
+    fn channel_stride_addresses_are_mapped() {
+        let mut r = RegisterFile::new();
+        for ch in 0..4u16 {
+            let a = addr::CH0_MODE + ch * addr::CHANNEL_STRIDE;
+            r.write(a, ch as u32).unwrap();
+            assert_eq!(r.read(a).unwrap(), ch as u32);
+        }
+    }
+
+    #[test]
+    fn rejects_unmapped_and_unaligned() {
+        let mut r = RegisterFile::new();
+        assert!(r.write(addr::SPACE_END, 1).is_err());
+        assert!(r.write(0x0001, 1).is_err());
+        assert!(r.read(0xFFFC).is_err());
+    }
+
+    #[test]
+    fn journal_records_order() {
+        let mut r = RegisterFile::new();
+        r.write(addr::CH0_MODE, 1).unwrap();
+        r.write(addr::SUPPLY_DAC, 100).unwrap();
+        r.write(addr::CH0_MODE, 2).unwrap();
+        assert_eq!(
+            r.journal(),
+            &[
+                (addr::CH0_MODE, 1),
+                (addr::SUPPLY_DAC, 100),
+                (addr::CH0_MODE, 2)
+            ]
+        );
+        r.clear_journal();
+        assert!(r.journal().is_empty());
+        // Values survive journal clearing.
+        assert_eq!(r.read(addr::CH0_MODE).unwrap(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut r = RegisterFile::new();
+        r.write(addr::CH0_GAIN, 50).unwrap();
+        r.write(addr::DECIMATION, 256).unwrap();
+        let snap = r.snapshot();
+        let mut fresh = RegisterFile::new();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.read(addr::CH0_GAIN).unwrap(), 50);
+        assert_eq!(fresh.read(addr::DECIMATION).unwrap(), 256);
+    }
+}

@@ -1,0 +1,202 @@
+//! The software-IP scheduler.
+//!
+//! The paper's key platform idea: "ISIF platform includes a library of
+//! software peripherals (e.g. filters, controllers) with an exact matching
+//! with hardware devices … The LEON CPU guarantees flexibility and required
+//! computational power for real-time software IPs implementation."
+//!
+//! The emulation schedules software IPs at the decimated control rate and
+//! charges each task a declared cycle cost against a per-tick LEON budget.
+//! Overruns are counted, not fatal — exactly the design-space-exploration
+//! question ("does this IP still fit in software?") the platform exists to
+//! answer.
+
+use crate::IsifError;
+
+/// One schedulable software IP.
+pub trait IpTask {
+    /// Human-readable task name (for overrun diagnostics).
+    fn name(&self) -> &str;
+
+    /// Declared worst-case cost in CPU cycles per invocation.
+    fn cycle_cost(&self) -> u32;
+
+    /// Runs one control-tick iteration.
+    fn run(&mut self);
+}
+
+/// A fixed-priority, run-to-completion scheduler with a per-tick cycle
+/// budget.
+#[derive(Default)]
+pub struct Scheduler {
+    tasks: Vec<Box<dyn IpTask>>,
+    budget_per_tick: u64,
+    ticks: u64,
+    overruns: u64,
+    cycles_last_tick: u64,
+}
+
+impl core::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("tasks", &self.tasks.len())
+            .field("budget_per_tick", &self.budget_per_tick)
+            .field("ticks", &self.ticks)
+            .field("overruns", &self.overruns)
+            .finish()
+    }
+}
+
+impl Scheduler {
+    /// Creates a scheduler with the given per-tick cycle budget.
+    ///
+    /// A LEON at 40 MHz with a 1 kHz control rate has 40 000 cycles per tick;
+    /// that is the platform's realistic envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::Config`] for a zero budget.
+    pub fn new(budget_per_tick: u64) -> Result<Self, IsifError> {
+        if budget_per_tick == 0 {
+            return Err(IsifError::Config {
+                reason: "cycle budget must be positive".into(),
+            });
+        }
+        Ok(Scheduler {
+            tasks: Vec::new(),
+            budget_per_tick,
+            ticks: 0,
+            overruns: 0,
+            cycles_last_tick: 0,
+        })
+    }
+
+    /// Registers a task at the end of the priority list (earlier = higher
+    /// priority).
+    pub fn add_task(&mut self, task: Box<dyn IpTask>) {
+        self.tasks.push(task);
+    }
+
+    /// Number of registered tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Runs one control tick: all tasks, in priority order, charging their
+    /// cycle costs. Returns the cycles consumed.
+    pub fn tick(&mut self) -> u64 {
+        let mut cycles = 0u64;
+        for task in &mut self.tasks {
+            task.run();
+            cycles += task.cycle_cost() as u64;
+        }
+        self.ticks += 1;
+        self.cycles_last_tick = cycles;
+        if cycles > self.budget_per_tick {
+            self.overruns += 1;
+        }
+        cycles
+    }
+
+    /// Total ticks executed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Ticks whose total cost exceeded the budget.
+    pub fn overruns(&self) -> u64 {
+        self.overruns
+    }
+
+    /// Cycles consumed by the most recent tick.
+    pub fn cycles_last_tick(&self) -> u64 {
+        self.cycles_last_tick
+    }
+
+    /// Fraction of the budget used by the last tick.
+    pub fn utilization(&self) -> f64 {
+        self.cycles_last_tick as f64 / self.budget_per_tick as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    struct Counter {
+        name: String,
+        cost: u32,
+        count: Arc<AtomicU32>,
+    }
+
+    impl IpTask for Counter {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn cycle_cost(&self) -> u32 {
+            self.cost
+        }
+        fn run(&mut self) {
+            self.count.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn counter(name: &str, cost: u32) -> (Box<Counter>, Arc<AtomicU32>) {
+        let count = Arc::new(AtomicU32::new(0));
+        (
+            Box::new(Counter {
+                name: name.into(),
+                cost,
+                count: Arc::clone(&count),
+            }),
+            count,
+        )
+    }
+
+    #[test]
+    fn all_tasks_run_every_tick() {
+        let mut s = Scheduler::new(40_000).unwrap();
+        let (t1, c1) = counter("pi", 500);
+        let (t2, c2) = counter("iir", 300);
+        s.add_task(t1);
+        s.add_task(t2);
+        for _ in 0..10 {
+            s.tick();
+        }
+        assert_eq!(c1.load(Ordering::Relaxed), 10);
+        assert_eq!(c2.load(Ordering::Relaxed), 10);
+        assert_eq!(s.ticks(), 10);
+        assert_eq!(s.task_count(), 2);
+    }
+
+    #[test]
+    fn cycle_accounting_and_utilization() {
+        let mut s = Scheduler::new(1000).unwrap();
+        let (t1, _) = counter("a", 300);
+        let (t2, _) = counter("b", 200);
+        s.add_task(t1);
+        s.add_task(t2);
+        assert_eq!(s.tick(), 500);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(s.overruns(), 0);
+    }
+
+    #[test]
+    fn overruns_counted_not_fatal() {
+        let mut s = Scheduler::new(100).unwrap();
+        let (t, c) = counter("heavy", 500);
+        s.add_task(t);
+        for _ in 0..5 {
+            s.tick();
+        }
+        assert_eq!(s.overruns(), 5);
+        assert_eq!(c.load(Ordering::Relaxed), 5, "task still ran");
+    }
+
+    #[test]
+    fn zero_budget_rejected() {
+        assert!(Scheduler::new(0).is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! SPI master — one of ISIF's "standard IPs … SPIs (Serial Peripheral
+//! Interface)" — plus a 25xx-series EEPROM device model to talk to.
+//!
+//! The behavioural model is transaction-level: a full-duplex byte exchange
+//! per clock-out, explicit chip-select framing, and a transfer-time account
+//! so power/latency budgets can include bus traffic.
+
+use crate::IsifError;
+use hotwire_units::{Hertz, Seconds};
+
+/// A device on the SPI bus: exchanges one byte per transfer and observes its
+/// chip select.
+pub trait SpiDevice {
+    /// Full-duplex exchange: the device receives `mosi` and returns MISO.
+    fn transfer(&mut self, mosi: u8) -> u8;
+
+    /// Chip-select edge. `active = true` starts a transaction, `false` ends
+    /// it (devices latch commands on deselect).
+    fn select(&mut self, active: bool);
+}
+
+/// The SPI master peripheral.
+#[derive(Debug, Clone)]
+pub struct SpiMaster {
+    clock: Hertz,
+    bytes_transferred: u64,
+    transactions: u64,
+}
+
+impl SpiMaster {
+    /// Creates a master with the given SCK frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsifError::Config`] for a non-positive clock.
+    pub fn new(clock: Hertz) -> Result<Self, IsifError> {
+        if clock.get() <= 0.0 {
+            return Err(IsifError::Config {
+                reason: "spi clock must be positive".into(),
+            });
+        }
+        Ok(SpiMaster {
+            clock,
+            bytes_transferred: 0,
+            transactions: 0,
+        })
+    }
+
+    /// Runs one chip-select-framed transaction: sends `tx`, returns the MISO
+    /// bytes clocked back.
+    pub fn transaction<D: SpiDevice + ?Sized>(&mut self, device: &mut D, tx: &[u8]) -> Vec<u8> {
+        device.select(true);
+        let rx = tx.iter().map(|&b| device.transfer(b)).collect();
+        device.select(false);
+        self.bytes_transferred += tx.len() as u64;
+        self.transactions += 1;
+        rx
+    }
+
+    /// Wall time a transaction of `bytes` occupies on the bus.
+    pub fn transfer_time(&self, bytes: usize) -> Seconds {
+        Seconds::new(bytes as f64 * 8.0 / self.clock.get())
+    }
+
+    /// Total bytes moved since creation.
+    #[inline]
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Total chip-select-framed transactions since creation.
+    #[inline]
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+}
+
+/// Command opcodes of the 25xx SPI-EEPROM family.
+mod opcode {
+    /// Read data.
+    pub const READ: u8 = 0x03;
+    /// Write data (requires a prior WREN).
+    pub const WRITE: u8 = 0x02;
+    /// Set the write-enable latch.
+    pub const WREN: u8 = 0x06;
+    /// Clear the write-enable latch.
+    pub const WRDI: u8 = 0x04;
+    /// Read the status register.
+    pub const RDSR: u8 = 0x05;
+}
+
+/// Transaction decoder state of the EEPROM model.
+#[derive(Debug, Clone, Default)]
+enum EepromState {
+    #[default]
+    Idle,
+    Opcode(u8),
+    AddressHigh(u8),
+    Reading(usize),
+    Writing {
+        page_base: usize,
+        offset: usize,
+    },
+    Status,
+}
+
+/// A 25xx-style SPI EEPROM: 4 KiB, 32-byte pages, write-enable latch,
+/// page-wrap on writes — the external calibration/log store a §7 probe
+/// would carry next to the ASIC.
+#[derive(Debug, Clone)]
+pub struct SpiEeprom {
+    memory: Vec<u8>,
+    page_size: usize,
+    state: EepromState,
+    /// High address byte of the in-flight command.
+    addr_high: u8,
+    write_enabled: bool,
+    write_cycles: u64,
+}
+
+impl SpiEeprom {
+    /// A blank 4 KiB part with 32-byte pages.
+    pub fn new_4k() -> Self {
+        SpiEeprom {
+            memory: vec![0xFF; 4096],
+            page_size: 32,
+            state: EepromState::Idle,
+            addr_high: 0,
+            write_enabled: false,
+            write_cycles: 0,
+        }
+    }
+
+    /// Capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Completed write transactions (endurance bookkeeping).
+    #[inline]
+    pub fn write_cycles(&self) -> u64 {
+        self.write_cycles
+    }
+
+    /// Direct (test) access to a byte.
+    pub fn peek(&self, address: usize) -> Option<u8> {
+        self.memory.get(address).copied()
+    }
+}
+
+impl SpiDevice for SpiEeprom {
+    fn transfer(&mut self, mosi: u8) -> u8 {
+        match std::mem::take(&mut self.state) {
+            EepromState::Idle => {
+                match mosi {
+                    opcode::READ | opcode::WRITE => self.state = EepromState::Opcode(mosi),
+                    opcode::WREN => {
+                        self.write_enabled = true;
+                        self.state = EepromState::Idle;
+                    }
+                    opcode::WRDI => {
+                        self.write_enabled = false;
+                        self.state = EepromState::Idle;
+                    }
+                    opcode::RDSR => self.state = EepromState::Status,
+                    _ => self.state = EepromState::Idle,
+                }
+                0xFF
+            }
+            EepromState::Opcode(op) => {
+                self.addr_high = mosi;
+                self.state = EepromState::AddressHigh(op);
+                0xFF
+            }
+            EepromState::AddressHigh(op) => {
+                let address = ((self.addr_high as usize) << 8 | mosi as usize) % self.memory.len();
+                self.state = match op {
+                    opcode::READ => EepromState::Reading(address),
+                    _ if self.write_enabled => EepromState::Writing {
+                        page_base: address - (address % self.page_size),
+                        offset: address % self.page_size,
+                    },
+                    _ => EepromState::Idle, // write without WREN: ignored
+                };
+                0xFF
+            }
+            EepromState::Reading(address) => {
+                let value = self.memory[address];
+                self.state = EepromState::Reading((address + 1) % self.memory.len());
+                value
+            }
+            EepromState::Writing { page_base, offset } => {
+                self.memory[page_base + offset] = mosi;
+                // Writes wrap within the page, as real 25xx parts do.
+                self.state = EepromState::Writing {
+                    page_base,
+                    offset: (offset + 1) % self.page_size,
+                };
+                0xFF
+            }
+            EepromState::Status => {
+                self.state = EepromState::Idle;
+                u8::from(self.write_enabled) << 1
+            }
+        }
+    }
+
+    fn select(&mut self, active: bool) {
+        if !active {
+            // Deselect latches a completed write and clears WREN.
+            if matches!(self.state, EepromState::Writing { .. }) {
+                self.write_cycles += 1;
+                self.write_enabled = false;
+            }
+            self.state = EepromState::Idle;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> (SpiMaster, SpiEeprom) {
+        (
+            SpiMaster::new(Hertz::from_megahertz(1.0)).unwrap(),
+            SpiEeprom::new_4k(),
+        )
+    }
+
+    fn write(master: &mut SpiMaster, dev: &mut SpiEeprom, addr: u16, data: &[u8]) {
+        master.transaction(dev, &[opcode::WREN]);
+        let mut tx = vec![opcode::WRITE, (addr >> 8) as u8, addr as u8];
+        tx.extend_from_slice(data);
+        master.transaction(dev, &tx);
+    }
+
+    fn read(master: &mut SpiMaster, dev: &mut SpiEeprom, addr: u16, len: usize) -> Vec<u8> {
+        let mut tx = vec![opcode::READ, (addr >> 8) as u8, addr as u8];
+        tx.extend(std::iter::repeat(0).take(len));
+        master.transaction(dev, &tx)[3..].to_vec()
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (mut m, mut e) = bus();
+        write(&mut m, &mut e, 0x0100, b"king a/b/n");
+        assert_eq!(read(&mut m, &mut e, 0x0100, 10), b"king a/b/n");
+        assert_eq!(e.write_cycles(), 1);
+    }
+
+    #[test]
+    fn write_without_wren_is_ignored() {
+        let (mut m, mut e) = bus();
+        let mut tx = vec![opcode::WRITE, 0x00, 0x10];
+        tx.extend_from_slice(b"sneaky");
+        m.transaction(&mut e, &tx);
+        assert_eq!(read(&mut m, &mut e, 0x0010, 6), vec![0xFF; 6]);
+        assert_eq!(e.write_cycles(), 0);
+    }
+
+    #[test]
+    fn wren_clears_after_write() {
+        let (mut m, mut e) = bus();
+        write(&mut m, &mut e, 0x0000, b"a");
+        // Second write without a fresh WREN must not stick.
+        let mut tx = vec![opcode::WRITE, 0x00, 0x01];
+        tx.extend_from_slice(b"b");
+        m.transaction(&mut e, &tx);
+        assert_eq!(read(&mut m, &mut e, 0x0001, 1), vec![0xFF]);
+    }
+
+    #[test]
+    fn status_register_reports_wren() {
+        let (mut m, mut e) = bus();
+        let rx = m.transaction(&mut e, &[opcode::RDSR, 0x00]);
+        assert_eq!(rx[1] & 0x02, 0, "WEL clear initially");
+        m.transaction(&mut e, &[opcode::WREN]);
+        let rx = m.transaction(&mut e, &[opcode::RDSR, 0x00]);
+        assert_eq!(rx[1] & 0x02, 0x02, "WEL set after WREN");
+    }
+
+    #[test]
+    fn page_writes_wrap_within_the_page() {
+        let (mut m, mut e) = bus();
+        // Start 2 bytes before a page end; write 4 bytes → last two wrap to
+        // the page start.
+        write(&mut m, &mut e, 30, &[1, 2, 3, 4]);
+        assert_eq!(e.peek(30), Some(1));
+        assert_eq!(e.peek(31), Some(2));
+        assert_eq!(e.peek(0), Some(3), "page wrap");
+        assert_eq!(e.peek(1), Some(4));
+        assert_eq!(e.peek(32), Some(0xFF), "next page untouched");
+    }
+
+    #[test]
+    fn sequential_read_crosses_pages() {
+        let (mut m, mut e) = bus();
+        write(&mut m, &mut e, 0x001E, &[9, 8]); // fills 30, 31
+        write(&mut m, &mut e, 0x0020, &[7, 6]); // next page
+        assert_eq!(read(&mut m, &mut e, 0x001E, 4), vec![9, 8, 7, 6]);
+    }
+
+    #[test]
+    fn bus_accounting() {
+        let (mut m, mut e) = bus();
+        write(&mut m, &mut e, 0, b"xy");
+        assert_eq!(m.transactions(), 2); // WREN + WRITE
+        assert_eq!(m.bytes_transferred(), 1 + 5);
+        // 8 bytes at 1 MHz = 64 µs.
+        assert!((m.transfer_time(8).get() - 64e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_clock() {
+        assert!(SpiMaster::new(Hertz::new(0.0)).is_err());
+    }
+}

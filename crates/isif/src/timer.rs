@@ -1,0 +1,184 @@
+//! Timers and the watchdog — ISIF's "standard IPs such as timers, watchdog".
+
+/// A periodic down-counting timer clocked in control ticks.
+#[derive(Debug, Clone)]
+pub struct Timer {
+    period: u32,
+    counter: u32,
+    fires: u64,
+}
+
+impl Timer {
+    /// Creates a timer firing every `period` ticks (clamped to ≥ 1).
+    pub fn new(period: u32) -> Self {
+        let period = period.max(1);
+        Timer {
+            period,
+            counter: period,
+            fires: 0,
+        }
+    }
+
+    /// The configured period.
+    #[inline]
+    pub fn period(&self) -> u32 {
+        self.period
+    }
+
+    /// Advances one tick; returns `true` on the tick the timer fires.
+    pub fn tick(&mut self) -> bool {
+        self.counter -= 1;
+        if self.counter == 0 {
+            self.counter = self.period;
+            self.fires += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Total number of firings.
+    #[inline]
+    pub fn fire_count(&self) -> u64 {
+        self.fires
+    }
+
+    /// Restarts the countdown from the full period.
+    pub fn restart(&mut self) {
+        self.counter = self.period;
+    }
+}
+
+/// A windowless watchdog: must be kicked at least every `timeout` ticks or it
+/// records a reset event (the conditioning firmware kicks it once per healthy
+/// control iteration).
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    timeout: u32,
+    counter: u32,
+    resets: u64,
+    enabled: bool,
+}
+
+impl Watchdog {
+    /// Creates an enabled watchdog with the given timeout in ticks (≥ 1).
+    pub fn new(timeout: u32) -> Self {
+        let timeout = timeout.max(1);
+        Watchdog {
+            timeout,
+            counter: timeout,
+            resets: 0,
+            enabled: true,
+        }
+    }
+
+    /// Feeds the watchdog (restarts the window).
+    pub fn kick(&mut self) {
+        self.counter = self.timeout;
+    }
+
+    /// Advances one tick; returns `true` if the watchdog expired (a reset
+    /// event is recorded and the window restarts).
+    pub fn tick(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.counter -= 1;
+        if self.counter == 0 {
+            self.counter = self.timeout;
+            self.resets += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of expiry events so far.
+    #[inline]
+    pub fn reset_count(&self) -> u64 {
+        self.resets
+    }
+
+    /// Enables or disables the watchdog (e.g. during deep-sleep intervals).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if enabled {
+            self.counter = self.timeout;
+        }
+    }
+
+    /// Whether the watchdog is currently armed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_fires_periodically() {
+        let mut t = Timer::new(4);
+        let fires: Vec<bool> = (0..12).map(|_| t.tick()).collect();
+        assert_eq!(
+            fires,
+            vec![false, false, false, true, false, false, false, true, false, false, false, true]
+        );
+        assert_eq!(t.fire_count(), 3);
+    }
+
+    #[test]
+    fn timer_restart() {
+        let mut t = Timer::new(3);
+        t.tick();
+        t.restart();
+        assert!(!t.tick());
+        assert!(!t.tick());
+        assert!(t.tick());
+    }
+
+    #[test]
+    fn zero_period_clamps_to_one() {
+        let mut t = Timer::new(0);
+        assert!(t.tick());
+        assert!(t.tick());
+    }
+
+    #[test]
+    fn kicked_watchdog_never_fires() {
+        let mut w = Watchdog::new(5);
+        for _ in 0..100 {
+            w.kick();
+            assert!(!w.tick());
+        }
+        assert_eq!(w.reset_count(), 0);
+    }
+
+    #[test]
+    fn starved_watchdog_fires() {
+        let mut w = Watchdog::new(5);
+        let mut fired = 0;
+        for _ in 0..15 {
+            if w.tick() {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3);
+        assert_eq!(w.reset_count(), 3);
+    }
+
+    #[test]
+    fn disabled_watchdog_is_silent() {
+        let mut w = Watchdog::new(2);
+        w.set_enabled(false);
+        assert!(!w.is_enabled());
+        for _ in 0..10 {
+            assert!(!w.tick());
+        }
+        w.set_enabled(true);
+        assert!(!w.tick()); // window restarted on enable
+        assert!(w.tick());
+    }
+}

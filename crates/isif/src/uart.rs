@@ -1,0 +1,246 @@
+//! UART telemetry framing — the link carrying measurements off the probe.
+//!
+//! Frame format: `0xA5 | len(1) | payload(len) | crc16(2, big-endian)`,
+//! CRC-16/CCITT over the payload. The decoder is a resynchronizing byte
+//! state machine: garbage between frames is skipped, truncated or corrupt
+//! frames are counted and dropped.
+
+use crate::eeprom::crc16_ccitt;
+use crate::IsifError;
+
+/// Frame start-of-header byte.
+pub const SOH: u8 = 0xA5;
+/// Maximum payload bytes per frame.
+pub const MAX_PAYLOAD: usize = 255;
+
+/// Encodes one telemetry frame.
+///
+/// # Errors
+///
+/// Returns [`IsifError::FrameError`] if the payload exceeds
+/// [`MAX_PAYLOAD`].
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, IsifError> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(IsifError::FrameError {
+            reason: "payload exceeds 255 bytes",
+        });
+    }
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.push(SOH);
+    out.push(payload.len() as u8);
+    out.extend_from_slice(payload);
+    let crc = crc16_ccitt(payload);
+    out.extend_from_slice(&crc.to_be_bytes());
+    Ok(out)
+}
+
+/// Decoder state machine.
+#[derive(Debug, Clone, Default)]
+enum DecodeState {
+    #[default]
+    Hunt,
+    Length,
+    Payload {
+        expected: usize,
+    },
+    Crc {
+        have_high: bool,
+        high: u8,
+    },
+}
+
+/// A resynchronizing frame decoder.
+///
+/// ```
+/// use hotwire_isif::uart::{encode_frame, FrameDecoder};
+///
+/// let mut dec = FrameDecoder::new();
+/// let wire = encode_frame(b"v=123")?;
+/// let mut got = None;
+/// for b in wire {
+///     if let Some(frame) = dec.push(b) {
+///         got = Some(frame);
+///     }
+/// }
+/// assert_eq!(got.as_deref(), Some(&b"v=123"[..]));
+/// # Ok::<(), hotwire_isif::IsifError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FrameDecoder {
+    state: DecodeState,
+    buf: Vec<u8>,
+    good_frames: u64,
+    crc_errors: u64,
+    resyncs: u64,
+}
+
+impl FrameDecoder {
+    /// Creates a decoder in hunt state.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Feeds one wire byte; returns a completed payload when a frame closes
+    /// with a valid CRC.
+    pub fn push(&mut self, byte: u8) -> Option<Vec<u8>> {
+        match self.state {
+            DecodeState::Hunt => {
+                if byte == SOH {
+                    self.state = DecodeState::Length;
+                } else {
+                    self.resyncs += 1;
+                }
+                None
+            }
+            DecodeState::Length => {
+                self.buf.clear();
+                if byte == 0 {
+                    self.state = DecodeState::Crc {
+                        have_high: false,
+                        high: 0,
+                    };
+                } else {
+                    self.state = DecodeState::Payload {
+                        expected: byte as usize,
+                    };
+                }
+                None
+            }
+            DecodeState::Payload { expected } => {
+                self.buf.push(byte);
+                if self.buf.len() == expected {
+                    self.state = DecodeState::Crc {
+                        have_high: false,
+                        high: 0,
+                    };
+                }
+                None
+            }
+            DecodeState::Crc { have_high, high } => {
+                if !have_high {
+                    self.state = DecodeState::Crc {
+                        have_high: true,
+                        high: byte,
+                    };
+                    None
+                } else {
+                    self.state = DecodeState::Hunt;
+                    let wire_crc = u16::from_be_bytes([high, byte]);
+                    if wire_crc == crc16_ccitt(&self.buf) {
+                        self.good_frames += 1;
+                        Some(std::mem::take(&mut self.buf))
+                    } else {
+                        self.crc_errors += 1;
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frames decoded successfully.
+    #[inline]
+    pub fn good_frames(&self) -> u64 {
+        self.good_frames
+    }
+
+    /// Frames dropped for CRC mismatch.
+    #[inline]
+    pub fn crc_errors(&self) -> u64 {
+        self.crc_errors
+    }
+
+    /// Bytes skipped while hunting for a start-of-header.
+    #[inline]
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+
+    /// Idle-line flush: a UART receiver detects inter-frame silence and
+    /// resets its framing. Without this, a spurious start-of-header in line
+    /// noise whose false length field is large can swallow genuine frames
+    /// indefinitely (a classic length-prefixed-framing failure mode — found
+    /// by the property tests).
+    pub fn flush(&mut self) {
+        self.state = DecodeState::Hunt;
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(dec: &mut FrameDecoder, bytes: &[u8]) -> Vec<Vec<u8>> {
+        bytes.iter().filter_map(|&b| dec.push(b)).collect()
+    }
+
+    #[test]
+    fn round_trip_single_frame() {
+        let mut dec = FrameDecoder::new();
+        let wire = encode_frame(b"flow=42.5cm/s").unwrap();
+        let frames = decode_all(&mut dec, &wire);
+        assert_eq!(frames, vec![b"flow=42.5cm/s".to_vec()]);
+        assert_eq!(dec.good_frames(), 1);
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = encode_frame(b"a").unwrap();
+        wire.extend(encode_frame(b"bb").unwrap());
+        wire.extend(encode_frame(b"ccc").unwrap());
+        let frames = decode_all(&mut dec, &wire);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[2], b"ccc");
+    }
+
+    #[test]
+    fn garbage_between_frames_is_skipped() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = vec![0x00, 0x12, 0x99];
+        wire.extend(encode_frame(b"x").unwrap());
+        wire.extend([0xFF, 0x33]);
+        wire.extend(encode_frame(b"y").unwrap());
+        let frames = decode_all(&mut dec, &wire);
+        assert_eq!(frames.len(), 2);
+        assert!(dec.resyncs() >= 5);
+    }
+
+    #[test]
+    fn corrupt_payload_dropped() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = encode_frame(b"important").unwrap();
+        wire[4] ^= 0x01; // flip a payload bit
+        let frames = decode_all(&mut dec, &wire);
+        assert!(frames.is_empty());
+        assert_eq!(dec.crc_errors(), 1);
+    }
+
+    #[test]
+    fn decoder_recovers_after_corrupt_frame() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = encode_frame(b"bad").unwrap();
+        let n = wire.len();
+        wire[n - 1] ^= 0xFF; // corrupt CRC
+        wire.extend(encode_frame(b"good").unwrap());
+        let frames = decode_all(&mut dec, &wire);
+        assert_eq!(frames, vec![b"good".to_vec()]);
+    }
+
+    #[test]
+    fn empty_payload_frame() {
+        let mut dec = FrameDecoder::new();
+        let wire = encode_frame(b"").unwrap();
+        let frames = decode_all(&mut dec, &wire);
+        assert_eq!(frames, vec![Vec::<u8>::new()]);
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        let big = vec![0u8; 256];
+        assert!(encode_frame(&big).is_err());
+        let max = vec![7u8; 255];
+        assert!(encode_frame(&max).is_ok());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the platform blocks: storage and framing must
+//! round-trip arbitrary payloads and survive arbitrary corruption.
+
+use hotwire_isif::eeprom::{crc16_ccitt, CalibrationStore, SLOT_CAPACITY, SLOT_COUNT};
+use hotwire_isif::uart::{encode_frame, FrameDecoder, MAX_PAYLOAD};
+use hotwire_isif::IsifError;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn eeprom_round_trips_any_payload(
+        slot in 0usize..SLOT_COUNT,
+        payload in prop::collection::vec(any::<u8>(), 0..=SLOT_CAPACITY),
+    ) {
+        let mut store = CalibrationStore::new();
+        store.write_record(slot, &payload).unwrap();
+        prop_assert_eq!(store.read_record(slot).unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn eeprom_detects_any_single_byte_corruption(
+        payload in prop::collection::vec(any::<u8>(), 4..=SLOT_CAPACITY),
+        byte in 0usize..SLOT_CAPACITY,
+    ) {
+        prop_assume!(byte < payload.len());
+        let mut store = CalibrationStore::new();
+        store.write_record(0, &payload).unwrap();
+        store.corrupt(0, byte);
+        let result = store.read_record(0);
+        let corrupt = matches!(result, Err(IsifError::CorruptRecord { slot: 0 }));
+        prop_assert!(corrupt, "corruption not detected");
+    }
+
+    #[test]
+    fn f64_records_round_trip(values in prop::collection::vec(-1e12f64..1e12, 0..8)) {
+        let payload = CalibrationStore::encode_f64s(&values);
+        let back = CalibrationStore::decode_f64s(&payload).unwrap();
+        prop_assert_eq!(back, values);
+    }
+
+    #[test]
+    fn uart_round_trips_any_payload(payload in prop::collection::vec(any::<u8>(), 0..=MAX_PAYLOAD)) {
+        let wire = encode_frame(&payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut got = None;
+        for b in wire {
+            if let Some(frame) = dec.push(b) {
+                got = Some(frame);
+            }
+        }
+        prop_assert_eq!(got, Some(payload));
+    }
+
+    #[test]
+    fn uart_survives_garbage_followed_by_idle_flush(
+        garbage in prop::collection::vec(any::<u8>(), 0..64),
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Garbage may contain an accidental SOH whose false length field
+        // would swallow real frames; the idle-line flush between bursts (as
+        // a real UART receiver implements) restores framing deterministically.
+        let mut dec = FrameDecoder::new();
+        for b in garbage {
+            let _ = dec.push(b);
+        }
+        dec.flush(); // inter-frame idle detected
+        let mut frames = Vec::new();
+        for b in encode_frame(&payload).unwrap() {
+            if let Some(f) = dec.push(b) {
+                frames.push(f);
+            }
+        }
+        prop_assert_eq!(frames, vec![payload]);
+    }
+
+    #[test]
+    fn crc16_detects_single_bit_flips(
+        payload in prop::collection::vec(any::<u8>(), 1..64),
+        bit in 0usize..512,
+    ) {
+        prop_assume!(bit < payload.len() * 8);
+        let crc = crc16_ccitt(&payload);
+        let mut corrupted = payload.clone();
+        corrupted[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_ne!(crc, crc16_ccitt(&corrupted));
+    }
+}

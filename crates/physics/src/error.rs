@@ -1,0 +1,127 @@
+//! Error type for physics-model construction and stepping.
+
+/// Errors produced when validating physics-model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicsError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A parameter fell outside its physically meaningful range.
+    OutOfRange {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// A parameter was NaN or infinite.
+    NotFinite {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl core::fmt::Display for PhysicsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PhysicsError::NonPositive { name, value } => {
+                write!(f, "parameter `{name}` must be positive, got {value}")
+            }
+            PhysicsError::OutOfRange {
+                name,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "parameter `{name}` must lie in [{min}, {max}], got {value}"
+            ),
+            PhysicsError::NotFinite { name } => {
+                write!(f, "parameter `{name}` must be finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PhysicsError {}
+
+/// Validates that `value` is finite and strictly positive.
+pub(crate) fn ensure_positive(name: &'static str, value: f64) -> Result<(), PhysicsError> {
+    if !value.is_finite() {
+        return Err(PhysicsError::NotFinite { name });
+    }
+    if value <= 0.0 {
+        return Err(PhysicsError::NonPositive { name, value });
+    }
+    Ok(())
+}
+
+/// Validates that `value` is finite and lies in `[min, max]`.
+pub(crate) fn ensure_in_range(
+    name: &'static str,
+    value: f64,
+    min: f64,
+    max: f64,
+) -> Result<(), PhysicsError> {
+    if !value.is_finite() {
+        return Err(PhysicsError::NotFinite { name });
+    }
+    if value < min || value > max {
+        return Err(PhysicsError::OutOfRange {
+            name,
+            value,
+            min,
+            max,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_check() {
+        assert!(ensure_positive("x", 1.0).is_ok());
+        assert!(matches!(
+            ensure_positive("x", 0.0),
+            Err(PhysicsError::NonPositive { .. })
+        ));
+        assert!(matches!(
+            ensure_positive("x", f64::NAN),
+            Err(PhysicsError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn range_check() {
+        assert!(ensure_in_range("x", 0.5, 0.0, 1.0).is_ok());
+        assert!(matches!(
+            ensure_in_range("x", 1.5, 0.0, 1.0),
+            Err(PhysicsError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            ensure_in_range("x", f64::INFINITY, 0.0, 1.0),
+            Err(PhysicsError::NotFinite { .. })
+        ));
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msg = PhysicsError::NonPositive {
+            name: "alpha",
+            value: -1.0,
+        }
+        .to_string();
+        assert!(msg.contains("alpha"));
+        assert!(msg.contains("-1"));
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic-seed random-process helpers shared by the physics models.
+//!
+//! Everything stochastic in the simulator — turbulence, bubble detachment,
+//! electronic noise — draws from an explicitly seeded RNG so experiments are
+//! reproducible bit-for-bit.
+
+use hotwire_units::Seconds;
+use rand::Rng;
+
+/// Draws a standard-normal sample via the Box–Muller transform.
+///
+/// (We deliberately avoid a `rand_distr` dependency; two uniforms and a
+/// `ln`/`sqrt` are plenty for simulation noise.)
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a zero-mean Gaussian sample with the given standard deviation.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+    standard_normal(rng) * sigma
+}
+
+/// A first-order Ornstein–Uhlenbeck process: band-limited noise with
+/// correlation time `tau` and stationary standard deviation `sigma`.
+///
+/// Used for pipe turbulence (velocity fluctuation with eddy-turnover
+/// correlation time) and slow drift processes.
+///
+/// ```
+/// use hotwire_physics::stochastic::OrnsteinUhlenbeck;
+/// use hotwire_units::Seconds;
+/// use rand::SeedableRng;
+///
+/// let mut ou = OrnsteinUhlenbeck::new(Seconds::new(0.1), 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let x = ou.step(Seconds::from_millis(1.0), &mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrnsteinUhlenbeck {
+    tau: Seconds,
+    sigma: f64,
+    state: f64,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates a process with correlation time `tau` and stationary standard
+    /// deviation `sigma`, starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not positive or `sigma` is negative.
+    pub fn new(tau: Seconds, sigma: f64) -> Self {
+        assert!(tau.get() > 0.0, "OU correlation time must be positive");
+        assert!(sigma >= 0.0, "OU sigma must be non-negative");
+        OrnsteinUhlenbeck {
+            tau,
+            sigma,
+            state: 0.0,
+        }
+    }
+
+    /// Current process value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.state
+    }
+
+    /// Advances the process by `dt` using the exact discrete-time update
+    /// `x' = ρ·x + σ·√(1−ρ²)·ξ` with `ρ = exp(−dt/τ)`, and returns the new
+    /// value.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt: Seconds, rng: &mut R) -> f64 {
+        let rho = (-dt.get() / self.tau.get()).exp();
+        let innovation = self.sigma * (1.0 - rho * rho).sqrt();
+        self.state = rho * self.state + innovation * standard_normal(rng);
+        self.state
+    }
+
+    /// Resets the state to zero.
+    pub fn reset(&mut self) {
+        self.state = 0.0;
+    }
+}
+
+/// A Poisson event clock: `fire(dt, rate, rng)` returns `true` with
+/// probability `1 − exp(−rate·dt)` — used for discrete bubble-detachment
+/// events.
+pub fn poisson_fires<R: Rng + ?Sized>(rng: &mut R, dt: Seconds, rate_hz: f64) -> bool {
+    if rate_hz <= 0.0 {
+        return false;
+    }
+    let p = 1.0 - (-rate_hz * dt.get()).exp();
+    rng.gen::<f64>() < p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(0xD1CE)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "variance {var}");
+    }
+
+    #[test]
+    fn ou_stationary_variance() {
+        let mut r = rng();
+        let sigma = 2.0;
+        let mut ou = OrnsteinUhlenbeck::new(Seconds::new(0.01), sigma);
+        // Burn in, then sample.
+        let dt = Seconds::from_millis(1.0);
+        for _ in 0..10_000 {
+            ou.step(dt, &mut r);
+        }
+        let n = 100_000;
+        let mut sum = 0.0;
+        let mut sum2 = 0.0;
+        for _ in 0..n {
+            let x = ou.step(dt, &mut r);
+            sum += x;
+            sum2 += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum2 / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!(
+            (var - sigma * sigma).abs() / (sigma * sigma) < 0.1,
+            "variance {var} vs {}",
+            sigma * sigma
+        );
+    }
+
+    #[test]
+    fn ou_is_correlated_at_short_lags() {
+        let mut r = rng();
+        let mut ou = OrnsteinUhlenbeck::new(Seconds::new(1.0), 1.0);
+        let dt = Seconds::from_millis(1.0);
+        for _ in 0..5_000 {
+            ou.step(dt, &mut r);
+        }
+        // Over one step with dt ≪ τ, consecutive values are nearly equal.
+        let a = ou.step(dt, &mut r);
+        let b = ou.step(dt, &mut r);
+        assert!((a - b).abs() < 0.5);
+    }
+
+    #[test]
+    fn ou_reset() {
+        let mut r = rng();
+        let mut ou = OrnsteinUhlenbeck::new(Seconds::new(0.1), 1.0);
+        ou.step(Seconds::new(0.1), &mut r);
+        ou.reset();
+        assert_eq!(ou.value(), 0.0);
+    }
+
+    #[test]
+    fn poisson_rates() {
+        let mut r = rng();
+        let dt = Seconds::from_millis(1.0);
+        let trials = 100_000;
+        let rate = 100.0; // expect p ≈ 1 − e^(−0.1) ≈ 0.0952
+        let fires = (0..trials)
+            .filter(|_| poisson_fires(&mut r, dt, rate))
+            .count();
+        let p = fires as f64 / trials as f64;
+        assert!((p - 0.0952).abs() < 0.005, "p {p}");
+        assert!(!poisson_fires(&mut r, dt, 0.0));
+        assert!(!poisson_fires(&mut r, dt, -1.0));
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

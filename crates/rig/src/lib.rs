@@ -1,0 +1,37 @@
+//! The evaluation rig: the Vinci water-station measurement line in software.
+//!
+//! §5 of the paper: "The whole set-up consisted in a dedicated line for the
+//! measurements, derived from conventional water lines, in which pressure
+//! and water speed could be fine tuned. The line was also equipped with a
+//! commercial high resolution magnetic water meter (Promag 50)…"
+//!
+//! * [`scenario`] — piecewise flow/pressure/temperature schedules (steps,
+//!   ramps, staircases, pressure peaks)
+//! * [`mod@line`] — the measurement line: schedules + pipe profile + turbulence
+//!   → the instantaneous [`SensorEnvironment`] at the probe
+//! * [`promag`] — behavioural model of the Endress+Hauser Promag 50
+//!   electromagnetic reference meter
+//! * [`turbine`] — behavioural model of a turbine-wheel meter (the
+//!   commercial baseline the paper's accuracy is compared against)
+//! * [`metrics`] — resolution / repeatability / linearity / response-time
+//!   estimators matching the paper's definitions
+//! * [`runner`] — co-simulation of the device under test and both reference
+//!   meters on shared true flow, plus the field-calibration procedure
+//!
+//! [`SensorEnvironment`]: hotwire_physics::SensorEnvironment
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod line;
+pub mod metrics;
+pub mod promag;
+pub mod runner;
+pub mod scenario;
+pub mod turbine;
+
+pub use line::WaterLine;
+pub use promag::Promag50;
+pub use runner::{LineRunner, Trace, TraceSample};
+pub use scenario::{Scenario, Schedule};
+pub use turbine::TurbineMeter;

@@ -1,0 +1,165 @@
+//! The measurement line: schedules → the instantaneous probe environment.
+//!
+//! Translates a [`Scenario`]'s bulk-flow schedule into the *local* velocity
+//! the insertion probe actually sees (profile factor + turbulence), and
+//! packages pressure and temperature into a [`SensorEnvironment`].
+
+use crate::scenario::Scenario;
+use hotwire_physics::fluid::Water;
+use hotwire_physics::pipe::{Pipe, ProbeFlow};
+use hotwire_physics::SensorEnvironment;
+use hotwire_units::{Celsius, MetersPerSecond, Pascals, Seconds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The simulated measurement line.
+#[derive(Debug)]
+pub struct WaterLine {
+    scenario: Scenario,
+    probe: ProbeFlow,
+    water: Water,
+    rng: StdRng,
+    time: f64,
+    /// Most recent bulk velocity (signed, m/s).
+    bulk: MetersPerSecond,
+    /// Most recent local probe velocity (signed, m/s).
+    local: MetersPerSecond,
+}
+
+impl WaterLine {
+    /// Builds a line running `scenario` through a DN50 pipe of potable
+    /// water, deterministic under `seed`.
+    pub fn new(scenario: Scenario, seed: u64) -> Self {
+        WaterLine {
+            scenario,
+            probe: ProbeFlow::new(Pipe::dn50()),
+            water: Water::potable(),
+            rng: StdRng::seed_from_u64(seed),
+            time: 0.0,
+            bulk: MetersPerSecond::ZERO,
+            local: MetersPerSecond::ZERO,
+        }
+    }
+
+    /// Elapsed scenario time in seconds.
+    #[inline]
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// `true` once the scenario has run its full duration.
+    pub fn finished(&self) -> bool {
+        self.time >= self.scenario.duration_s
+    }
+
+    /// The scenario being run.
+    #[inline]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The true bulk velocity at the current time (the references' ground
+    /// truth).
+    #[inline]
+    pub fn bulk_velocity(&self) -> MetersPerSecond {
+        self.bulk
+    }
+
+    /// The local (probe) velocity at the current time.
+    #[inline]
+    pub fn local_velocity(&self) -> MetersPerSecond {
+        self.local
+    }
+
+    /// Advances the line by `dt` and returns the probe environment for the
+    /// new instant.
+    pub fn step(&mut self, dt: Seconds) -> SensorEnvironment {
+        self.time += dt.get();
+        let t = self.time;
+        self.bulk = MetersPerSecond::from_cm_per_s(self.scenario.flow_cm_s.value_at(t));
+        let temperature = Celsius::new(self.scenario.temperature_c.value_at(t));
+        let pressure = Pascals::from_bar(self.scenario.pressure_bar.value_at(t));
+        self.local = self
+            .probe
+            .step(dt, &self.water, temperature, self.bulk, &mut self.rng);
+        SensorEnvironment {
+            fluid_temperature: temperature,
+            velocity: self.local,
+            pressure,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Schedule;
+
+    #[test]
+    fn steady_line_produces_steady_env() {
+        let mut line = WaterLine::new(Scenario::steady(100.0, 10.0), 1);
+        let dt = Seconds::from_millis(1.0);
+        let mut sum = 0.0;
+        let n = 5000;
+        for _ in 0..n {
+            let env = line.step(dt);
+            sum += env.velocity.get();
+            assert_eq!(env.fluid_temperature.get(), 15.0);
+            assert!((env.pressure.get() - 1.0e5).abs() < 1.0);
+        }
+        let mean = sum / n as f64;
+        // Local mean = bulk × profile factor (turbulent ≈ 1.22).
+        assert!(
+            (mean - 1.0 * 1.224).abs() < 0.05,
+            "local mean {mean} m/s for 1 m/s bulk"
+        );
+    }
+
+    #[test]
+    fn local_velocity_fluctuates_in_turbulent_flow() {
+        let mut line = WaterLine::new(Scenario::steady(100.0, 10.0), 2);
+        let dt = Seconds::from_millis(1.0);
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for _ in 0..5000 {
+            let v = line.step(dt).velocity.get();
+            min = min.min(v);
+            max = max.max(v);
+        }
+        assert!(max - min > 0.02, "no turbulence visible: [{min}, {max}]");
+    }
+
+    #[test]
+    fn schedule_is_followed() {
+        let scenario = Scenario {
+            flow_cm_s: Schedule::staircase(&[50.0, 150.0], 1.0),
+            ..Scenario::steady(0.0, 2.0)
+        };
+        let mut line = WaterLine::new(scenario, 3);
+        let dt = Seconds::from_millis(10.0);
+        let mut first_phase = 0.0;
+        let mut second_phase = 0.0;
+        for i in 0..200 {
+            line.step(dt);
+            if i == 50 {
+                first_phase = line.bulk_velocity().to_cm_per_s();
+            }
+            if i == 150 {
+                second_phase = line.bulk_velocity().to_cm_per_s();
+            }
+        }
+        assert_eq!(first_phase, 50.0);
+        assert_eq!(second_phase, 150.0);
+        assert!(line.finished());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = WaterLine::new(Scenario::steady(120.0, 5.0), 7);
+        let mut b = WaterLine::new(Scenario::steady(120.0, 5.0), 7);
+        let dt = Seconds::from_millis(1.0);
+        for _ in 0..100 {
+            assert_eq!(a.step(dt).velocity, b.step(dt).velocity);
+        }
+    }
+}

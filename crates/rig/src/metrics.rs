@@ -1,0 +1,196 @@
+//! Measurement metrics matching the paper's §5 definitions.
+//!
+//! * **resolution** — the ± spread (reported as one standard deviation
+//!   doubled… the paper quotes ±; we report `±σ`) of the conditioned output
+//!   at a steady operating point;
+//! * **repeatability** — the half-spread of settled means across repeated
+//!   visits to the same setpoint, as % of full scale;
+//! * **linearity** — worst deviation from the least-squares line through
+//!   (true, measured), as % of full scale;
+//! * **response time** — 10 %→90 % rise time through a step.
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice (0 for < 2 samples).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Resolution at a steady point: ±σ of the samples, in the samples' unit.
+pub fn resolution(samples: &[f64]) -> f64 {
+    std_dev(samples)
+}
+
+/// Repeatability across revisits: half the spread of the settled means,
+/// as a fraction of `full_scale`.
+pub fn repeatability(settled_means: &[f64], full_scale: f64) -> f64 {
+    if settled_means.len() < 2 || full_scale <= 0.0 {
+        return 0.0;
+    }
+    let max = settled_means
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    let min = settled_means.iter().cloned().fold(f64::INFINITY, f64::min);
+    (max - min) / 2.0 / full_scale
+}
+
+/// Worst absolute deviation from the least-squares line through
+/// `(truth, measured)` pairs, as a fraction of `full_scale`.
+pub fn linearity(pairs: &[(f64, f64)], full_scale: f64) -> f64 {
+    if pairs.len() < 3 || full_scale <= 0.0 {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let sx: f64 = pairs.iter().map(|p| p.0).sum();
+    let sy: f64 = pairs.iter().map(|p| p.1).sum();
+    let sxx: f64 = pairs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pairs.iter().map(|p| p.0 * p.1).sum();
+    let det = n * sxx - sx * sx;
+    if det.abs() < 1e-18 {
+        return 0.0;
+    }
+    let slope = (n * sxy - sx * sy) / det;
+    let intercept = (sy * sxx - sx * sxy) / det;
+    pairs
+        .iter()
+        .map(|&(x, y)| (y - (slope * x + intercept)).abs())
+        .fold(0.0, f64::max)
+        / full_scale
+}
+
+/// 10 %→90 % rise time through a step, given `(t, y)` samples, the level
+/// before the step and the final level. Returns `None` if the trace never
+/// crosses both thresholds.
+pub fn rise_time(samples: &[(f64, f64)], from: f64, to: f64) -> Option<f64> {
+    let lo = from + 0.1 * (to - from);
+    let hi = from + 0.9 * (to - from);
+    let rising = to > from;
+    let crossed = |y: f64, level: f64| if rising { y >= level } else { y <= level };
+    let t_lo = samples.iter().find(|&&(_, y)| crossed(y, lo))?.0;
+    let t_hi = samples.iter().find(|&&(_, y)| crossed(y, hi))?.0;
+    (t_hi >= t_lo).then_some(t_hi - t_lo)
+}
+
+/// Hysteresis: worst absolute difference between the settled means measured
+/// at the *same* true level on the way up vs. the way down, as a fraction of
+/// `full_scale`. Input: `(true_level, settled_mean)` pairs from each
+/// direction of the staircase.
+pub fn hysteresis(up: &[(f64, f64)], down: &[(f64, f64)], full_scale: f64) -> f64 {
+    if full_scale <= 0.0 {
+        return 0.0;
+    }
+    let mut worst = 0.0f64;
+    for &(lu, mu) in up {
+        for &(ld, md) in down {
+            if (lu - ld).abs() < 1e-9 {
+                worst = worst.max((mu - md).abs());
+            }
+        }
+    }
+    worst / full_scale
+}
+
+/// Root-mean-square error between measured and reference series (pairwise).
+pub fn rms_error(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    (pairs.iter().map(|&(a, b)| (a - b).powi(2)).sum::<f64>() / pairs.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn repeatability_is_half_spread() {
+        let means = [99.0, 101.0, 100.0, 100.5];
+        assert!((repeatability(&means, 250.0) - 1.0 / 250.0).abs() < 1e-12);
+        assert_eq!(repeatability(&[100.0], 250.0), 0.0);
+    }
+
+    #[test]
+    fn linearity_of_perfect_line_is_zero() {
+        let pairs: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 + 1.0)).collect();
+        assert!(linearity(&pairs, 100.0) < 1e-12);
+    }
+
+    #[test]
+    fn linearity_detects_bow() {
+        let pairs: Vec<(f64, f64)> = (0..11)
+            .map(|i| {
+                let x = i as f64 * 25.0;
+                (x, x + 0.0002 * x * (250.0 - x)) // parabola, max +3.1 at mid
+            })
+            .collect();
+        let lin = linearity(&pairs, 250.0);
+        assert!(lin > 0.005 && lin < 0.02, "linearity {lin}");
+    }
+
+    #[test]
+    fn rise_time_of_exponential() {
+        // y = 1 − e^(−t): 10 % at 0.105, 90 % at 2.303 → rise ≈ 2.197.
+        let samples: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                (t, 1.0 - (-t).exp())
+            })
+            .collect();
+        let rt = rise_time(&samples, 0.0, 1.0).unwrap();
+        assert!((rt - 2.197).abs() < 0.01, "rise {rt}");
+    }
+
+    #[test]
+    fn rise_time_falling_step() {
+        let samples: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                (t, (-t).exp())
+            })
+            .collect();
+        let rt = rise_time(&samples, 1.0, 0.0).unwrap();
+        assert!((rt - 2.197).abs() < 0.01, "fall {rt}");
+    }
+
+    #[test]
+    fn rise_time_none_when_never_crossing() {
+        let samples = [(0.0, 0.0), (1.0, 0.05)];
+        assert!(rise_time(&samples, 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn hysteresis_matched_levels_only() {
+        let up = [(50.0, 51.0), (100.0, 101.0), (150.0, 149.0)];
+        let down = [(150.0, 150.5), (100.0, 99.0), (50.0, 50.2)];
+        // Worst matched-level gap: |101 − 99| = 2 at level 100.
+        let h = hysteresis(&up, &down, 250.0);
+        assert!((h - 2.0 / 250.0).abs() < 1e-12);
+        assert_eq!(hysteresis(&up, &[(75.0, 75.0)], 250.0), 0.0);
+        assert_eq!(hysteresis(&up, &down, 0.0), 0.0);
+    }
+
+    #[test]
+    fn rms_error_basic() {
+        assert_eq!(rms_error(&[(1.0, 1.0), (2.0, 2.0)]), 0.0);
+        assert!((rms_error(&[(0.0, 3.0), (0.0, 4.0)]) - 3.5355).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,339 @@
+//! Co-simulation of the device under test and the reference meters.
+//!
+//! The runner drives one [`FlowMeter`] and both commercial references
+//! through a [`Scenario`] on *shared true flow* — the semantics of the
+//! paper's evaluation line, where the MAF prototype and the Promag 50 see
+//! the same water.
+
+use crate::line::WaterLine;
+use crate::promag::Promag50;
+use crate::scenario::Scenario;
+use crate::turbine::TurbineMeter;
+use hotwire_core::calibration::CalPoint;
+use hotwire_core::{CoreError, FlowMeter};
+use hotwire_physics::sensor::HeaterId;
+use hotwire_physics::SensorEnvironment;
+use hotwire_units::{MetersPerSecond, Seconds, ThermalConductance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One recorded co-simulation sample.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct TraceSample {
+    /// Scenario time, seconds.
+    pub t: f64,
+    /// True bulk velocity, cm/s (signed).
+    pub true_cm_s: f64,
+    /// Device-under-test conditioned velocity, cm/s (signed).
+    pub dut_cm_s: f64,
+    /// Promag 50 reading, cm/s (signed).
+    pub promag_cm_s: f64,
+    /// Turbine reading, cm/s (unsigned).
+    pub turbine_cm_s: f64,
+    /// Supply-DAC code commanded by the loop.
+    pub supply_code: u32,
+    /// Worst heater bubble coverage, 0..=1.
+    pub bubble_coverage: f64,
+    /// Worst heater CaCO₃ thickness, µm.
+    pub fouling_um: f64,
+    /// Any fault flag raised this tick.
+    pub fault: bool,
+}
+
+/// A recorded co-simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// The recorded samples, in time order.
+    pub samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// `(true, dut)` velocity pairs for error statistics.
+    pub fn dut_vs_truth(&self) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .map(|s| (s.true_cm_s, s.dut_cm_s))
+            .collect()
+    }
+
+    /// The DUT series over a time window.
+    pub fn dut_window(&self, t0: f64, t1: f64) -> Vec<f64> {
+        self.samples
+            .iter()
+            .filter(|s| s.t >= t0 && s.t < t1)
+            .map(|s| s.dut_cm_s)
+            .collect()
+    }
+
+    /// `(t, dut)` pairs (for rise-time analysis).
+    pub fn dut_series(&self) -> Vec<(f64, f64)> {
+        self.samples.iter().map(|s| (s.t, s.dut_cm_s)).collect()
+    }
+
+    /// The last sample, if any.
+    pub fn last(&self) -> Option<&TraceSample> {
+        self.samples.last()
+    }
+
+    /// Renders the trace as CSV (header + one row per sample) for external
+    /// plotting — the raw material of the paper's Fig. 11.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "t_s,true_cm_s,dut_cm_s,promag_cm_s,turbine_cm_s,supply_code,bubble_coverage,fouling_um,fault\n",
+        );
+        for s in &self.samples {
+            use std::fmt::Write as _;
+            let _ = writeln!(
+                out,
+                "{:.4},{:.3},{:.3},{:.3},{:.3},{},{:.4},{:.3},{}",
+                s.t,
+                s.true_cm_s,
+                s.dut_cm_s,
+                s.promag_cm_s,
+                s.turbine_cm_s,
+                s.supply_code,
+                s.bubble_coverage,
+                s.fouling_um,
+                u8::from(s.fault),
+            );
+        }
+        out
+    }
+}
+
+/// The co-simulation runner.
+#[derive(Debug)]
+pub struct LineRunner {
+    line: WaterLine,
+    meter: FlowMeter,
+    promag: Promag50,
+    turbine: TurbineMeter,
+    ref_rng: StdRng,
+    env: SensorEnvironment,
+    control_dt: Seconds,
+}
+
+impl LineRunner {
+    /// Builds a runner for `scenario` around an existing meter
+    /// (deterministic under `seed`).
+    pub fn new(scenario: Scenario, meter: FlowMeter, seed: u64) -> Self {
+        let control_dt =
+            Seconds::new(meter.config().decimation as f64 / meter.config().modulator_rate.get());
+        let full_scale = meter.config().full_scale;
+        LineRunner {
+            line: WaterLine::new(scenario, seed),
+            meter,
+            promag: Promag50::new(full_scale),
+            turbine: TurbineMeter::dn50(),
+            ref_rng: StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF),
+            env: SensorEnvironment::still_water(),
+            control_dt,
+        }
+    }
+
+    /// The device under test.
+    #[inline]
+    pub fn meter(&self) -> &FlowMeter {
+        &self.meter
+    }
+
+    /// Mutable access to the device under test.
+    #[inline]
+    pub fn meter_mut(&mut self) -> &mut FlowMeter {
+        &mut self.meter
+    }
+
+    /// Takes the meter back out of the runner.
+    pub fn into_meter(self) -> FlowMeter {
+        self.meter
+    }
+
+    /// Runs the scenario to completion, recording one sample every
+    /// `sample_period_s` of scenario time.
+    ///
+    /// The line and reference meters advance at the control rate (the probe
+    /// environment is held between control ticks — turbulence above the
+    /// control bandwidth is invisible to every instrument on the line).
+    pub fn run(&mut self, sample_period_s: f64) -> Trace {
+        let mut trace = Trace::default();
+        let mut next_sample_t = 0.0;
+        while !self.line.finished() {
+            let measurement = self.meter.step(self.env);
+            let Some(m) = measurement else { continue };
+
+            // Control tick: refresh environment and references.
+            self.env = self.line.step(self.control_dt);
+            let bulk = self.line.bulk_velocity();
+            let promag = self.promag.step(self.control_dt, bulk, &mut self.ref_rng);
+            let turbine = self.turbine.step(self.control_dt, bulk);
+
+            let t = self.line.time();
+            if t >= next_sample_t {
+                next_sample_t = t + sample_period_s;
+                let die = self.meter.die();
+                trace.samples.push(TraceSample {
+                    t,
+                    true_cm_s: bulk.to_cm_per_s(),
+                    dut_cm_s: m.velocity.to_cm_per_s(),
+                    promag_cm_s: promag.to_cm_per_s(),
+                    turbine_cm_s: turbine.to_cm_per_s(),
+                    supply_code: m.supply_code,
+                    bubble_coverage: die
+                        .bubble_coverage(HeaterId::A)
+                        .max(die.bubble_coverage(HeaterId::B)),
+                    fouling_um: die
+                        .fouling_thickness_um(HeaterId::A)
+                        .max(die.fouling_thickness_um(HeaterId::B)),
+                    fault: m.faults.any(),
+                });
+            }
+        }
+        trace
+    }
+}
+
+/// Runs the paper's field-calibration procedure: visits each setpoint on a
+/// steady line, averages the Promag reference and the DUT conductance, fits
+/// King's law and installs it into the meter.
+///
+/// Returns the calibration points used.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Calibration`] if the fit fails.
+pub fn field_calibrate(
+    meter: &mut FlowMeter,
+    setpoints_cm_s: &[f64],
+    settle_s: f64,
+    average_s: f64,
+    seed: u64,
+) -> Result<Vec<CalPoint>, CoreError> {
+    let control_dt =
+        Seconds::new(meter.config().decimation as f64 / meter.config().modulator_rate.get());
+    let full_scale = meter.config().full_scale;
+    let mut points = Vec::with_capacity(setpoints_cm_s.len());
+    for (i, &setpoint) in setpoints_cm_s.iter().enumerate() {
+        let scenario = Scenario::steady(setpoint, settle_s + average_s);
+        let mut line = WaterLine::new(scenario, seed.wrapping_add(i as u64));
+        let mut promag = Promag50::new(full_scale);
+        let mut ref_rng = StdRng::seed_from_u64(seed ^ (i as u64) << 8);
+        let mut env = SensorEnvironment::still_water();
+        let (mut g_sum, mut v_sum, mut n) = (0.0, 0.0, 0u64);
+        while !line.finished() {
+            if meter.step(env).is_none() {
+                continue;
+            }
+            env = line.step(control_dt);
+            let promag_reading = promag.step(control_dt, line.bulk_velocity(), &mut ref_rng);
+            if line.time() >= settle_s {
+                g_sum += meter.instantaneous_conductance().get();
+                v_sum += promag_reading.to_cm_per_s().abs();
+                n += 1;
+            }
+        }
+        points.push(CalPoint {
+            velocity: MetersPerSecond::from_cm_per_s(v_sum / n.max(1) as f64),
+            conductance: ThermalConductance::new(g_sum / n.max(1) as f64),
+        });
+    }
+    meter.calibrate(&points)?;
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+    use hotwire_core::config::FlowMeterConfig;
+    use hotwire_physics::MafParams;
+
+    fn test_meter(seed: u64) -> FlowMeter {
+        FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), seed).unwrap()
+    }
+
+    #[test]
+    fn steady_run_tracks_truth() {
+        let meter = test_meter(11);
+        let mut runner = LineRunner::new(Scenario::steady(100.0, 4.0), meter, 11);
+        let trace = runner.run(0.01);
+        assert!(!trace.samples.is_empty());
+        let settled = trace.dut_window(2.0, 4.0);
+        let mean = metrics::mean(&settled);
+        assert!(
+            (mean - 100.0).abs() < 25.0,
+            "factory-calibrated DUT mean {mean} cm/s at 100 cm/s true"
+        );
+        // Promag stays within its datasheet band.
+        let promag_err: Vec<f64> = trace
+            .samples
+            .iter()
+            .filter(|s| s.t > 1.0)
+            .map(|s| s.promag_cm_s - s.true_cm_s)
+            .collect();
+        assert!(metrics::std_dev(&promag_err) < 1.5);
+    }
+
+    #[test]
+    fn field_calibration_improves_accuracy() {
+        let mut meter = test_meter(12);
+        field_calibrate(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 0.6, 0.4, 12).unwrap();
+        let mut runner = LineRunner::new(Scenario::steady(120.0, 4.0), meter, 13);
+        let trace = runner.run(0.01);
+        let settled = trace.dut_window(2.0, 4.0);
+        let mean = metrics::mean(&settled);
+        assert!(
+            (mean - 120.0).abs() < 8.0,
+            "calibrated DUT mean {mean} cm/s at 120 cm/s true"
+        );
+    }
+
+    #[test]
+    fn trace_records_all_instruments() {
+        let meter = test_meter(14);
+        let mut runner = LineRunner::new(Scenario::steady(150.0, 3.0), meter, 14);
+        let trace = runner.run(0.05);
+        let last = trace.last().unwrap();
+        assert!(last.true_cm_s == 150.0);
+        assert!(last.promag_cm_s > 100.0);
+        assert!(last.turbine_cm_s > 100.0);
+        assert!(last.supply_code > 0);
+        assert!(!last.fault || last.bubble_coverage > 0.0 || last.fouling_um > 0.0);
+    }
+
+    #[test]
+    fn sample_period_respected() {
+        let meter = test_meter(15);
+        let mut runner = LineRunner::new(Scenario::steady(100.0, 2.0), meter, 15);
+        let trace = runner.run(0.1);
+        // ≈ 20 samples expected for a 2 s scenario at 0.1 s cadence.
+        assert!(
+            (15..=25).contains(&trace.samples.len()),
+            "{} samples",
+            trace.samples.len()
+        );
+    }
+
+    #[test]
+    fn csv_export_round_trips_row_count() {
+        let meter = test_meter(17);
+        let mut runner = LineRunner::new(Scenario::steady(80.0, 1.0), meter, 17);
+        let trace = runner.run(0.1);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines.len(), trace.samples.len() + 1);
+        assert!(lines[0].starts_with("t_s,true_cm_s"));
+        // Every data row parses back to the right number of fields.
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), 9, "row `{row}`");
+        }
+    }
+
+    #[test]
+    fn into_meter_returns_dut() {
+        let meter = test_meter(16);
+        let mut runner = LineRunner::new(Scenario::steady(50.0, 1.0), meter, 16);
+        runner.run(0.1);
+        let meter = runner.into_meter();
+        assert!(meter.last_measurement().is_some());
+    }
+}

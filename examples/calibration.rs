@@ -1,0 +1,74 @@
+//! The King's-law calibration procedure (paper §2/§4): collect
+//! `(velocity, conductance)` points against the reference meter, fit
+//! `G = A + B·vⁿ`, persist to EEPROM, survive a power cycle.
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+
+use hotwire::core::calibration::KingCalibration;
+use hotwire::core::{FlowMeter, FlowMeterConfig};
+use hotwire::physics::{MafParams, SensorEnvironment};
+use hotwire::rig::runner::field_calibrate;
+use hotwire::units::MetersPerSecond;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A worst-case-tolerance die: ±1 % heater spread, ±1.5 % reference —
+    // exactly what field calibration exists to absorb.
+    let mut meter = FlowMeter::new(
+        FlowMeterConfig::water_station(),
+        MafParams::worst_case(),
+        31,
+    )?;
+
+    let factory = *meter.calibration().expect("factory calibration");
+    println!(
+        "factory calibration: A = {:.3e}, B = {:.3e}, n = {:.3}",
+        factory.a, factory.b, factory.n
+    );
+
+    let setpoints = [10.0, 30.0, 60.0, 100.0, 150.0, 200.0, 245.0];
+    println!(
+        "\ncollecting {} calibration points against the Promag 50…",
+        setpoints.len()
+    );
+    let points = field_calibrate(&mut meter, &setpoints, 1.0, 0.5, 77)?;
+    for p in &points {
+        println!(
+            "  v = {:6.1} cm/s   G = {:.4e} W/K",
+            p.velocity.to_cm_per_s(),
+            p.conductance.get()
+        );
+    }
+    let cal = *meter.calibration().expect("field calibration");
+    println!(
+        "\nfitted: A = {:.3e}, B = {:.3e}, n = {:.3}, rms residual {:.2} %",
+        cal.a,
+        cal.b,
+        cal.n,
+        cal.rms_relative_residual(&points) * 100.0
+    );
+
+    // Power-cycle: the EEPROM record (CRC-checked) restores the calibration.
+    meter.reload_calibration()?;
+    assert_eq!(*meter.calibration().unwrap(), cal);
+    println!(
+        "EEPROM round-trip OK (slot {}, CRC verified)",
+        KingCalibration::EEPROM_SLOT
+    );
+
+    println!("\nverification at untrained points:");
+    for v in [45.0, 120.0, 230.0] {
+        let env = SensorEnvironment {
+            velocity: MetersPerSecond::from_cm_per_s(v),
+            ..SensorEnvironment::still_water()
+        };
+        let m = meter.run(1.0, env).expect("control loop ran");
+        println!(
+            "  true {v:6.1} cm/s → measured {:7.2} cm/s ({:+.2} % FS)",
+            m.speed.to_cm_per_s(),
+            (m.speed.to_cm_per_s() - v) / 250.0 * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! The Vinci water-station evaluation (paper §5, Fig. 11): calibrate the
+//! MEMS probe against the Promag 50, then ride a flow staircase through the
+//! full 0–250 cm/s range and compare all three instruments.
+//!
+//! ```sh
+//! cargo run --release --example water_station
+//! ```
+
+use hotwire::core::{FlowMeter, FlowMeterConfig};
+use hotwire::physics::MafParams;
+use hotwire::rig::runner::field_calibrate;
+use hotwire::rig::{metrics, LineRunner, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut meter = FlowMeter::new(FlowMeterConfig::water_station(), MafParams::nominal(), 2008)?;
+
+    println!("== field calibration against the Promag 50 ==");
+    let points = field_calibrate(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 1.0, 0.5, 7)?;
+    let cal = meter.calibration().expect("calibration installed");
+    println!(
+        "fitted King's law: A = {:.3e} W/K, B = {:.3e}, n = {:.3} ({} points, rms residual {:.2} %)",
+        cal.a,
+        cal.b,
+        cal.n,
+        points.len(),
+        cal.rms_relative_residual(&points) * 100.0
+    );
+
+    println!("\n== Fig. 11 staircase: 0 → 250 → 0 cm/s ==");
+    let mut runner = LineRunner::new(Scenario::fig11_staircase(4.0), meter, 99);
+    let trace = runner.run(1.0);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "t[s]", "true", "MEMS", "Promag", "turbine"
+    );
+    for s in &trace.samples {
+        println!(
+            "{:6.1} {:10.1} {:10.1} {:10.1} {:10.1}",
+            s.t, s.true_cm_s, s.dut_cm_s, s.promag_cm_s, s.turbine_cm_s
+        );
+    }
+
+    let pairs = trace.dut_vs_truth();
+    let rms = metrics::rms_error(&pairs);
+    let lin = metrics::linearity(&pairs, 250.0) * 100.0;
+    println!(
+        "\nMEMS vs true flow: rms error {rms:.2} cm/s, worst linearity deviation {lin:.2} % FS"
+    );
+
+    // Dump the full series for external plotting (the Fig. 11 raw data).
+    let csv_path = std::env::temp_dir().join("hotwire_fig11.csv");
+    std::fs::write(&csv_path, trace.to_csv())?;
+    println!("series written to {}", csv_path.display());
+    Ok(())
+}

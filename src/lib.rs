@@ -1,0 +1,24 @@
+//! # hotwire — facade crate
+//!
+//! Re-exports the whole workspace behind one dependency, mirroring the layer
+//! structure of the reproduction of *"Hot Wire Anemometric MEMS Sensor for
+//! Water Flow Monitoring"* (Melani et al., DATE 2008):
+//!
+//! * [`units`] — physical-quantity newtypes,
+//! * [`physics`] — the simulated MEMS die, water, bubbles and scale,
+//! * [`afe`] — the analog front end (bridge, in-amp, ΣΔ ADC, DACs),
+//! * [`dsp`] — the fixed-point DSP IP library,
+//! * [`isif`] — the ISIF platform emulation,
+//! * [`core`] — the CTA conditioning firmware (the paper's contribution),
+//! * [`rig`] — the water-station evaluation rig and reference meters.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+pub use hotwire_afe as afe;
+pub use hotwire_core as core;
+pub use hotwire_dsp as dsp;
+pub use hotwire_isif as isif;
+pub use hotwire_physics as physics;
+pub use hotwire_rig as rig;
+pub use hotwire_units as units;

@@ -1,0 +1,119 @@
+//! Failure-injection integration tests: the liquid-specific failure modes of
+//! paper §4 must be *visible to the firmware's own diagnostics*, not just to
+//! the simulator.
+
+use hotwire::core::config::FlowMeterConfig;
+use hotwire::core::FlowMeter;
+use hotwire::physics::fouling::{FoulingParams, Passivation};
+use hotwire::physics::sensor::HeaterId;
+use hotwire::physics::{MafParams, SensorEnvironment};
+use hotwire::units::{Celsius, KelvinDelta, MetersPerSecond};
+
+fn env(v_cm_s: f64) -> SensorEnvironment {
+    SensorEnvironment {
+        velocity: MetersPerSecond::from_cm_per_s(v_cm_s),
+        ..SensorEnvironment::still_water()
+    }
+}
+
+#[test]
+fn overdriven_loop_grows_bubbles_and_flags_them() {
+    // 40 K overheat in 15 °C water at 1 bar targets a 55 °C wall, above the
+    // ≈40 °C outgassing onset. The closed loop then enters a relaxation
+    // cycle — blanket forms → less power needed → wall cools → blanket
+    // dissolves → reheats — so coverage must be tracked at its *peaks*, and
+    // the corrupted signal must trip the firmware's bubble flag.
+    let cfg = FlowMeterConfig {
+        overheat: KelvinDelta::new(40.0),
+        ..FlowMeterConfig::test_profile()
+    };
+    let mut m = FlowMeter::new(cfg, MafParams::nominal(), 1).expect("meter builds");
+    let mut peak: f64 = 0.0;
+    for _ in 0..60 {
+        m.run(0.5, env(100.0));
+        peak = peak.max(m.die().bubble_coverage(HeaterId::A));
+    }
+    assert!(peak > 0.1, "no bubbles grew: peak coverage {peak}");
+    assert!(
+        m.fault_latch().bubble_activity,
+        "firmware failed to flag bubble activity (peak {peak}, detachments {})",
+        m.die().detachment_count(HeaterId::A)
+    );
+}
+
+#[test]
+fn paper_configuration_stays_clean_in_the_same_water() {
+    let mut m = FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), 1)
+        .expect("meter builds");
+    m.run(30.0, env(100.0));
+    assert!(m.die().bubble_coverage(HeaterId::A) < 0.01);
+    assert!(!m.fault_latch().bubble_activity);
+}
+
+#[test]
+fn heavy_fouling_is_flagged_as_drift() {
+    let params = MafParams {
+        passivation: Passivation::Bare,
+        fouling: FoulingParams::accelerated(),
+        ..MafParams::nominal()
+    };
+    let mut m = FlowMeter::new(FlowMeterConfig::test_profile(), params, 2).expect("meter builds");
+    // Establish a baseline, then age hard and keep measuring.
+    m.run(3.0, env(100.0));
+    for _ in 0..6 {
+        m.die_mut().age_surfaces(24.0, Celsius::new(40.0), 0.2);
+        m.run(2.0, env(100.0));
+    }
+    assert!(
+        m.die().fouling_thickness_um(HeaterId::A) > 5.0,
+        "aging did not deposit: {} µm",
+        m.die().fouling_thickness_um(HeaterId::A)
+    );
+    assert!(
+        m.fault_latch().fouling_suspected,
+        "firmware failed to flag fouling drift"
+    );
+}
+
+#[test]
+fn flow_beyond_full_scale_saturates_the_loop_visibly() {
+    let mut m = FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), 3)
+        .expect("meter builds");
+    // 20 m/s demands ~135 mW per heater — beyond the 5 V supply rail.
+    let meas = m.run(5.0, env(2000.0)).expect("measures");
+    assert!(
+        meas.faults.loop_saturated || m.fault_latch().loop_saturated,
+        "railed loop not reported (supply code {})",
+        meas.supply_code
+    );
+}
+
+#[test]
+fn unbiased_off_time_dissolves_a_grown_blanket() {
+    // Physics-level confirmation of the pulsed-drive mechanism: grow a
+    // blanket by holding the wall hot in open loop, then cut the drive; the
+    // off-time dissolution that the pulsed schedule exploits must clear it.
+    let mut die = hotwire::physics::MafDie::in_potable_water(MafParams::nominal());
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9);
+    let dt = hotwire::units::Seconds::from_millis(10.0);
+    let hot = hotwire::units::Watts::new(0.10); // forces the wall past onset
+    for _ in 0..4000 {
+        die.step(dt, hot, hot, env(100.0), &mut rng);
+    }
+    let grown = die.bubble_coverage(HeaterId::A);
+    assert!(grown > 0.1, "precondition: coverage {grown}");
+    for _ in 0..4000 {
+        die.step(
+            dt,
+            hotwire::units::Watts::ZERO,
+            hotwire::units::Watts::ZERO,
+            env(100.0),
+            &mut rng,
+        );
+    }
+    assert!(
+        die.bubble_coverage(HeaterId::A) < 0.3 * grown,
+        "blanket did not dissolve: {} from {grown}",
+        die.bubble_coverage(HeaterId::A)
+    );
+}
