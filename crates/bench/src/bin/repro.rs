@@ -1,15 +1,26 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
+//! Experiments are independent, so `repro` runs the requested set through
+//! the same deterministic campaign executor the experiments themselves use
+//! internally ([`hotwire_rig::Campaign`]): reports print in request order
+//! and are bit-for-bit identical for any `--jobs` value.
+//!
 //! ```sh
 //! cargo run -p hotwire-bench --release --bin repro -- all
+//! cargo run -p hotwire-bench --release --bin repro -- --jobs 4 all
 //! cargo run -p hotwire-bench --release --bin repro -- e1 e5
-//! cargo run -p hotwire-bench --release --bin repro -- --fast e2
+//! cargo run -p hotwire-bench --release --bin repro -- --fast --json out.json e2
 //! ```
 
 use hotwire_bench::experiments::{self, Speed};
+use hotwire_rig::{exec, Campaign};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--fast] <experiment…|all>
+const USAGE: &str = "usage: repro [--fast] [--jobs N] [--json PATH] <experiment…|all>
+options:
+  --fast       scaled-down scenarios (the integration-test profile)
+  --jobs N     worker threads for campaigns (default: all cores; 1 = serial)
+  --json PATH  also write per-experiment wall-clock + headline metrics as JSON
 experiments:
   e1   Fig. 11 — water-speed staircase vs Promag 50
   e2   Table I — resolution across the range
@@ -27,24 +38,156 @@ experiments:
   a2   ablation — decimation-ratio sweep
   a3   ablation — probe insertion position";
 
-fn dispatch(id: &str, speed: Speed) -> Result<String, Box<dyn std::error::Error>> {
+/// One experiment's rendered report plus its headline numbers for `--json`.
+struct Report {
+    text: String,
+    metrics: Vec<(&'static str, f64)>,
+}
+
+fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
+    let err = |e: hotwire_core::CoreError| e.to_string();
     Ok(match id {
-        "e1" => experiments::e01_staircase::run(speed)?.to_string(),
-        "e2" => experiments::e02_resolution::run(speed)?.to_string(),
-        "e3" => experiments::e03_repeatability::run(speed)?.to_string(),
-        "e4" => experiments::e04_direction::run(speed)?.to_string(),
-        "e5" => experiments::e05_bubbles::run(speed)?.to_string(),
-        "e6" => experiments::e06_fouling::run(speed)?.to_string(),
-        "e7" => experiments::e07_pressure::run(speed)?.to_string(),
-        "e8" => experiments::e08_comparison::run(speed)?.to_string(),
-        "e9" => experiments::e09_kings_law::run(speed)?.to_string(),
-        "e10" => experiments::e10_filter::run(speed)?.to_string(),
-        "e11" => experiments::e11_power::run(speed)?.to_string(),
-        "e12" => experiments::e12_modes::run(speed)?.to_string(),
-        "a1" => experiments::a01_pi_gains::run(speed)?.to_string(),
-        "a2" => experiments::a02_decimation::run(speed)?.to_string(),
-        "a3" => experiments::a03_probe_position::run(speed)?.to_string(),
-        other => return Err(format!("unknown experiment `{other}`\n{USAGE}").into()),
+        "e1" => {
+            let r = experiments::e01_staircase::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![
+                    ("dut_rms_cm_s", r.dut_rms_cm_s),
+                    ("linearity_pct_fs", r.linearity_pct_fs),
+                    ("hysteresis_pct_fs", r.hysteresis_pct_fs),
+                ],
+                text: r.to_string(),
+            }
+        }
+        "e2" => {
+            let r = experiments::e02_resolution::run(speed).map_err(err)?;
+            let worst = r
+                .points
+                .iter()
+                .map(|p| p.resolution_pct_fs)
+                .fold(0.0, f64::max);
+            Report {
+                metrics: vec![("worst_resolution_pct_fs", worst)],
+                text: r.to_string(),
+            }
+        }
+        "e3" => {
+            let r = experiments::e03_repeatability::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![("repeatability_pct_fs", r.repeatability_pct_fs)],
+                text: r.to_string(),
+            }
+        }
+        "e4" => {
+            let r = experiments::e04_direction::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![("direction_agreement", r.overall)],
+                text: r.to_string(),
+            }
+        }
+        "e5" => {
+            let r = experiments::e05_bubbles::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![
+                    ("naive_peak_coverage", r.cases[0].peak_coverage),
+                    ("reduced_peak_coverage", r.cases[1].peak_coverage),
+                    ("pulsed_peak_coverage", r.cases[2].peak_coverage),
+                ],
+                text: r.to_string(),
+            }
+        }
+        "e6" => {
+            let r = experiments::e06_fouling::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![
+                    ("realistic_bare_um", r.realistic_bare_um),
+                    ("realistic_passivated_um", r.realistic_passivated_um),
+                ],
+                text: r.to_string(),
+            }
+        }
+        "e7" => {
+            let r = experiments::e07_pressure::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![
+                    ("paper_worst_deviation_cm_s", r.cases[0].worst_deviation_cm_s),
+                    ("paper_peak_coverage", r.cases[0].peak_coverage),
+                ],
+                text: r.to_string(),
+            }
+        }
+        "e8" => {
+            let r = experiments::e08_comparison::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![
+                    ("mems_resolution_pct_fs", r.instruments[0].resolution_pct_fs),
+                    ("mems_rms_error_cm_s", r.instruments[0].rms_error_cm_s),
+                ],
+                text: r.to_string(),
+            }
+        }
+        "e9" => {
+            let r = experiments::e09_kings_law::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![
+                    ("king_worst_cm_s", r.king_worst()),
+                    ("linear_worst_cm_s", r.linear_worst()),
+                    ("king_exponent_n", r.n),
+                ],
+                text: r.to_string(),
+            }
+        }
+        "e10" => {
+            let r = experiments::e10_filter::run(speed).map_err(err)?;
+            let narrow = r.points.last().expect("non-empty sweep");
+            Report {
+                metrics: vec![("narrowest_resolution_cm_s", narrow.resolution_cm_s)],
+                text: r.to_string(),
+            }
+        }
+        "e11" => {
+            let r = experiments::e11_power::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![("typical_autonomy_days", r.typical().autonomy_days)],
+                text: r.to_string(),
+            }
+        }
+        "e12" => {
+            let r = experiments::e12_modes::run(speed).map_err(err)?;
+            Report {
+                metrics: vec![("ct_drift_pct", r.ct().drift_pct)],
+                text: r.to_string(),
+            }
+        }
+        "a1" => {
+            let r = experiments::a01_pi_gains::run(speed).map_err(err)?;
+            let railed = r.points.iter().filter(|p| p.railed).count();
+            Report {
+                metrics: vec![("railed_gain_points", railed as f64)],
+                text: r.to_string(),
+            }
+        }
+        "a2" => {
+            let r = experiments::a02_decimation::run(speed).map_err(err)?;
+            let silicon = r
+                .points
+                .iter()
+                .find(|p| p.ratio == 256)
+                .or_else(|| r.points.last())
+                .expect("non-empty sweep");
+            Report {
+                metrics: vec![("r256_resolution_cm_s", silicon.resolution_cm_s)],
+                text: r.to_string(),
+            }
+        }
+        "a3" => {
+            let r = experiments::a03_probe_position::run(speed).map_err(err)?;
+            let wall = r.points.last().expect("non-empty sweep");
+            Report {
+                metrics: vec![("near_wall_error_pct", wall.error_pct)],
+                text: r.to_string(),
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`")),
     })
 }
 
@@ -52,12 +195,99 @@ const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
 ];
 
+/// Minimal JSON string escaping (we have no JSON dependency by design).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite f64 as JSON; NaN/∞ become `null` (JSON has no spelling for them).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(
+    path: &str,
+    speed: Speed,
+    jobs: usize,
+    rows: &[(String, Result<Report, String>, f64)],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"speed\": \"{}\",\n",
+        match speed {
+            Speed::Full => "full",
+            Speed::Fast => "fast",
+        }
+    ));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
+    out.push_str("  \"experiments\": [\n");
+    for (i, (id, result, wall_s)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_s\": {}, ",
+            json_escape(id),
+            json_number(*wall_s)
+        ));
+        match result {
+            Ok(report) => {
+                out.push_str("\"ok\": true, \"metrics\": {");
+                for (j, (name, value)) in report.metrics.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("\"{}\": {}", json_escape(name), json_number(*value)));
+                }
+                out.push_str("}}");
+            }
+            Err(e) => {
+                out.push_str(&format!("\"ok\": false, \"error\": \"{}\"}}", json_escape(e)));
+            }
+        }
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 fn main() -> ExitCode {
     let mut speed = Speed::Full;
+    let mut json_path: Option<String> = None;
+    let mut jobs: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => speed = Speed::Fast,
+            "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--json" => match args.next() {
+                Some(path) => json_path = Some(path),
+                None => {
+                    eprintln!("--json needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -70,22 +300,45 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
-    for id in &ids {
-        let started = std::time::Instant::now();
-        match dispatch(id, speed) {
+    if let Some(n) = jobs {
+        exec::set_default_jobs(n);
+    }
+    let jobs = exec::default_jobs();
+
+    // Fan the experiments themselves across the campaign executor. Inner
+    // campaigns nest harmlessly (scoped threads, no global pool) and the
+    // index-ordered merge keeps reports in request order regardless of
+    // which experiment finishes first.
+    let rows: Vec<(String, Result<Report, String>, f64)> =
+        Campaign::new().map(&ids, |_, id| {
+            let started = std::time::Instant::now();
+            let result = dispatch(id, speed);
+            (id.clone(), result, started.elapsed().as_secs_f64())
+        });
+
+    let mut failed = false;
+    for (id, result, wall_s) in &rows {
+        match result {
             Ok(report) => {
                 println!("{}", "=".repeat(78));
-                println!("{report}");
-                println!(
-                    "[{id} completed in {:.1} s]\n",
-                    started.elapsed().as_secs_f64()
-                );
+                println!("{}", report.text);
+                println!("[{id} completed in {wall_s:.1} s]\n");
             }
             Err(e) => {
                 eprintln!("{id}: {e}");
-                return ExitCode::FAILURE;
+                failed = true;
             }
         }
     }
-    ExitCode::SUCCESS
+    if let Some(path) = &json_path {
+        if let Err(e) = write_json(path, speed, jobs, &rows) {
+            eprintln!("--json {path}: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

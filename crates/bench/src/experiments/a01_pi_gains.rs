@@ -10,9 +10,9 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
-use hotwire_physics::MafParams;
+use hotwire_rig::campaign::Calibration;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, LineRunner};
+use hotwire_rig::{metrics, Campaign, RunSpec};
 
 /// One gain pair's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -58,17 +58,34 @@ pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
         let c = FlowMeterConfig::water_station();
         (c.kp, c.ki)
     };
+    let specs: Vec<RunSpec> = grid
+        .iter()
+        .enumerate()
+        .map(|(i, &(kp, ki))| {
+            let config = FlowMeterConfig {
+                kp,
+                ki,
+                ..speed.config()
+            };
+            let scenario = Scenario {
+                flow_cm_s: Schedule::new()
+                    .then_hold(100.0, hold)
+                    .then_hold(50.0, hold / 2.0)
+                    .then_hold(150.0, hold),
+                ..Scenario::steady(0.0, hold * 2.5)
+            };
+            RunSpec::new(format!("kp{kp}-ki{ki}"), config, scenario, 0xA1)
+                .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xA1)))
+                .with_line_seed(0xA100 + i as u64)
+        })
+        .collect();
+    let outcomes = Campaign::new().try_run(&specs);
     let mut points = Vec::new();
-    for (i, &(kp, ki)) in grid.iter().enumerate() {
-        let config = FlowMeterConfig {
-            kp,
-            ki,
-            ..speed.config()
-        };
-        // An unstable loop fails calibration (garbage points) — that *is*
-        // the data point, not an error.
-        let meter = match super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xA1) {
-            Ok(m) => m,
+    for (&(kp, ki), outcome) in grid.iter().zip(outcomes) {
+        let trace = match outcome {
+            Ok(outcome) => outcome.trace,
+            // An unstable loop fails calibration (garbage points) — that
+            // *is* the data point, not an error.
             Err(CoreError::Calibration { .. }) => {
                 points.push(GainPoint {
                     kp,
@@ -81,15 +98,6 @@ pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
             }
             Err(e) => return Err(e),
         };
-        let scenario = Scenario {
-            flow_cm_s: Schedule::new()
-                .then_hold(100.0, hold)
-                .then_hold(50.0, hold / 2.0)
-                .then_hold(150.0, hold),
-            ..Scenario::steady(0.0, hold * 2.5)
-        };
-        let mut runner = LineRunner::new(scenario, meter, 0xA100 + i as u64);
-        let trace = runner.run(0.02);
         let resolution = metrics::resolution(&trace.dut_window(hold * 0.4, hold));
         let step: Vec<(f64, f64)> = trace
             .samples

@@ -9,8 +9,8 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
-use hotwire_physics::MafParams;
-use hotwire_rig::{metrics, LineRunner, Scenario};
+use hotwire_rig::campaign::Calibration;
+use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
 
 /// One decimation setting's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -40,30 +40,47 @@ pub struct DecimationResult {
 pub fn run(speed: Speed) -> Result<DecimationResult, CoreError> {
     let ratios: &[u32] = &[64, 128, 256, 512];
     let hold = speed.seconds(40.0);
-    let mut points = Vec::new();
-    for (i, &ratio) in ratios.iter().enumerate() {
-        let base = speed.config();
-        // Keep the output filter realizable at every control rate.
-        let control_rate = base.modulator_rate.get() / ratio as f64;
-        let config = FlowMeterConfig {
-            decimation: ratio,
-            output_filter: hotwire_units::Hertz::new(
-                base.output_filter.get().min(control_rate / 8.0),
-            ),
-            ..base
-        };
-        let meter = super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xA2)?;
-        let mut runner = LineRunner::new(Scenario::steady(100.0, hold), meter, 0xA200 + i as u64);
-        let trace = runner.run(0.02);
-        let window = trace.dut_window(hold * 0.4, hold);
-        points.push(DecimationPoint {
-            ratio,
-            control_rate_hz: control_rate,
-            resolution_cm_s: metrics::resolution(&window),
-            bias_cm_s: metrics::mean(&window) - 100.0,
-        });
-    }
-    Ok(DecimationResult { points })
+    let base = speed.config();
+    let specs: Vec<RunSpec> = ratios
+        .iter()
+        .enumerate()
+        .map(|(i, &ratio)| {
+            // Keep the output filter realizable at every control rate.
+            let control_rate = base.modulator_rate.get() / ratio as f64;
+            let config = FlowMeterConfig {
+                decimation: ratio,
+                output_filter: hotwire_units::Hertz::new(
+                    base.output_filter.get().min(control_rate / 8.0),
+                ),
+                ..base
+            };
+            RunSpec::new(
+                format!("decimation-{ratio}"),
+                config,
+                Scenario::steady(100.0, hold),
+                0xA2,
+            )
+            .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xA2)))
+            .with_line_seed(0xA200 + i as u64)
+            .with_windows(hold * 0.4, hold * 0.6)
+        })
+        .collect();
+    let outcomes = Campaign::new().run(&specs)?;
+    Ok(DecimationResult {
+        points: ratios
+            .iter()
+            .zip(&outcomes)
+            .map(|(&ratio, outcome)| {
+                let window = outcome.trace.dut_window(hold * 0.4, hold);
+                DecimationPoint {
+                    ratio,
+                    control_rate_hz: base.modulator_rate.get() / ratio as f64,
+                    resolution_cm_s: metrics::resolution(&window),
+                    bias_cm_s: metrics::mean(&window) - 100.0,
+                }
+            })
+            .collect(),
+    })
 }
 
 impl core::fmt::Display for DecimationResult {

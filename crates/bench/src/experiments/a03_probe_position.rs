@@ -13,7 +13,9 @@ use crate::table::Table;
 use hotwire_core::CoreError;
 use hotwire_physics::fluid::Water;
 use hotwire_physics::pipe::Pipe;
-use hotwire_physics::SensorEnvironment;
+use hotwire_physics::{MafParams, SensorEnvironment};
+use hotwire_rig::campaign;
+use hotwire_rig::Campaign;
 use hotwire_units::{Celsius, MetersPerSecond};
 
 /// One probe position's outcome.
@@ -34,20 +36,24 @@ pub struct ProbePositionResult {
     pub points: Vec<PositionPoint>,
 }
 
-/// Runs A3: one meter, calibrated with the probe at the centreline, then
-/// evaluated with the same probe displaced to several radial positions.
+/// Runs A3: the calibration (probe at the centreline) is collected once and
+/// shared; each radial position then evaluates on its own identically-built
+/// replica, concurrently.
 ///
 /// # Errors
 ///
-/// Returns [`CoreError`] if the meter cannot be built or calibrated.
+/// Returns [`CoreError`] if a meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<ProbePositionResult, CoreError> {
-    let mut meter = super::calibrated_meter(speed, 0xA3)?;
+    let calibration =
+        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xA3)?;
     let bulk = MetersPerSecond::from_cm_per_s(100.0);
     let pipe = Pipe::dn50();
     let water = Water::potable();
     let temperature = Celsius::new(15.0);
-    let mut points = Vec::new();
-    for &r in &[0.0, 0.2, 0.4, 0.6, 0.8] {
+    let radii = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let results = Campaign::new().map(&radii, |_, &r| -> Result<PositionPoint, CoreError> {
+        let mut meter =
+            campaign::build_meter(speed.config(), MafParams::nominal(), 0xA3, &calibration)?;
         // The displaced probe sees the profile at radius r instead of the
         // centreline it was calibrated against.
         let local = pipe.local_mean_velocity_at(&water, temperature, bulk, r);
@@ -59,12 +65,13 @@ pub fn run(speed: Speed) -> Result<ProbePositionResult, CoreError> {
             .run(speed.seconds(15.0), env)
             .expect("control loop ran");
         let reading = m.speed.to_cm_per_s();
-        points.push(PositionPoint {
+        Ok(PositionPoint {
             r_over_radius: r,
             reading_cm_s: reading,
             error_pct: (reading - 100.0),
-        });
-    }
+        })
+    });
+    let points = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(ProbePositionResult { points })
 }
 

@@ -8,7 +8,8 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::CoreError;
-use hotwire_rig::{metrics, LineRunner, Scenario, Trace};
+use hotwire_physics::MafParams;
+use hotwire_rig::{metrics, Campaign, RunSpec, Scenario, Trace};
 
 /// E1 results.
 #[derive(Debug, Clone)]
@@ -34,9 +35,18 @@ pub struct StaircaseResult {
 /// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<StaircaseResult, CoreError> {
     let dwell = speed.seconds(8.0);
-    let meter = super::calibrated_meter(speed, 0xE1)?;
-    let mut runner = LineRunner::new(Scenario::fig11_staircase(dwell), meter, 0xE1);
-    let trace = runner.run(dwell / 8.0);
+    let calibration =
+        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE1)?;
+    let spec = RunSpec::new(
+        "fig11-staircase",
+        speed.config(),
+        Scenario::fig11_staircase(dwell),
+        0xE1,
+    )
+    .with_calibration(calibration)
+    .with_sample_period(dwell / 8.0);
+    let outcomes = Campaign::new().run(&[spec])?;
+    let trace = outcomes.into_iter().next().expect("one spec").trace;
 
     // Settled tail: the last 30 % of each dwell. The staircase rises for
     // the first 7 levels and falls afterwards, which also yields the

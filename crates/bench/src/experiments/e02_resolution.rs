@@ -12,7 +12,8 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::CoreError;
-use hotwire_rig::{metrics, LineRunner, Scenario};
+use hotwire_physics::MafParams;
+use hotwire_rig::{Campaign, RunSpec, Scenario};
 
 /// Resolution at one operating point.
 #[derive(Debug, Clone, Copy)]
@@ -60,28 +61,39 @@ impl ResolutionResult {
 pub fn run(speed: Speed) -> Result<ResolutionResult, CoreError> {
     let settle = speed.seconds(8.0);
     let window = speed.seconds(40.0);
-    let mut meter = Some(super::calibrated_meter(speed, 0xE2)?);
-    let mut points = Vec::new();
-    for (i, &flow) in [10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0]
+    // One field calibration, shared by every setpoint's meter replica; the
+    // setpoints then run as a parallel campaign.
+    let calibration =
+        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE2)?;
+    let flows = [10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0];
+    let specs: Vec<RunSpec> = flows
         .iter()
         .enumerate()
-    {
-        let m = meter.take().expect("meter returns from each runner");
-        let mut runner = LineRunner::new(
-            Scenario::steady(flow, settle + window),
-            m,
-            0x2000 + i as u64,
-        );
-        let trace = runner.run(0.02);
-        let samples = trace.dut_window(settle, settle + window);
-        let sigma = metrics::resolution(&samples);
-        points.push(ResolutionPoint {
-            flow_cm_s: flow,
-            resolution_cm_s: sigma,
-            resolution_pct_fs: sigma / 250.0 * 100.0,
-        });
-        meter = Some(runner.into_meter());
-    }
+        .map(|(i, &flow)| {
+            RunSpec::new(
+                format!("{flow} cm/s"),
+                speed.config(),
+                Scenario::steady(flow, settle + window),
+                0xE2,
+            )
+            .with_line_seed(0x2000 + i as u64)
+            .with_calibration(calibration.clone())
+            .with_windows(settle, window)
+        })
+        .collect();
+    let points = Campaign::new()
+        .run(&specs)?
+        .iter()
+        .zip(&flows)
+        .map(|(outcome, &flow)| {
+            let sigma = outcome.settled_std();
+            ResolutionPoint {
+                flow_cm_s: flow,
+                resolution_cm_s: sigma,
+                resolution_pct_fs: sigma / 250.0 * 100.0,
+            }
+        })
+        .collect();
     Ok(ResolutionResult {
         points,
         window_s: window,

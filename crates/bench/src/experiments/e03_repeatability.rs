@@ -6,8 +6,9 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::CoreError;
+use hotwire_physics::MafParams;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, LineRunner};
+use hotwire_rig::{metrics, Campaign, RunSpec};
 
 /// E3 results.
 #[derive(Debug, Clone)]
@@ -36,9 +37,13 @@ pub fn run(speed: Speed) -> Result<RepeatabilityResult, CoreError> {
         flow_cm_s: Schedule::staircase(&levels, dwell),
         ..Scenario::steady(0.0, levels.len() as f64 * dwell)
     };
-    let meter = super::calibrated_meter(speed, 0xE3)?;
-    let mut runner = LineRunner::new(scenario, meter, 0xE3);
-    let trace = runner.run(0.05);
+    let calibration =
+        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE3)?;
+    let spec = RunSpec::new("repeatability-staircase", speed.config(), scenario, 0xE3)
+        .with_calibration(calibration)
+        .with_sample_period(0.05);
+    let outcomes = Campaign::new().run(&[spec])?;
+    let trace = &outcomes[0].trace;
 
     let mut visit_means = Vec::new();
     for (k, &level) in levels.iter().enumerate() {
@@ -47,9 +52,9 @@ pub fn run(speed: Speed) -> Result<RepeatabilityResult, CoreError> {
         }
         let t0 = k as f64 * dwell + 0.7 * dwell;
         let t1 = (k + 1) as f64 * dwell;
-        let window = trace.dut_window(t0, t1);
-        if !window.is_empty() {
-            visit_means.push(metrics::mean(&window));
+        let stats = trace.window_stats(t0, t1);
+        if stats.count() > 0 {
+            visit_means.push(stats.mean());
         }
     }
     let repeatability_pct_fs = metrics::repeatability(&visit_means, 250.0) * 100.0;

@@ -6,8 +6,8 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::CoreError;
-use hotwire_physics::SensorEnvironment;
-use hotwire_rig::{LineRunner, Scenario};
+use hotwire_physics::MafParams;
+use hotwire_rig::{Campaign, RunSpec, Scenario};
 
 /// One directional segment's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -34,11 +34,19 @@ pub struct DirectionResult {
 /// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<DirectionResult, CoreError> {
     let dwell = speed.seconds(10.0);
-    let mut meter = super::calibrated_meter(speed, 0xE4)?;
-    meter.auto_zero_direction(speed.seconds(2.0), SensorEnvironment::still_water());
-    let scenario = Scenario::direction_sweep(80.0, dwell);
-    let mut runner = LineRunner::new(scenario, meter, 0xE4);
-    let trace = runner.run(0.05);
+    let calibration =
+        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE4)?;
+    let spec = RunSpec::new(
+        "direction-sweep",
+        speed.config(),
+        Scenario::direction_sweep(80.0, dwell),
+        0xE4,
+    )
+    .with_calibration(calibration)
+    .with_auto_zero(speed.seconds(2.0))
+    .with_sample_period(0.05);
+    let outcomes = Campaign::new().run(&[spec])?;
+    let trace = &outcomes[0].trace;
 
     let levels = [80.0, 0.0, -80.0, 0.0, 80.0, -80.0];
     let mut segments = Vec::new();

@@ -11,10 +11,10 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
-use hotwire_core::{CoreError, FlowMeter};
+use hotwire_core::CoreError;
 use hotwire_physics::sensor::HeaterId;
-use hotwire_physics::MafParams;
-use hotwire_rig::{metrics, LineRunner, Scenario};
+use hotwire_rig::campaign::{Calibration, RunOutcome};
+use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
 
 /// One drive's outcome.
 #[derive(Debug, Clone)]
@@ -42,16 +42,9 @@ pub struct BubbleResult {
     pub duration_s: f64,
 }
 
-fn run_case(
-    label: &'static str,
-    config: FlowMeterConfig,
-    speed: Speed,
-    duration: f64,
-) -> Result<BubbleCase, CoreError> {
-    let meter = super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xE5)?;
-    let mut runner = LineRunner::new(Scenario::steady(100.0, duration), meter, 0xE5);
-    let trace = runner.run(0.1);
-    let meter: FlowMeter = runner.into_meter();
+fn reduce_case(label: &'static str, duration: f64, outcome: &RunOutcome) -> BubbleCase {
+    let trace = &outcome.trace;
+    let meter = &outcome.meter;
     let peak = trace
         .samples
         .iter()
@@ -63,7 +56,7 @@ fn run_case(
         .filter(|s| s.t > duration / 2.0)
         .map(|s| (s.true_cm_s, s.dut_cm_s))
         .collect();
-    Ok(BubbleCase {
+    BubbleCase {
         label,
         peak_coverage: peak,
         final_coverage: meter
@@ -74,10 +67,11 @@ fn run_case(
             + meter.die().detachment_count(HeaterId::B),
         rms_error_cm_s: metrics::rms_error(&errors),
         flagged: meter.fault_latch().bubble_activity,
-    })
+    }
 }
 
-/// Runs E5.
+/// Runs E5. The three drives execute as one campaign, each calibrating its
+/// own configuration.
 ///
 /// # Errors
 ///
@@ -98,12 +92,27 @@ pub fn run(speed: Speed) -> Result<BubbleResult, CoreError> {
         }),
         ..base
     };
+    let labels = [
+        "continuous, 40 K (naive)",
+        "continuous, 15 K (reduced)",
+        "pulsed 25 %, 40 K",
+    ];
+    let specs: Vec<RunSpec> = [naive, reduced, pulsed]
+        .into_iter()
+        .zip(labels)
+        .map(|(config, label)| {
+            RunSpec::new(label, config, Scenario::steady(100.0, duration), 0xE5)
+                .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE5)))
+                .with_sample_period(0.1)
+        })
+        .collect();
+    let outcomes = Campaign::new().run(&specs)?;
     Ok(BubbleResult {
-        cases: vec![
-            run_case("continuous, 40 K (naive)", naive, speed, duration)?,
-            run_case("continuous, 15 K (reduced)", reduced, speed, duration)?,
-            run_case("pulsed 25 %, 40 K", pulsed, speed, duration)?,
-        ],
+        cases: labels
+            .iter()
+            .zip(&outcomes)
+            .map(|(&label, outcome)| reduce_case(label, duration, outcome))
+            .collect(),
         duration_s: duration,
     })
 }

@@ -13,6 +13,7 @@ use hotwire_core::CoreError;
 use hotwire_physics::fouling::{FoulingParams, Passivation};
 use hotwire_physics::sensor::HeaterId;
 use hotwire_physics::{MafDie, MafParams, SensorEnvironment};
+use hotwire_rig::Campaign;
 use hotwire_units::Celsius;
 
 /// One aging checkpoint for one die.
@@ -81,8 +82,17 @@ fn aged_series(
 ///
 /// Returns [`CoreError`] if a meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<FoulingResult, CoreError> {
-    let bare = aged_series(Passivation::Bare, speed, 0xE6)?;
-    let passivated = aged_series(Passivation::SiliconNitride, speed, 0xE6)?;
+    // Each die's aging is inherently serial (state accumulates between
+    // checkpoints), but the two dies are independent — run them as one
+    // campaign job each.
+    let variants = [Passivation::Bare, Passivation::SiliconNitride];
+    let mut series = Campaign::new()
+        .map(&variants, |_, &passivation| {
+            aged_series(passivation, speed, 0xE6)
+        })
+        .into_iter();
+    let bare = series.next().expect("bare series")?;
+    let passivated = series.next().expect("passivated series")?;
 
     // Months-scale check at realistic kinetics (pure aging, no electronics).
     let realistic = |p: Passivation| {

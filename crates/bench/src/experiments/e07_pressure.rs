@@ -12,8 +12,8 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
-use hotwire_physics::MafParams;
-use hotwire_rig::{metrics, LineRunner, Scenario};
+use hotwire_rig::campaign::Calibration;
+use hotwire_rig::{Campaign, RunSpec, Scenario, Trace};
 
 /// One drive's behaviour over the pressure schedule.
 #[derive(Debug, Clone)]
@@ -37,18 +37,10 @@ pub struct PressureResult {
     pub cases: Vec<PressureCase>,
 }
 
-fn run_case(
-    label: &'static str,
-    config: FlowMeterConfig,
-    speed: Speed,
-) -> Result<PressureCase, CoreError> {
-    let meter = super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xE7)?;
-    let mut runner = LineRunner::new(Scenario::pressure_torture(100.0), meter, 0xE7);
-    let trace = runner.run(0.1);
-
+fn reduce_case(label: &'static str, trace: &Trace) -> PressureCase {
     // Schedule landmarks (see Scenario::pressure_torture): 1 bar hold ends
     // at t=10; first 7 bar peak spans t∈[40,42); second t∈[52,54).
-    let baseline = metrics::mean(&trace.dut_window(5.0, 10.0));
+    let baseline = trace.window_stats(5.0, 10.0).mean();
     let worst = trace
         .samples
         .iter()
@@ -66,16 +58,16 @@ fn run_case(
         .iter()
         .map(|s| s.bubble_coverage)
         .fold(0.0, f64::max);
-    Ok(PressureCase {
+    PressureCase {
         label,
         baseline_cm_s: baseline,
         worst_deviation_cm_s: worst,
         peak_deviation_cm_s: peak_window.iter().copied().fold(0.0, f64::max),
         peak_coverage: coverage,
-    })
+    }
 }
 
-/// Runs E7.
+/// Runs E7. Both drives execute as one campaign.
 ///
 /// Note: the pressure schedule's timing is absolute, so this experiment runs
 /// the full-length scenario even in fast mode (the modulator rate still
@@ -90,11 +82,23 @@ pub fn run(speed: Speed) -> Result<PressureResult, CoreError> {
         overheat: hotwire_units::KelvinDelta::new(40.0),
         ..reduced
     };
+    let labels = ["15 K overheat (paper)", "40 K overheat (naive)"];
+    let specs: Vec<RunSpec> = [reduced, naive]
+        .into_iter()
+        .zip(labels)
+        .map(|(config, label)| {
+            RunSpec::new(label, config, Scenario::pressure_torture(100.0), 0xE7)
+                .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE7)))
+                .with_sample_period(0.1)
+        })
+        .collect();
+    let outcomes = Campaign::new().run(&specs)?;
     Ok(PressureResult {
-        cases: vec![
-            run_case("15 K overheat (paper)", reduced, speed)?,
-            run_case("40 K overheat (naive)", naive, speed)?,
-        ],
+        cases: labels
+            .iter()
+            .zip(&outcomes)
+            .map(|(&label, outcome)| reduce_case(label, &outcome.trace))
+            .collect(),
     })
 }
 

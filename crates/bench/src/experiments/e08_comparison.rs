@@ -10,8 +10,9 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::CoreError;
+use hotwire_physics::MafParams;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, LineRunner};
+use hotwire_rig::{metrics, Campaign, RunSpec};
 
 /// One instrument's scorecard.
 #[derive(Debug, Clone)]
@@ -58,9 +59,12 @@ pub fn run(speed: Speed) -> Result<ComparisonResult, CoreError> {
         flow_cm_s: flow,
         ..Scenario::steady(0.0, 5.0 * dwell)
     };
-    let meter = super::calibrated_meter(speed, 0xE8)?;
-    let mut runner = LineRunner::new(scenario, meter, 0xE8);
-    let trace = runner.run(0.02);
+    let calibration =
+        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE8)?;
+    let spec = RunSpec::new("instrument-comparison", speed.config(), scenario, 0xE8)
+        .with_calibration(calibration);
+    let outcomes = Campaign::new().run(&[spec])?;
+    let trace = &outcomes[0].trace;
 
     let window = |t0: f64, t1: f64, pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<f64> {
         trace

@@ -11,7 +11,8 @@ use crate::table::Table;
 use hotwire_core::calibration::CalPoint;
 use hotwire_core::CoreError;
 use hotwire_physics::{MafParams, SensorEnvironment};
-use hotwire_rig::runner::field_calibrate;
+use hotwire_rig::campaign::{self, Calibration, FieldCalibration};
+use hotwire_rig::Campaign;
 use hotwire_units::MetersPerSecond;
 
 /// Model error at one verification point.
@@ -64,13 +65,26 @@ impl KingsLawResult {
 ///
 /// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<KingsLawResult, CoreError> {
-    let mut meter = hotwire_core::FlowMeter::new(speed.config(), MafParams::nominal(), 0xE9)?;
-    let cal_points: Vec<CalPoint> = field_calibrate(
-        &mut meter,
-        &[10.0, 30.0, 60.0, 100.0, 150.0, 200.0, 245.0],
-        speed.seconds(1.5),
-        speed.seconds(0.5),
+    // Collect the calibration observations once (setpoints in parallel),
+    // then fan the fitted calibration out to one meter replica per
+    // verification velocity.
+    let recipe = FieldCalibration {
+        setpoints_cm_s: vec![10.0, 30.0, 60.0, 100.0, 150.0, 200.0, 245.0],
+        settle_s: speed.seconds(1.5),
+        average_s: speed.seconds(0.5),
+        seed: 0xE9,
+    };
+    let calibration =
+        super::shared_calibration_with(speed.config(), MafParams::nominal(), 0xE9, recipe)?;
+    let Calibration::Points { ref points, .. } = calibration else {
+        unreachable!("shared_calibration_with always returns Points");
+    };
+    let cal_points: Vec<CalPoint> = points.clone();
+    let meter = campaign::build_meter(
+        speed.config(),
+        MafParams::nominal(),
         0xE9,
+        &calibration,
     )?;
     let cal = *meter.calibration().expect("calibration installed");
 
@@ -93,8 +107,10 @@ pub fn run(speed: Speed) -> Result<KingsLawResult, CoreError> {
     // verification environment must present the probe with the same
     // local-velocity statistics the calibration saw; here we compare in
     // bulk units by feeding the probe the calibrated local equivalent.
-    let mut points = Vec::new();
-    for &v in &[20.0, 45.0, 80.0, 125.0, 175.0, 230.0] {
+    let velocities = [20.0, 45.0, 80.0, 125.0, 175.0, 230.0];
+    let results = Campaign::new().map(&velocities, |_, &v| -> Result<InversionPoint, CoreError> {
+        let mut meter =
+            campaign::build_meter(speed.config(), MafParams::nominal(), 0xE9, &calibration)?;
         let env = SensorEnvironment {
             // Probe sees ~1.22× bulk in the turbulent DN50 line; apply the
             // same factor the field calibration absorbed.
@@ -105,12 +121,13 @@ pub fn run(speed: Speed) -> Result<KingsLawResult, CoreError> {
         let g = m.conductance;
         let king_reading = cal.velocity_from_conductance(g).to_cm_per_s();
         let linear_reading = (lin_a + lin_b * g.get()) * 100.0;
-        points.push(InversionPoint {
+        Ok(InversionPoint {
             true_cm_s: v,
             king_error_cm_s: king_reading - v,
             linear_error_cm_s: linear_reading - v,
-        });
-    }
+        })
+    });
+    let points = results.into_iter().collect::<Result<Vec<_>, _>>()?;
     Ok(KingsLawResult {
         a: cal.a,
         b: cal.b,

@@ -10,8 +10,8 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
-use hotwire_physics::MafParams;
-use hotwire_rig::{metrics, LineRunner, Scenario};
+use hotwire_rig::campaign::Calibration;
+use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
 use hotwire_units::Hertz;
 
 /// Resolution at one filter setting.
@@ -44,40 +44,62 @@ pub fn run(speed: Speed) -> Result<FilterResult, CoreError> {
         Speed::Full => &[10.0, 1.0, 0.5, 0.1],
         Speed::Fast => &[10.0, 1.0, 0.5, 0.2],
     };
-    let mut points = Vec::new();
-    for (i, &corner) in corners.iter().enumerate() {
-        // A corner at f needs ≥ 5τ ≈ 0.8/f to settle and a window of many
-        // correlation times to estimate σ honestly.
-        let settle = speed.seconds(10.0).max(1.0 / corner);
-        let window = speed.seconds(40.0).max(4.0 / corner);
-        let config = FlowMeterConfig {
-            output_filter: Hertz::new(corner),
-            ..speed.config()
-        };
-        let meter = super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xE10)?;
-        // Steady window for resolution, then a step for response.
-        let scenario = Scenario {
-            flow_cm_s: hotwire_rig::Schedule::new()
-                .then_hold(100.0, settle + window)
-                .then_hold(50.0, settle)
-                .then_hold(150.0, settle + window),
-            ..Scenario::steady(0.0, settle + window + settle + settle + window)
-        };
-        let mut runner = LineRunner::new(scenario, meter, 0x1000 + i as u64);
-        let trace = runner.run(0.02);
-        let sigma = metrics::resolution(&trace.dut_window(settle, settle + window));
-        let step: Vec<(f64, f64)> = trace
-            .samples
-            .iter()
-            .filter(|s| s.t >= settle + window + settle - 0.5)
-            .map(|s| (s.t, s.dut_cm_s))
-            .collect();
-        points.push(FilterPoint {
-            corner_hz: corner,
-            resolution_cm_s: sigma,
-            response_s: metrics::rise_time(&step, 50.0, 150.0),
-        });
-    }
+    // A corner at f needs ≥ 5τ ≈ 0.8/f to settle and a window of many
+    // correlation times to estimate σ honestly; the windows therefore differ
+    // per corner and ride along next to each spec.
+    let windows: Vec<(f64, f64)> = corners
+        .iter()
+        .map(|&corner| {
+            (
+                speed.seconds(10.0).max(1.0 / corner),
+                speed.seconds(40.0).max(4.0 / corner),
+            )
+        })
+        .collect();
+    let specs: Vec<RunSpec> = corners
+        .iter()
+        .zip(&windows)
+        .enumerate()
+        .map(|(i, (&corner, &(settle, window)))| {
+            let config = FlowMeterConfig {
+                output_filter: Hertz::new(corner),
+                ..speed.config()
+            };
+            // Steady window for resolution, then a step for response.
+            let scenario = Scenario {
+                flow_cm_s: hotwire_rig::Schedule::new()
+                    .then_hold(100.0, settle + window)
+                    .then_hold(50.0, settle)
+                    .then_hold(150.0, settle + window),
+                ..Scenario::steady(0.0, settle + window + settle + settle + window)
+            };
+            RunSpec::new(format!("filter-corner-{corner}Hz"), config, scenario, 0xE10)
+                .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE10)))
+                .with_line_seed(0x1000 + i as u64)
+                .with_windows(settle, window)
+        })
+        .collect();
+    let outcomes = Campaign::new().run(&specs)?;
+    let points = corners
+        .iter()
+        .zip(&windows)
+        .zip(&outcomes)
+        .map(|((&corner, &(settle, window)), outcome)| {
+            let trace = &outcome.trace;
+            let sigma = metrics::resolution(&trace.dut_window(settle, settle + window));
+            let step: Vec<(f64, f64)> = trace
+                .samples
+                .iter()
+                .filter(|s| s.t >= settle + window + settle - 0.5)
+                .map(|s| (s.t, s.dut_cm_s))
+                .collect();
+            FilterPoint {
+                corner_hz: corner,
+                resolution_cm_s: sigma,
+                response_s: metrics::rise_time(&step, 50.0, 150.0),
+            }
+        })
+        .collect();
     Ok(FilterResult { points })
 }
 

@@ -8,6 +8,7 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::power::{DutyCycle, PowerState, FOUR_AA_WH};
 use hotwire_core::CoreError;
+use hotwire_rig::Campaign;
 use hotwire_units::{Seconds, Watts};
 
 /// One duty-cycle scenario's budget.
@@ -42,37 +43,36 @@ impl PowerResult {
 /// Returns [`CoreError::Config`] only if a scenario is malformed (they are
 /// static, so this does not happen in practice).
 pub fn run(_speed: Speed) -> Result<PowerResult, CoreError> {
-    let mut scenarios = Vec::new();
-    let mut push = |label: &str, cycle: DutyCycle| {
-        scenarios.push(PowerScenario {
-            label: label.to_string(),
-            average_mw: cycle.average_power().to_milliwatts(),
-            autonomy_days: cycle.autonomy_days_on_4aa(),
-        });
-    };
-    push(
-        "typical usage (1 s burst / 3 min)",
-        DutyCycle::typical_usage(),
-    );
-    push(
-        "fast logging (1 s burst / 30 s)",
-        DutyCycle::new(vec![
-            PowerState {
-                name: "measure",
-                draw: Watts::new(0.160),
-                duration: Seconds::new(1.0),
-            },
-            PowerState {
-                name: "sleep",
-                draw: Watts::new(25e-6),
-                duration: Seconds::new(29.0),
-            },
-        ])?,
-    );
-    push(
-        "continuous (no deep sleep)",
-        DutyCycle::continuous(Watts::new(0.160)),
-    );
+    let cycles = [
+        (
+            "typical usage (1 s burst / 3 min)",
+            DutyCycle::typical_usage(),
+        ),
+        (
+            "fast logging (1 s burst / 30 s)",
+            DutyCycle::new(vec![
+                PowerState {
+                    name: "measure",
+                    draw: Watts::new(0.160),
+                    duration: Seconds::new(1.0),
+                },
+                PowerState {
+                    name: "sleep",
+                    draw: Watts::new(25e-6),
+                    duration: Seconds::new(29.0),
+                },
+            ])?,
+        ),
+        (
+            "continuous (no deep sleep)",
+            DutyCycle::continuous(Watts::new(0.160)),
+        ),
+    ];
+    let scenarios = Campaign::new().map(&cycles, |_, (label, cycle)| PowerScenario {
+        label: (*label).to_string(),
+        average_mw: cycle.average_power().to_milliwatts(),
+        autonomy_days: cycle.autonomy_days_on_4aa(),
+    });
     Ok(PowerResult { scenarios })
 }
 

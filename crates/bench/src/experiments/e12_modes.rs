@@ -13,8 +13,8 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::{FlowMeterConfig, OperatingMode};
 use hotwire_core::CoreError;
-use hotwire_physics::MafParams;
-use hotwire_rig::{metrics, LineRunner, Scenario};
+use hotwire_rig::campaign::Calibration;
+use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
 
 /// One mode's drift result.
 #[derive(Debug, Clone)]
@@ -43,40 +43,52 @@ impl ModesResult {
     }
 }
 
-fn run_mode(mode: OperatingMode, speed: Speed) -> Result<ModeDrift, CoreError> {
-    let config = FlowMeterConfig {
-        mode,
-        ..speed.config()
-    };
-    let meter = super::calibrated_meter_with(config, MafParams::nominal(), speed, 0xE12)?;
-    let duration = speed.seconds(120.0);
-    let scenario = Scenario::temperature_ramp(100.0, 15.0, 30.0, duration);
-    let mut runner = LineRunner::new(scenario, meter, 0xE12);
-    let trace = runner.run(0.05);
-    // Settled windows: the last portion of the 15 °C hold and of the 30 °C
-    // hold (holds are the first/last 20 % of the scenario).
-    let reading_15c = metrics::mean(&trace.dut_window(0.1 * duration, 0.2 * duration));
-    let reading_30c = metrics::mean(&trace.dut_window(0.9 * duration, duration));
-    Ok(ModeDrift {
-        mode,
-        reading_15c,
-        reading_30c,
-        drift_pct: (reading_30c - reading_15c) / reading_15c.abs().max(1e-9) * 100.0,
-    })
-}
-
-/// Runs E12.
+/// Runs E12. The three modes execute as one campaign, each calibrating its
+/// own configuration.
 ///
 /// # Errors
 ///
 /// Returns [`CoreError`] if a meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<ModesResult, CoreError> {
+    let duration = speed.seconds(120.0);
+    let modes = [
+        OperatingMode::ConstantTemperature,
+        OperatingMode::ConstantCurrent,
+        OperatingMode::ConstantPower,
+    ];
+    let specs: Vec<RunSpec> = modes
+        .iter()
+        .map(|&mode| {
+            let config = FlowMeterConfig {
+                mode,
+                ..speed.config()
+            };
+            let scenario = Scenario::temperature_ramp(100.0, 15.0, 30.0, duration);
+            RunSpec::new(format!("{mode:?}"), config, scenario, 0xE12)
+                .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE12)))
+                .with_sample_period(0.05)
+        })
+        .collect();
+    let outcomes = Campaign::new().run(&specs)?;
     Ok(ModesResult {
-        modes: vec![
-            run_mode(OperatingMode::ConstantTemperature, speed)?,
-            run_mode(OperatingMode::ConstantCurrent, speed)?,
-            run_mode(OperatingMode::ConstantPower, speed)?,
-        ],
+        modes: modes
+            .iter()
+            .zip(&outcomes)
+            .map(|(&mode, outcome)| {
+                // Settled windows: the last portion of the 15 °C hold and of
+                // the 30 °C hold (holds are the first/last 20 % of the
+                // scenario).
+                let trace = &outcome.trace;
+                let reading_15c = metrics::mean(&trace.dut_window(0.1 * duration, 0.2 * duration));
+                let reading_30c = metrics::mean(&trace.dut_window(0.9 * duration, duration));
+                ModeDrift {
+                    mode,
+                    reading_15c,
+                    reading_30c,
+                    drift_pct: (reading_30c - reading_15c) / reading_15c.abs().max(1e-9) * 100.0,
+                }
+            })
+            .collect(),
     })
 }
 

@@ -19,7 +19,8 @@ pub mod e12_modes;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::{CoreError, FlowMeter};
 use hotwire_physics::MafParams;
-use hotwire_rig::runner::field_calibrate;
+use hotwire_rig::campaign::{self, Calibration, FieldCalibration};
+use hotwire_rig::exec;
 
 /// Experiment fidelity: `Full` reproduces the paper's silicon rates and
 /// dwell times; `Fast` runs the same code at the reduced test profile for
@@ -50,28 +51,77 @@ impl Speed {
     }
 }
 
+/// The field-calibration recipe every experiment shares: the paper's
+/// setpoint grid at this fidelity's settle/average windows, with the
+/// conventional `seed ^ 0xCAFE` calibration-line seed.
+pub fn calibration_recipe(speed: Speed, seed: u64) -> FieldCalibration {
+    FieldCalibration::paper(speed.seconds(1.5), speed.seconds(0.5), seed ^ 0xCAFE)
+}
+
+/// Runs the field-calibration procedure once (setpoints in parallel, up to
+/// the process default job count) and packages the result as a reusable
+/// [`Calibration::Points`] — the cheap path when several [`RunSpec`]s share
+/// one meter build.
+///
+/// [`RunSpec`]: hotwire_rig::RunSpec
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or a setpoint fails.
+pub fn shared_calibration(
+    config: FlowMeterConfig,
+    params: MafParams,
+    speed: Speed,
+    seed: u64,
+) -> Result<Calibration, CoreError> {
+    shared_calibration_with(config, params, seed, calibration_recipe(speed, seed))
+}
+
+/// [`shared_calibration`] with an explicit recipe (custom setpoint grids,
+/// e.g. the King's-law study).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or a setpoint fails.
+pub fn shared_calibration_with(
+    config: FlowMeterConfig,
+    params: MafParams,
+    meter_seed: u64,
+    recipe: FieldCalibration,
+) -> Result<Calibration, CoreError> {
+    let prototype = FlowMeter::new(config, params, meter_seed)?;
+    let (points, estimate) =
+        campaign::collect_calibration_points(&prototype, &recipe, exec::default_jobs())?;
+    Ok(Calibration::Points {
+        points,
+        fluid_estimate: Some(estimate),
+    })
+}
+
 /// Builds a field-calibrated meter — the common starting point of most
 /// experiments (the paper calibrated against the Promag 50 before
 /// evaluating).
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn calibrated_meter(speed: Speed, seed: u64) -> Result<FlowMeter, CoreError> {
     calibrated_meter_with(speed.config(), MafParams::nominal(), speed, seed)
 }
 
 /// Builds a field-calibrated meter from explicit configuration and die
-/// parameters.
+/// parameters. The calibration setpoints run as a (parallel) campaign; the
+/// result is identical to the historical serial procedure on replicas.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn calibrated_meter_with(
     config: FlowMeterConfig,
     params: MafParams,
     speed: Speed,
     seed: u64,
 ) -> Result<FlowMeter, CoreError> {
-    let mut meter = FlowMeter::new(config, params, seed)?;
-    field_calibrate(
-        &mut meter,
-        &[15.0, 50.0, 100.0, 160.0, 220.0],
-        speed.seconds(1.5),
-        speed.seconds(0.5),
-        seed ^ 0xCAFE,
-    )?;
-    Ok(meter)
+    let calibration = shared_calibration(config, params, speed, seed)?;
+    campaign::build_meter(config, params, seed, &calibration)
 }

@@ -72,9 +72,16 @@ enum ModeDriver {
 }
 
 /// The assembled flow meter.
+///
+/// `FlowMeter` is [`Send`]: every component it owns (die, platform,
+/// filters, seeded RNG) is plain owned data, so a meter can be moved into a
+/// worker thread and independent co-simulation runs can execute in
+/// parallel. Each individual run remains strictly single-threaded — the
+/// parallelism lives one layer up, in `hotwire_rig`'s campaign executor.
 #[derive(Debug)]
 pub struct FlowMeter {
     config: FlowMeterConfig,
+    build_seed: u64,
     die: MafDie,
     platform: IsifPlatform,
     bridge: BridgeConfig,
@@ -254,6 +261,7 @@ impl FlowMeter {
             fault_latch: FaultFlags::default(),
             fault_warmup_ticks: (3.0 * control_rate.get()) as u64,
             settled_streak: 0,
+            build_seed: seed,
             config,
             die,
             platform,
@@ -272,6 +280,32 @@ impl FlowMeter {
     #[inline]
     pub fn config(&self) -> &FlowMeterConfig {
         &self.config
+    }
+
+    /// The seed this meter was built with. Together with
+    /// [`config`](Self::config) and the die's
+    /// [`params`](hotwire_physics::MafDie::params), this fully determines
+    /// the instrument: `FlowMeter::new(*m.config(), *m.die().params(),
+    /// m.build_seed())` reconstructs a bit-identical cold replica —
+    /// what the campaign layer uses to fan calibration setpoints out across
+    /// threads.
+    #[inline]
+    pub fn build_seed(&self) -> u64 {
+        self.build_seed
+    }
+
+    /// Adopts an externally learned fluid-temperature estimate (°C, raw —
+    /// before zero correction).
+    ///
+    /// The parallel field-calibration procedure converges the temperature
+    /// channel on *replica* meters; the fitted calibration is then installed
+    /// into the original instrument, which never ran the setpoints itself.
+    /// Transferring the replicas' estimate first lets
+    /// [`calibrate`](Self::calibrate) learn the same zero offset the serial
+    /// procedure would have (absorbing the reference resistor's ±1.5 %
+    /// manufacturing tolerance).
+    pub fn adopt_fluid_estimate(&mut self, estimate: hotwire_units::Celsius) {
+        self.fluid_temp_estimate = estimate.get();
     }
 
     /// The simulated die (inspection of bubbles, fouling, temperatures).
@@ -1020,6 +1054,32 @@ mod tests {
         // And real flow still resolves.
         let meas = m.run(0.6, env(60.0)).unwrap();
         assert_eq!(meas.direction, FlowDirection::Forward);
+    }
+
+    #[test]
+    fn flow_meter_is_send() {
+        // The campaign executor in `hotwire_rig` moves meters into scoped
+        // worker threads; this assertion is the documented contract.
+        fn assert_send<T: Send>() {}
+        assert_send::<FlowMeter>();
+        assert_send::<Measurement>();
+    }
+
+    #[test]
+    fn replica_reconstruction_is_bit_identical() {
+        let mut original = meter(77);
+        let mut replica = FlowMeter::new(
+            *original.config(),
+            *original.die().params(),
+            original.build_seed(),
+        )
+        .unwrap();
+        let e = env(90.0);
+        let a = original.run(0.3, e).unwrap();
+        let b = replica.run(0.3, e).unwrap();
+        assert_eq!(a.supply_code, b.supply_code);
+        assert_eq!(a.conditioned_code, b.conditioned_code);
+        assert_eq!(a.velocity, b.velocity);
     }
 
     #[test]

@@ -30,6 +30,14 @@
 //! * [`flow_meter`] — [`FlowMeter`], the assembled instrument
 //!   (die + platform + firmware), stepped sample-by-sample.
 //!
+//! # Threading contract
+//!
+//! [`FlowMeter`] (and everything it owns) is [`Send`]: a meter can be moved
+//! into a worker thread. Each *run* of a meter is single-threaded and
+//! bit-for-bit deterministic under its seed; `hotwire_rig`'s campaign
+//! executor exploits the `Send` bound to execute independent runs in
+//! parallel without changing any result.
+//!
 //! # Quickstart
 //!
 //! ```

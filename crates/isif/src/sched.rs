@@ -14,7 +14,11 @@
 use crate::IsifError;
 
 /// One schedulable software IP.
-pub trait IpTask {
+///
+/// Tasks must be [`Send`]: the platform (and everything that owns it, up to
+/// `hotwire_core::FlowMeter`) moves across threads when independent
+/// co-simulation runs execute in parallel.
+pub trait IpTask: Send {
     /// Human-readable task name (for overrun diagnostics).
     fn name(&self) -> &str;
 

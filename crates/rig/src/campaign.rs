@@ -1,0 +1,581 @@
+//! Declarative run specifications and the deterministic campaign executor.
+//!
+//! Every experiment in the benchmark suite is some number of independent
+//! co-simulation runs: build a meter, calibrate it, drive it through a
+//! scenario, reduce the trace. This module makes that shape explicit —
+//! a [`RunSpec`] *describes* one run, a [`Campaign`] *executes* batches of
+//! them across worker threads — so experiments declare what to run instead
+//! of hand-rolling sweep loops.
+//!
+//! # Determinism
+//!
+//! A run's result is a pure function of its spec: the meter is seeded by
+//! `meter_seed`, the line by `line_seed`, and each run is single-threaded
+//! end to end (see the threading contract in `hotwire_core`). The executor
+//! ([`exec::parallel_map_indexed`]) only changes *when* runs happen, never
+//! *what* they compute, and returns outcomes in spec order — so a campaign's
+//! output is bit-for-bit identical for any job count, including serial.
+//!
+//! ```no_run
+//! use hotwire_rig::{Campaign, RunSpec, Scenario};
+//! use hotwire_core::FlowMeterConfig;
+//!
+//! let specs: Vec<RunSpec> = (0..4)
+//!     .map(|i| {
+//!         RunSpec::new(
+//!             format!("steady-{i}"),
+//!             FlowMeterConfig::test_profile(),
+//!             Scenario::steady(50.0 + 50.0 * i as f64, 4.0),
+//!             hotwire_rig::campaign::derive_seed(0xC0FFEE, i),
+//!         )
+//!         .with_windows(2.0, 2.0)
+//!     })
+//!     .collect();
+//! let outcomes = Campaign::new().run(&specs)?;
+//! for o in &outcomes {
+//!     println!("{}: {:.1} ± {:.2} cm/s", o.label, o.settled_mean(), o.settled_std());
+//! }
+//! # Ok::<(), hotwire_core::CoreError>(())
+//! ```
+
+use crate::exec;
+use crate::line::WaterLine;
+use crate::metrics::Welford;
+use crate::promag::Promag50;
+use crate::runner::{LineRunner, Trace};
+use crate::scenario::Scenario;
+use hotwire_core::calibration::CalPoint;
+use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig};
+use hotwire_physics::{MafParams, SensorEnvironment};
+use hotwire_units::{Celsius, MetersPerSecond, Seconds, ThermalConductance};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The five-point field-calibration grid used throughout the paper's §5
+/// evaluation (cm/s).
+pub const PAPER_SETPOINTS_CM_S: [f64; 5] = [15.0, 50.0, 100.0, 160.0, 220.0];
+
+/// Derives a statistically independent seed for item `index` of a batch
+/// from a campaign-level `base` seed (SplitMix64 finalizer).
+///
+/// Neighbouring indices produce uncorrelated streams, unlike `base + index`
+/// which leaves low-bit structure in some generators.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Recipe for the paper's field-calibration procedure: visit each setpoint
+/// on a steady line against the Promag reference, average conductance and
+/// reference velocity, fit King's law.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldCalibration {
+    /// Steady setpoints to visit, cm/s.
+    pub setpoints_cm_s: Vec<f64>,
+    /// Settling time before averaging starts at each setpoint, seconds.
+    pub settle_s: f64,
+    /// Averaging window at each setpoint, seconds.
+    pub average_s: f64,
+    /// Base seed for the calibration lines (per-setpoint seeds are derived
+    /// from it exactly as the historical serial procedure did).
+    pub seed: u64,
+}
+
+impl FieldCalibration {
+    /// The paper's grid ([`PAPER_SETPOINTS_CM_S`]) with the given windows.
+    pub fn paper(settle_s: f64, average_s: f64, seed: u64) -> Self {
+        FieldCalibration {
+            setpoints_cm_s: PAPER_SETPOINTS_CM_S.to_vec(),
+            settle_s,
+            average_s,
+            seed,
+        }
+    }
+}
+
+/// How a [`RunSpec`]'s meter is calibrated before the scenario starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Calibration {
+    /// Keep the factory (design-model) calibration.
+    Factory,
+    /// Run the field-calibration procedure from scratch.
+    Field(FieldCalibration),
+    /// Install pre-computed calibration points — the cheap path when many
+    /// specs share one calibration (collect once with
+    /// [`collect_calibration_points`], fan the points out).
+    Points {
+        /// The calibration observations to fit.
+        points: Vec<CalPoint>,
+        /// Converged fluid-temperature estimate to adopt before fitting, so
+        /// the temperature-compensation offset learned at calibration time
+        /// matches the meter that produced `points`.
+        fluid_estimate: Option<Celsius>,
+    },
+}
+
+/// A declarative description of one co-simulation run.
+///
+/// Everything a run depends on is in the spec; two equal specs produce
+/// bit-for-bit equal outcomes, on any thread, at any job count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Label carried through to the [`RunOutcome`] (for reports).
+    pub label: String,
+    /// Meter configuration.
+    pub config: FlowMeterConfig,
+    /// Die parameters.
+    pub params: MafParams,
+    /// Seed for the meter's component tolerances and noise.
+    pub meter_seed: u64,
+    /// Calibration applied before the run.
+    pub calibration: Calibration,
+    /// If set, auto-zero the direction channel in still water for this many
+    /// seconds before the scenario starts.
+    pub auto_zero_s: Option<f64>,
+    /// The line scenario to drive.
+    pub scenario: Scenario,
+    /// Seed for the line's turbulence and the reference meters' noise.
+    pub line_seed: u64,
+    /// Trace recording cadence, seconds per sample.
+    pub sample_period_s: f64,
+    /// Settling time ignored by the settled-window statistics, seconds.
+    pub settle_s: f64,
+    /// Length of the measurement window after settling, seconds
+    /// (`0.0` = to the end of the scenario).
+    pub measure_s: f64,
+}
+
+impl RunSpec {
+    /// A spec with nominal die parameters, factory calibration, no
+    /// auto-zero, a 20 ms sample cadence and no settling window. `seed`
+    /// seeds both the meter and the line; use the `with_*` builders to
+    /// override any of it.
+    pub fn new(
+        label: impl Into<String>,
+        config: FlowMeterConfig,
+        scenario: Scenario,
+        seed: u64,
+    ) -> Self {
+        RunSpec {
+            label: label.into(),
+            config,
+            params: MafParams::nominal(),
+            meter_seed: seed,
+            calibration: Calibration::Factory,
+            auto_zero_s: None,
+            scenario,
+            line_seed: seed,
+            sample_period_s: 0.02,
+            settle_s: 0.0,
+            measure_s: 0.0,
+        }
+    }
+
+    /// Overrides the die parameters.
+    pub fn with_params(mut self, params: MafParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Overrides the meter seed (component tolerances, noise).
+    pub fn with_meter_seed(mut self, seed: u64) -> Self {
+        self.meter_seed = seed;
+        self
+    }
+
+    /// Overrides the line seed (turbulence, reference noise).
+    pub fn with_line_seed(mut self, seed: u64) -> Self {
+        self.line_seed = seed;
+        self
+    }
+
+    /// Sets the calibration step.
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Auto-zeroes the direction channel in still water before the run.
+    pub fn with_auto_zero(mut self, seconds: f64) -> Self {
+        self.auto_zero_s = Some(seconds);
+        self
+    }
+
+    /// Sets the trace recording cadence.
+    pub fn with_sample_period(mut self, seconds: f64) -> Self {
+        self.sample_period_s = seconds;
+        self
+    }
+
+    /// Sets the settled-statistics windows: ignore the first `settle_s`
+    /// seconds, then measure for `measure_s` seconds (`0.0` = to the end).
+    pub fn with_windows(mut self, settle_s: f64, measure_s: f64) -> Self {
+        self.settle_s = settle_s;
+        self.measure_s = measure_s;
+        self
+    }
+
+    /// Executes this spec on the current thread: build the meter, apply the
+    /// calibration, optionally auto-zero, run the scenario.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] if the meter cannot be built or the
+    /// calibration fit fails (e.g. a railed bridge at an unreachable
+    /// overheat — experiment `a01` treats that as a data point).
+    pub fn execute(&self) -> Result<RunOutcome, CoreError> {
+        let mut meter = build_meter(self.config, self.params, self.meter_seed, &self.calibration)?;
+        if let Some(seconds) = self.auto_zero_s {
+            meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
+        }
+        let mut runner = LineRunner::new(self.scenario.clone(), meter, self.line_seed);
+        let trace = runner.run(self.sample_period_s);
+        Ok(RunOutcome {
+            label: self.label.clone(),
+            trace,
+            meter: runner.into_meter(),
+            settle_s: self.settle_s,
+            measure_s: self.measure_s,
+        })
+    }
+}
+
+/// The result of one executed [`RunSpec`].
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The spec's label.
+    pub label: String,
+    /// The recorded co-simulation trace.
+    pub trace: Trace,
+    /// The meter after the run (fault latches, calibration, state intact).
+    pub meter: FlowMeter,
+    /// The spec's settling time (for the settled-window statistics).
+    pub settle_s: f64,
+    /// The spec's measurement-window length (`0.0` = to the end).
+    pub measure_s: f64,
+}
+
+impl RunOutcome {
+    /// Streaming statistics of the DUT output over the spec's settled
+    /// window — no intermediate `Vec` is materialized.
+    pub fn settled(&self) -> Welford {
+        let t1 = if self.measure_s > 0.0 {
+            self.settle_s + self.measure_s
+        } else {
+            f64::INFINITY
+        };
+        self.trace.window_stats(self.settle_s, t1)
+    }
+
+    /// Mean DUT output over the settled window, cm/s.
+    pub fn settled_mean(&self) -> f64 {
+        self.settled().mean()
+    }
+
+    /// Standard deviation of the DUT output over the settled window, cm/s.
+    pub fn settled_std(&self) -> f64 {
+        self.settled().std_dev()
+    }
+}
+
+/// Builds and calibrates a meter per a [`Calibration`] step, without
+/// running any scenario. The campaign executor uses this per spec; it is
+/// public because experiments that drive meters directly (duty-cycling,
+/// profile probes) want the same construction path.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if construction or the calibration fit fails.
+pub fn build_meter(
+    config: FlowMeterConfig,
+    params: MafParams,
+    seed: u64,
+    calibration: &Calibration,
+) -> Result<FlowMeter, CoreError> {
+    let mut meter = FlowMeter::new(config, params, seed)?;
+    match calibration {
+        Calibration::Factory => {}
+        Calibration::Field(recipe) => {
+            // Setpoints run serially here: the campaign already owns the
+            // worker threads, and the result is jobs-invariant anyway.
+            let (points, estimate) = collect_calibration_points(&meter, recipe, 1)?;
+            meter.adopt_fluid_estimate(estimate);
+            meter.calibrate(&points)?;
+        }
+        Calibration::Points {
+            points,
+            fluid_estimate,
+        } => {
+            if let Some(estimate) = fluid_estimate {
+                meter.adopt_fluid_estimate(*estimate);
+            }
+            meter.calibrate(points)?;
+        }
+    }
+    Ok(meter)
+}
+
+/// Collects field-calibration observations for `prototype`'s build
+/// (config, die parameters, seed) by running each setpoint of `recipe` on
+/// its own replica meter, up to `jobs` at a time.
+///
+/// Returns the fitted points plus the mean converged fluid-temperature
+/// estimate across setpoints — adopt it
+/// ([`FlowMeter::adopt_fluid_estimate`]) before calling
+/// [`FlowMeter::calibrate`] so temperature compensation learns the same
+/// reference-resistor skew the calibration runs saw.
+///
+/// Per-setpoint seeds match the historical serial procedure: line
+/// `seed + i`, reference noise `seed ^ (i << 8)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if a replica cannot be built or a setpoint
+/// records no settled samples.
+pub fn collect_calibration_points(
+    prototype: &FlowMeter,
+    recipe: &FieldCalibration,
+    jobs: usize,
+) -> Result<(Vec<CalPoint>, Celsius), CoreError> {
+    let config = *prototype.config();
+    let params = *prototype.die().params();
+    let meter_seed = prototype.build_seed();
+    let results = exec::parallel_map_indexed(
+        &recipe.setpoints_cm_s,
+        jobs,
+        |i, &setpoint| -> Result<(CalPoint, f64), CoreError> {
+            let mut meter = FlowMeter::new(config, params, meter_seed)?;
+            let control_dt =
+                Seconds::new(config.decimation as f64 / config.modulator_rate.get());
+            let scenario = Scenario::steady(setpoint, recipe.settle_s + recipe.average_s);
+            let mut line = WaterLine::new(scenario, recipe.seed.wrapping_add(i as u64));
+            let mut promag = Promag50::new(config.full_scale);
+            let mut ref_rng = StdRng::seed_from_u64(recipe.seed ^ ((i as u64) << 8));
+            let mut env = SensorEnvironment::still_water();
+            let (mut g_sum, mut v_sum, mut n) = (0.0, 0.0, 0u64);
+            while !line.finished() {
+                if meter.step(env).is_none() {
+                    continue;
+                }
+                env = line.step(control_dt);
+                let promag_reading = promag.step(control_dt, line.bulk_velocity(), &mut ref_rng);
+                if line.time() >= recipe.settle_s {
+                    g_sum += meter.instantaneous_conductance().get();
+                    v_sum += promag_reading.to_cm_per_s().abs();
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                return Err(CoreError::Calibration {
+                    reason: "calibration setpoint recorded no settled samples",
+                });
+            }
+            let point = CalPoint {
+                velocity: MetersPerSecond::from_cm_per_s(v_sum / n as f64),
+                conductance: ThermalConductance::new(g_sum / n as f64),
+            };
+            // Fresh replicas carry no temperature offset, so this is the
+            // raw converged estimate.
+            Ok((point, meter.fluid_temperature_estimate().get()))
+        },
+    );
+
+    let mut points = Vec::with_capacity(results.len());
+    let mut estimate_sum = 0.0;
+    for result in results {
+        let (point, estimate) = result?;
+        points.push(point);
+        estimate_sum += estimate;
+    }
+    let mean_estimate = Celsius::new(estimate_sum / points.len().max(1) as f64);
+    Ok((points, mean_estimate))
+}
+
+/// Executes batches of [`RunSpec`]s across worker threads.
+///
+/// The executor is a thin, copyable handle: it holds only the job count.
+/// See the module docs for the determinism guarantee.
+#[derive(Debug, Clone, Copy)]
+pub struct Campaign {
+    jobs: usize,
+}
+
+impl Campaign {
+    /// A campaign using the process-wide default job count
+    /// ([`exec::default_jobs`] — all cores unless `repro --jobs` or
+    /// [`exec::set_default_jobs`] said otherwise).
+    pub fn new() -> Self {
+        Campaign {
+            jobs: exec::default_jobs(),
+        }
+    }
+
+    /// A campaign with an explicit job count (`1` = serial, on the calling
+    /// thread).
+    pub fn with_jobs(jobs: usize) -> Self {
+        Campaign { jobs: jobs.max(1) }
+    }
+
+    /// The number of worker threads this campaign uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every spec, returning one `Result` per spec in spec order.
+    ///
+    /// Use this when a calibration failure is itself a data point (e.g.
+    /// the overheat study's railed configurations).
+    pub fn try_run(&self, specs: &[RunSpec]) -> Vec<Result<RunOutcome, CoreError>> {
+        self.map(specs, |_, spec| spec.execute())
+    }
+
+    /// Executes every spec, failing fast on the first error (in spec
+    /// order).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first spec's [`CoreError`], if any.
+    pub fn run(&self, specs: &[RunSpec]) -> Result<Vec<RunOutcome>, CoreError> {
+        self.try_run(specs).into_iter().collect()
+    }
+
+    /// Runs an arbitrary per-item job under this campaign's thread budget,
+    /// preserving item order. The escape hatch for experiments whose unit
+    /// of work is not a scenario run (duty-cycle sweeps, profile probes,
+    /// pure-model evaluations).
+    pub fn map<I, T, F>(&self, items: &[I], f: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        exec::parallel_map_indexed(items, self.jobs, f)
+    }
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(i: u64) -> RunSpec {
+        RunSpec::new(
+            format!("s{i}"),
+            FlowMeterConfig::test_profile(),
+            Scenario::steady(60.0 + 30.0 * i as f64, 2.0),
+            derive_seed(0xBEEF, i),
+        )
+        .with_windows(1.0, 1.0)
+    }
+
+    #[test]
+    fn derive_seed_spreads_indices() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // Stable across calls.
+        assert_eq!(a, derive_seed(1, 0));
+    }
+
+    #[test]
+    fn campaign_runs_specs_in_order() {
+        let specs: Vec<RunSpec> = (0..3).map(spec).collect();
+        let outcomes = Campaign::with_jobs(3).run(&specs).unwrap();
+        assert_eq!(outcomes.len(), 3);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.label, format!("s{i}"));
+            assert!(!o.trace.samples.is_empty());
+            // Settled mean should land near the commanded setpoint even on
+            // factory calibration.
+            let target = 60.0 + 30.0 * i as f64;
+            assert!(
+                (o.settled_mean() - target).abs() < 0.5 * target,
+                "spec {i}: settled mean {} vs target {target}",
+                o.settled_mean()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_outcomes_are_bit_identical_to_serial() {
+        // The tentpole guarantee: same specs, any job count, identical
+        // traces. Comparing through `f64::to_bits` on every field is
+        // strictly stronger than comparing serialized bytes.
+        let specs: Vec<RunSpec> = (0..4).map(spec).collect();
+        let serial = Campaign::with_jobs(1).run(&specs).unwrap();
+        let parallel = Campaign::with_jobs(4).run(&specs).unwrap();
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.trace.samples.len(), b.trace.samples.len(), "{}", a.label);
+            for (sa, sb) in a.trace.samples.iter().zip(&b.trace.samples) {
+                assert_eq!(sa.t.to_bits(), sb.t.to_bits());
+                assert_eq!(sa.true_cm_s.to_bits(), sb.true_cm_s.to_bits());
+                assert_eq!(sa.dut_cm_s.to_bits(), sb.dut_cm_s.to_bits());
+                assert_eq!(sa.promag_cm_s.to_bits(), sb.promag_cm_s.to_bits());
+                assert_eq!(sa.turbine_cm_s.to_bits(), sb.turbine_cm_s.to_bits());
+                assert_eq!(sa.supply_code, sb.supply_code);
+                assert_eq!(sa.bubble_coverage.to_bits(), sb.bubble_coverage.to_bits());
+                assert_eq!(sa.fouling_um.to_bits(), sb.fouling_um.to_bits());
+                assert_eq!(sa.fault, sb.fault);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_points_calibration_matches_field() {
+        let proto = FlowMeter::new(
+            FlowMeterConfig::test_profile(),
+            MafParams::nominal(),
+            77,
+        )
+        .unwrap();
+        let recipe = FieldCalibration::paper(0.6, 0.4, 77);
+        let (points, estimate) = collect_calibration_points(&proto, &recipe, 2).unwrap();
+        assert_eq!(points.len(), PAPER_SETPOINTS_CM_S.len());
+
+        // A meter calibrated via the Points fast path behaves like one
+        // that ran the Field procedure itself.
+        let via_points = build_meter(
+            *proto.config(),
+            *proto.die().params(),
+            77,
+            &Calibration::Points {
+                points: points.clone(),
+                fluid_estimate: Some(estimate),
+            },
+        )
+        .unwrap();
+        let via_field =
+            build_meter(*proto.config(), *proto.die().params(), 77, &Calibration::Field(recipe))
+                .unwrap();
+        let a = via_points.calibration().unwrap();
+        let b = via_field.calibration().unwrap();
+        assert_eq!(a.a.to_bits(), b.a.to_bits());
+        assert_eq!(a.b.to_bits(), b.b.to_bits());
+        assert_eq!(a.n.to_bits(), b.n.to_bits());
+    }
+
+    #[test]
+    fn try_run_surfaces_per_spec_errors() {
+        // An impossible calibration (empty grid) must fail its spec only.
+        let bad = spec(0).with_calibration(Calibration::Field(FieldCalibration {
+            setpoints_cm_s: Vec::new(),
+            settle_s: 0.1,
+            average_s: 0.1,
+            seed: 1,
+        }));
+        let good = spec(1);
+        let results = Campaign::with_jobs(2).try_run(&[bad, good]);
+        assert!(results[0].is_err());
+        assert!(results[1].is_ok());
+    }
+}

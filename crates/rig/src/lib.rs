@@ -14,15 +14,60 @@
 //! * [`turbine`] — behavioural model of a turbine-wheel meter (the
 //!   commercial baseline the paper's accuracy is compared against)
 //! * [`metrics`] — resolution / repeatability / linearity / response-time
-//!   estimators matching the paper's definitions
+//!   estimators matching the paper's definitions, including the streaming
+//!   [`Welford`] accumulator
 //! * [`runner`] — co-simulation of the device under test and both reference
 //!   meters on shared true flow, plus the field-calibration procedure
+//! * [`campaign`] — declarative [`RunSpec`]s and the [`Campaign`] executor
+//! * [`exec`] — the deterministic scoped-thread parallel map underneath it
+//!
+//! # Campaigns
+//!
+//! Experiments describe their runs as [`RunSpec`]s — meter config, die
+//! parameters, calibration step, scenario, seeds, sample cadence, settled
+//! windows — and hand the batch to a [`Campaign`]:
+//!
+//! ```no_run
+//! use hotwire_core::FlowMeterConfig;
+//! use hotwire_rig::{Campaign, RunSpec, Scenario};
+//!
+//! let specs: Vec<RunSpec> = [50.0, 100.0, 200.0]
+//!     .iter()
+//!     .enumerate()
+//!     .map(|(i, &cm_s)| {
+//!         RunSpec::new(
+//!             format!("steady-{cm_s}"),
+//!             FlowMeterConfig::water_station(),
+//!             Scenario::steady(cm_s, 6.0),
+//!             hotwire_rig::campaign::derive_seed(42, i as u64),
+//!         )
+//!         .with_windows(3.0, 3.0)
+//!     })
+//!     .collect();
+//!
+//! let outcomes = Campaign::new().run(&specs)?;
+//! for o in &outcomes {
+//!     println!("{}: {:.1} ± {:.2} cm/s", o.label, o.settled_mean(), o.settled_std());
+//! }
+//! # Ok::<(), hotwire_core::CoreError>(())
+//! ```
+//!
+//! Runs execute across worker threads (all cores by default; see
+//! [`exec::set_default_jobs`] / [`Campaign::with_jobs`]) and the output is
+//! **bit-for-bit identical for any job count**: each run is a pure,
+//! single-threaded function of its spec, and the executor returns outcomes
+//! in spec order regardless of scheduling. For work that isn't a scenario
+//! run, [`Campaign::map`] parallelizes any per-item closure under the same
+//! guarantee.
 //!
 //! [`SensorEnvironment`]: hotwire_physics::SensorEnvironment
+//! [`Welford`]: metrics::Welford
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
+pub mod exec;
 pub mod line;
 pub mod metrics;
 pub mod promag;
@@ -30,7 +75,11 @@ pub mod runner;
 pub mod scenario;
 pub mod turbine;
 
+pub use campaign::{
+    Calibration, Campaign, FieldCalibration, RunOutcome, RunSpec, PAPER_SETPOINTS_CM_S,
+};
 pub use line::WaterLine;
+pub use metrics::Welford;
 pub use promag::Promag50;
 pub use runner::{LineRunner, Trace, TraceSample};
 pub use scenario::{Scenario, Schedule};

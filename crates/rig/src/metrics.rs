@@ -9,6 +9,77 @@
 //!   (true, measured), as % of full scale;
 //! * **response time** — 10 %→90 % rise time through a step.
 
+/// Streaming mean/σ accumulator (Welford's algorithm).
+///
+/// The allocation-free path for windowed sweep statistics: campaign runs
+/// fold their settled windows through this instead of materializing a
+/// per-window `Vec<f64>` copy of the trace. Matches [`mean`] / [`std_dev`]
+/// (population σ) to floating-point accuracy; the empty/singleton
+/// conventions (`mean → 0`, `σ → 0`) are identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one sample in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of samples folded in so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the samples (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        self.mean
+    }
+
+    /// Population variance (0 for < 2 samples).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        self.m2 / self.n as f64
+    }
+
+    /// Population standard deviation (0 for < 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+impl Extend<f64> for Welford {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut w = Welford::new();
+        w.extend(iter);
+        w
+    }
+}
+
 /// Mean of a slice (0 for empty input).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -112,6 +183,37 @@ pub fn rms_error(pairs: &[(f64, f64)]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn welford_matches_slice_paths() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let w: Welford = xs.iter().copied().collect();
+        assert_eq!(w.count(), xs.len() as u64);
+        assert!((w.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-12);
+        // Empty/singleton conventions match.
+        assert_eq!(Welford::new().mean(), 0.0);
+        assert_eq!(Welford::new().std_dev(), 0.0);
+        let one: Welford = [3.5].into_iter().collect();
+        assert_eq!(one.mean(), 3.5);
+        assert_eq!(one.std_dev(), 0.0);
+    }
+
+    mod welford_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn welford_matches_two_pass(
+                xs in proptest::collection::vec(-1.0e3f64..1.0e3, 0..200)
+            ) {
+                let w: Welford = xs.iter().copied().collect();
+                prop_assert!((w.mean() - mean(&xs)).abs() < 1e-9);
+                prop_assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-9);
+            }
+        }
+    }
 
     #[test]
     fn mean_and_std() {

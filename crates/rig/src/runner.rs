@@ -5,7 +5,10 @@
 //! paper's evaluation line, where the MAF prototype and the Promag 50 see
 //! the same water.
 
+use crate::campaign::{self, FieldCalibration};
+use crate::exec;
 use crate::line::WaterLine;
+use crate::metrics::Welford;
 use crate::promag::Promag50;
 use crate::scenario::Scenario;
 use crate::turbine::TurbineMeter;
@@ -13,7 +16,7 @@ use hotwire_core::calibration::CalPoint;
 use hotwire_core::{CoreError, FlowMeter};
 use hotwire_physics::sensor::HeaterId;
 use hotwire_physics::SensorEnvironment;
-use hotwire_units::{MetersPerSecond, Seconds, ThermalConductance};
+use hotwire_units::Seconds;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -48,6 +51,24 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// An empty trace with room for `samples` recorded samples.
+    pub fn with_capacity(samples: usize) -> Self {
+        Trace {
+            samples: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Streaming statistics of the DUT series over `[t0, t1)` — the
+    /// allocation-free alternative to [`dut_window`](Self::dut_window) for
+    /// settled-window reductions.
+    pub fn window_stats(&self, t0: f64, t1: f64) -> Welford {
+        self.samples
+            .iter()
+            .filter(|s| s.t >= t0 && s.t < t1)
+            .map(|s| s.dut_cm_s)
+            .collect()
+    }
+
     /// `(true, dut)` velocity pairs for error statistics.
     pub fn dut_vs_truth(&self) -> Vec<(f64, f64)> {
         self.samples
@@ -78,9 +99,13 @@ impl Trace {
     /// Renders the trace as CSV (header + one row per sample) for external
     /// plotting — the raw material of the paper's Fig. 11.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "t_s,true_cm_s,dut_cm_s,promag_cm_s,turbine_cm_s,supply_code,bubble_coverage,fouling_um,fault\n",
-        );
+        let header =
+            "t_s,true_cm_s,dut_cm_s,promag_cm_s,turbine_cm_s,supply_code,bubble_coverage,fouling_um,fault\n";
+        // ~64 bytes per formatted row; reserving up front keeps the export
+        // to a handful of reallocations instead of O(log n) doublings over
+        // megabyte-scale traces.
+        let mut out = String::with_capacity(header.len() + self.samples.len() * 64);
+        out.push_str(header);
         for s in &self.samples {
             use std::fmt::Write as _;
             let _ = writeln!(
@@ -155,7 +180,15 @@ impl LineRunner {
     /// environment is held between control ticks — turbulence above the
     /// control bandwidth is invisible to every instrument on the line).
     pub fn run(&mut self, sample_period_s: f64) -> Trace {
-        let mut trace = Trace::default();
+        // The sample count is known up front from the scenario length and
+        // the cadence; pre-allocating keeps the hot recording loop free of
+        // reallocation (+1 covers the t=0 sample, +1 the final edge).
+        let expected = if sample_period_s > 0.0 {
+            (self.line.scenario().duration_s / sample_period_s).ceil() as usize + 2
+        } else {
+            0
+        };
+        let mut trace = Trace::with_capacity(expected);
         let mut next_sample_t = 0.0;
         while !self.line.finished() {
             let measurement = self.meter.step(self.env);
@@ -196,6 +229,14 @@ impl LineRunner {
 /// steady line, averages the Promag reference and the DUT conductance, fits
 /// King's law and installs it into the meter.
 ///
+/// The setpoints execute as a campaign: each runs on a replica of `meter`'s
+/// build (same config, die parameters and seed), up to the process default
+/// job count at a time (see [`exec::default_jobs`]). Results are
+/// jobs-invariant; the converged fluid-temperature estimate from the
+/// calibration runs is adopted by `meter` before fitting, so temperature
+/// compensation learns the same reference-resistor skew it would have
+/// learned running the setpoints itself.
+///
 /// Returns the calibration points used.
 ///
 /// # Errors
@@ -208,34 +249,37 @@ pub fn field_calibrate(
     average_s: f64,
     seed: u64,
 ) -> Result<Vec<CalPoint>, CoreError> {
-    let control_dt =
-        Seconds::new(meter.config().decimation as f64 / meter.config().modulator_rate.get());
-    let full_scale = meter.config().full_scale;
-    let mut points = Vec::with_capacity(setpoints_cm_s.len());
-    for (i, &setpoint) in setpoints_cm_s.iter().enumerate() {
-        let scenario = Scenario::steady(setpoint, settle_s + average_s);
-        let mut line = WaterLine::new(scenario, seed.wrapping_add(i as u64));
-        let mut promag = Promag50::new(full_scale);
-        let mut ref_rng = StdRng::seed_from_u64(seed ^ (i as u64) << 8);
-        let mut env = SensorEnvironment::still_water();
-        let (mut g_sum, mut v_sum, mut n) = (0.0, 0.0, 0u64);
-        while !line.finished() {
-            if meter.step(env).is_none() {
-                continue;
-            }
-            env = line.step(control_dt);
-            let promag_reading = promag.step(control_dt, line.bulk_velocity(), &mut ref_rng);
-            if line.time() >= settle_s {
-                g_sum += meter.instantaneous_conductance().get();
-                v_sum += promag_reading.to_cm_per_s().abs();
-                n += 1;
-            }
-        }
-        points.push(CalPoint {
-            velocity: MetersPerSecond::from_cm_per_s(v_sum / n.max(1) as f64),
-            conductance: ThermalConductance::new(g_sum / n.max(1) as f64),
-        });
-    }
+    field_calibrate_jobs(
+        meter,
+        setpoints_cm_s,
+        settle_s,
+        average_s,
+        seed,
+        exec::default_jobs(),
+    )
+}
+
+/// [`field_calibrate`] with an explicit job count (`1` = serial).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Calibration`] if the fit fails.
+pub fn field_calibrate_jobs(
+    meter: &mut FlowMeter,
+    setpoints_cm_s: &[f64],
+    settle_s: f64,
+    average_s: f64,
+    seed: u64,
+    jobs: usize,
+) -> Result<Vec<CalPoint>, CoreError> {
+    let recipe = FieldCalibration {
+        setpoints_cm_s: setpoints_cm_s.to_vec(),
+        settle_s,
+        average_s,
+        seed,
+    };
+    let (points, estimate) = campaign::collect_calibration_points(meter, &recipe, jobs)?;
+    meter.adopt_fluid_estimate(estimate);
     meter.calibrate(&points)?;
     Ok(points)
 }
@@ -293,7 +337,13 @@ mod tests {
         let mut runner = LineRunner::new(Scenario::steady(150.0, 3.0), meter, 14);
         let trace = runner.run(0.05);
         let last = trace.last().unwrap();
-        assert!(last.true_cm_s == 150.0);
+        // The truth comes back through the schedule's piecewise-linear
+        // interpolation — compare with a tolerance, not float `==`.
+        assert!(
+            (last.true_cm_s - 150.0).abs() < 1e-9,
+            "true velocity {} cm/s",
+            last.true_cm_s
+        );
         assert!(last.promag_cm_s > 100.0);
         assert!(last.turbine_cm_s > 100.0);
         assert!(last.supply_code > 0);

@@ -10,7 +10,9 @@
 //! * [`dsp`] — the fixed-point DSP IP library,
 //! * [`isif`] — the ISIF platform emulation,
 //! * [`core`] — the CTA conditioning firmware (the paper's contribution),
-//! * [`rig`] — the water-station evaluation rig and reference meters.
+//! * [`rig`] — the water-station evaluation rig, the reference meters and
+//!   the deterministic parallel campaign executor
+//!   (`rig::Campaign` / `rig::RunSpec`).
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
