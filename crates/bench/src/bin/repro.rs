@@ -36,7 +36,8 @@ experiments:
   e12  §2      — CT vs CC vs CP under fluid-temperature change
   a1   ablation — PI gain design-space exploration
   a2   ablation — decimation-ratio sweep
-  a3   ablation — probe insertion position";
+  a3   ablation — probe insertion position
+  f1   §6      — fault-injection matrix: detection / worst error / recovery";
 
 /// One experiment's rendered report plus its headline numbers for `--json`.
 struct Report {
@@ -138,7 +139,10 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
         }
         "e10" => {
             let r = experiments::e10_filter::run(speed).map_err(err)?;
-            let narrow = r.points.last().expect("non-empty sweep");
+            let narrow = r
+                .points
+                .last()
+                .ok_or_else(|| "e10: filter sweep produced no points".to_string())?;
             Report {
                 metrics: vec![("narrowest_resolution_cm_s", narrow.resolution_cm_s)],
                 text: r.to_string(),
@@ -173,7 +177,7 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
                 .iter()
                 .find(|p| p.ratio == 256)
                 .or_else(|| r.points.last())
-                .expect("non-empty sweep");
+                .ok_or_else(|| "a2: decimation sweep produced no points".to_string())?;
             Report {
                 metrics: vec![("r256_resolution_cm_s", silicon.resolution_cm_s)],
                 text: r.to_string(),
@@ -181,9 +185,33 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
         }
         "a3" => {
             let r = experiments::a03_probe_position::run(speed).map_err(err)?;
-            let wall = r.points.last().expect("non-empty sweep");
+            let wall = r
+                .points
+                .last()
+                .ok_or_else(|| "a3: position sweep produced no points".to_string())?;
             Report {
                 metrics: vec![("near_wall_error_pct", wall.error_pct)],
+                text: r.to_string(),
+            }
+        }
+        "f1" => {
+            let r = experiments::f1_faults::run(speed).map_err(err)?;
+            let worst = r
+                .cases
+                .iter()
+                .map(|c| c.worst_error_cm_s)
+                .fold(0.0, f64::max);
+            Report {
+                metrics: vec![
+                    ("stuck_adc_detect_s", r.case("adc stuck").detect_s),
+                    ("stuck_adc_recover_s", r.case("adc stuck").recover_s),
+                    ("eeprom_detect_s", r.case("eeprom bit flip").detect_s),
+                    (
+                        "uart_frames_lost",
+                        r.case("uart corruption").frames_lost as f64,
+                    ),
+                    ("worst_error_cm_s", worst),
+                ],
                 text: r.to_string(),
             }
         }
@@ -193,6 +221,7 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
+    "f1",
 ];
 
 /// Minimal JSON string escaping (we have no JSON dependency by design).

@@ -1,0 +1,339 @@
+//! F1 — fault-injection campaign: graceful degradation under a seeded
+//! fault matrix.
+//!
+//! §6 of the paper argues for diffuse deployment precisely because a smart
+//! probe can localize and isolate its own malfunctions. This experiment
+//! quantifies that claim: each fault class from the rig's
+//! [`FaultSchedule`] vocabulary is injected into its own steady-flow run,
+//! and the firmware's health supervisor is scored on
+//!
+//! * **detection latency** — time from fault onset to the first reported
+//!   non-`Healthy` health state;
+//! * **worst-case flow error** — the largest |DUT − true| excursion while
+//!   the fault is active (plus a short observation tail for impulses);
+//! * **time-to-recover** — time from the end of the fault window until the
+//!   health state settles back to `Healthy` for good.
+//!
+//! All runs execute as one campaign, so the whole matrix is bit-identical
+//! at any `--jobs` value. Event times are *not* speed-scaled: the health
+//! supervisor's warmup (3 s) and recovery holds are control-time
+//! constants, so the schedule must clear them at either fidelity.
+
+use super::Speed;
+use crate::table::Table;
+use hotwire_core::{CoreError, HealthState, KingCalibration};
+use hotwire_rig::campaign::derive_seed;
+use hotwire_rig::fault::{FaultKind, FaultSchedule};
+use hotwire_rig::{Campaign, RunOutcome, RunSpec, Scenario};
+
+/// Steady line speed every fault rides on, cm/s.
+const FLOW_CM_S: f64 = 100.0;
+/// Fault onset, scenario seconds (must clear the 3 s health warmup).
+const ONSET_S: f64 = 4.0;
+/// Scenario length, seconds.
+const DURATION_S: f64 = 10.0;
+/// Active window for sustained faults, seconds.
+const WINDOW_S: f64 = 2.0;
+/// Observation tail for impulse faults' worst-error window, seconds.
+const IMPULSE_TAIL_S: f64 = 2.0;
+
+/// One fault class's scorecard.
+#[derive(Debug, Clone)]
+pub struct FaultCase {
+    /// Fault-class label.
+    pub label: &'static str,
+    /// Time from onset to the first non-`Healthy` sample, s (NaN = never
+    /// detected — expected for faults the supervisor cannot see, like a
+    /// pure telemetry-link attack).
+    pub detect_s: f64,
+    /// Largest |DUT − true| while the fault was active, cm/s.
+    pub worst_error_cm_s: f64,
+    /// Time from the end of the fault window until health settles back to
+    /// `Healthy`, s (NaN = not detected, or still unhealthy at run end).
+    pub recover_s: f64,
+    /// Telemetry frames lost on the simulated wire (UART faults only).
+    pub frames_lost: u64,
+}
+
+/// F1 results.
+#[derive(Debug, Clone)]
+pub struct FaultMatrixResult {
+    /// One scorecard per fault class.
+    pub cases: Vec<FaultCase>,
+    /// Fault onset time, s.
+    pub onset_s: f64,
+    /// Scenario length, s.
+    pub duration_s: f64,
+}
+
+impl FaultMatrixResult {
+    /// The scorecard with the given label (panics if absent — labels are
+    /// static and covered by tests).
+    pub fn case(&self, label: &str) -> &FaultCase {
+        self.cases
+            .iter()
+            .find(|c| c.label == label)
+            .expect("known fault-class label")
+    }
+}
+
+/// The fault matrix: label, injected kind, active-window length.
+fn matrix() -> Vec<(&'static str, FaultKind, f64)> {
+    vec![
+        ("adc stuck", FaultKind::AdcStuck { code: 1200 }, WINDOW_S),
+        ("adc offset", FaultKind::AdcOffset { codes: 500 }, WINDOW_S),
+        (
+            "supply brownout",
+            FaultKind::SupplyBrownout { fraction: 0.55 },
+            WINDOW_S,
+        ),
+        (
+            "dac element fail",
+            FaultKind::DacElementFail { span_loss: 0.4 },
+            WINDOW_S,
+        ),
+        (
+            "eeprom bit flip",
+            FaultKind::EepromBitFlip {
+                slot: KingCalibration::EEPROM_SLOT,
+                byte: 3,
+            },
+            0.0,
+        ),
+        (
+            "uart corruption",
+            FaultKind::UartCorruption {
+                flip_per_byte: 0.05,
+                drop_per_byte: 0.05,
+            },
+            WINDOW_S,
+        ),
+        (
+            "bubble burst",
+            FaultKind::BubbleBurst { coverage: 0.5 },
+            0.0,
+        ),
+        (
+            "stepped fouling",
+            FaultKind::SteppedFouling { microns: 8.0 },
+            0.0,
+        ),
+    ]
+}
+
+fn reduce_case(label: &'static str, window_s: f64, outcome: &RunOutcome) -> FaultCase {
+    let samples = &outcome.trace.samples;
+    let fault_end = ONSET_S + window_s;
+    let error_end = ONSET_S + window_s.max(IMPULSE_TAIL_S);
+
+    let detect_s = samples
+        .iter()
+        .find(|s| s.t >= ONSET_S && s.health != HealthState::Healthy)
+        .map_or(f64::NAN, |s| s.t - ONSET_S);
+
+    let worst_error_cm_s = samples
+        .iter()
+        .filter(|s| s.t >= ONSET_S && s.t < error_end)
+        .map(|s| (s.dut_cm_s - s.true_cm_s).abs())
+        .fold(0.0, f64::max);
+
+    // Recovery = the last unhealthy sample, measured from the end of the
+    // fault window — provided the run actually ends healthy again.
+    let recover_s = if detect_s.is_nan() {
+        f64::NAN
+    } else {
+        let last_bad = samples
+            .iter()
+            .filter(|s| s.health != HealthState::Healthy)
+            .map(|s| s.t)
+            .fold(f64::NAN, f64::max);
+        let ends_healthy = samples
+            .last()
+            .is_some_and(|s| s.health == HealthState::Healthy);
+        if ends_healthy {
+            (last_bad - fault_end).max(0.0)
+        } else {
+            f64::NAN
+        }
+    };
+
+    FaultCase {
+        label,
+        detect_s,
+        worst_error_cm_s,
+        recover_s,
+        frames_lost: outcome
+            .trace
+            .uart
+            .frames_sent
+            .saturating_sub(outcome.trace.uart.frames_received),
+    }
+}
+
+/// Runs F1 with the process-default campaign.
+///
+/// # Errors
+///
+/// Returns [`CoreError`] if the shared calibration or any run fails.
+pub fn run(speed: Speed) -> Result<FaultMatrixResult, CoreError> {
+    run_with(speed, Campaign::new())
+}
+
+/// Runs F1 under an explicit campaign (the jobs-invariance tests pin the
+/// job count through this).
+fn run_with(speed: Speed, campaign: Campaign) -> Result<FaultMatrixResult, CoreError> {
+    let config = speed.config();
+    let calibration =
+        super::shared_calibration(config, hotwire_physics::MafParams::nominal(), speed, 0xF1)?;
+    let cases = matrix();
+    let specs: Vec<RunSpec> = cases
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, kind, window_s))| {
+            RunSpec::new(
+                label,
+                config,
+                Scenario::steady(FLOW_CM_S, DURATION_S),
+                derive_seed(0xF1, i as u64),
+            )
+            .with_meter_seed(0xF1)
+            .with_calibration(calibration.clone())
+            .with_sample_period(0.01)
+            .with_faults(
+                FaultSchedule::new(derive_seed(0xF1A7, i as u64))
+                    .with_event(ONSET_S, window_s, kind),
+            )
+        })
+        .collect();
+    let outcomes = campaign.run(&specs)?;
+    Ok(FaultMatrixResult {
+        cases: cases
+            .iter()
+            .zip(&outcomes)
+            .map(|(&(label, _, window_s), outcome)| reduce_case(label, window_s, outcome))
+            .collect(),
+        onset_s: ONSET_S,
+        duration_s: DURATION_S,
+    })
+}
+
+/// `NaN`-aware cell rendering: undetectable/unrecovered print as `—`.
+fn cell(x: f64) -> String {
+    if x.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+impl core::fmt::Display for FaultMatrixResult {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "F1 — fault-injection matrix ({} cm/s steady, fault at t = {} s of {} s)\n",
+            FLOW_CM_S, self.onset_s, self.duration_s
+        )?;
+        let mut t = Table::new([
+            "fault",
+            "detect [s]",
+            "worst err [cm/s]",
+            "recover [s]",
+            "frames lost",
+        ]);
+        for c in &self.cases {
+            t.row([
+                c.label.to_string(),
+                cell(c.detect_s),
+                format!("{:.2}", c.worst_error_cm_s),
+                cell(c.recover_s),
+                if c.frames_lost > 0 {
+                    format!("{}", c.frames_lost)
+                } else {
+                    "—".to_string()
+                },
+            ]);
+        }
+        writeln!(f, "{t}")?;
+        writeln!(
+            f,
+            "— = not detectable by the health supervisor (telemetry-link faults are caught\n\
+             by the receiver's CRC instead) or not yet recovered at run end"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_fault_matrix_detects_and_recovers() {
+        let r = run(Speed::Fast).unwrap();
+        assert_eq!(r.cases.len(), 8);
+
+        // A stuck ADC starves the watchdog: detection well inside a second,
+        // and the meter must come back once the code unfreezes.
+        let stuck = r.case("adc stuck");
+        assert!(
+            stuck.detect_s.is_finite() && stuck.detect_s < 1.0,
+            "stuck-ADC detection latency {}",
+            stuck.detect_s
+        );
+        assert!(
+            stuck.recover_s.is_finite(),
+            "stuck-ADC run must end healthy (recover {})",
+            stuck.recover_s
+        );
+        assert!(
+            stuck.worst_error_cm_s > 5.0,
+            "a frozen code must corrupt the reading: {}",
+            stuck.worst_error_cm_s
+        );
+
+        // The EEPROM flip is caught by the CRC on the forced reload and
+        // degrades to the mirror slot — an immediate Recovering excursion.
+        let eeprom = r.case("eeprom bit flip");
+        assert!(
+            eeprom.detect_s.is_finite() && eeprom.detect_s < 0.5,
+            "EEPROM fallback detection {}",
+            eeprom.detect_s
+        );
+        assert!(
+            eeprom.recover_s.is_finite(),
+            "mirror fallback must recover: {}",
+            eeprom.recover_s
+        );
+
+        // The UART attack is invisible to the health supervisor but must
+        // cost frames on the wire.
+        let uart = r.case("uart corruption");
+        assert!(uart.frames_lost > 0, "noisy link lost no frames");
+
+        // Every case sees *some* flow error; none may panic or go empty.
+        for c in &r.cases {
+            assert!(
+                c.worst_error_cm_s.is_finite(),
+                "{}: worst error not finite",
+                c.label
+            );
+        }
+    }
+
+    #[test]
+    fn fault_matrix_is_jobs_invariant() {
+        let serial = run_with(Speed::Fast, Campaign::with_jobs(1)).unwrap();
+        let parallel = run_with(Speed::Fast, Campaign::with_jobs(2)).unwrap();
+        for (a, b) in serial.cases.iter().zip(&parallel.cases) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.detect_s.to_bits(), b.detect_s.to_bits(), "{}", a.label);
+            assert_eq!(
+                a.worst_error_cm_s.to_bits(),
+                b.worst_error_cm_s.to_bits(),
+                "{}",
+                a.label
+            );
+            assert_eq!(a.recover_s.to_bits(), b.recover_s.to_bits(), "{}", a.label);
+            assert_eq!(a.frames_lost, b.frames_lost, "{}", a.label);
+        }
+    }
+}

@@ -15,6 +15,7 @@ pub mod e09_kings_law;
 pub mod e10_filter;
 pub mod e11_power;
 pub mod e12_modes;
+pub mod f1_faults;
 
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::{CoreError, FlowMeter};

@@ -37,8 +37,11 @@ pub struct CalPoint {
 }
 
 impl KingCalibration {
-    /// EEPROM slot used for calibration persistence.
+    /// Primary EEPROM slot used for calibration persistence.
     pub const EEPROM_SLOT: usize = 0;
+    /// Redundant EEPROM slot holding a mirror copy of the calibration —
+    /// the fallback when the primary record fails its CRC check.
+    pub const REDUNDANT_SLOT: usize = 7;
 
     /// Fits King's law to calibration points.
     ///
@@ -164,25 +167,48 @@ impl KingCalibration {
         }
     }
 
-    /// Persists the calibration to the platform EEPROM.
+    /// Persists the calibration to the platform EEPROM, writing the primary
+    /// slot *and* the redundant mirror so a single corrupt record can be
+    /// survived by [`load_slot`](Self::load_slot) fallback.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Platform`] on storage errors.
     pub fn store(&self, eeprom: &mut CalibrationStore) -> Result<(), CoreError> {
-        let payload = CalibrationStore::encode_f64s(&[self.a, self.b, self.n, self.overheat.get()]);
-        eeprom.write_record(Self::EEPROM_SLOT, &payload)?;
+        self.store_slot(eeprom, Self::EEPROM_SLOT)?;
+        self.store_slot(eeprom, Self::REDUNDANT_SLOT)?;
         Ok(())
     }
 
-    /// Loads a calibration from the platform EEPROM.
+    /// Persists the calibration into one specific slot (mirror repair).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] on storage errors.
+    pub fn store_slot(&self, eeprom: &mut CalibrationStore, slot: usize) -> Result<(), CoreError> {
+        let payload = CalibrationStore::encode_f64s(&[self.a, self.b, self.n, self.overheat.get()]);
+        eeprom.write_record(slot, &payload)?;
+        Ok(())
+    }
+
+    /// Loads a calibration from the primary EEPROM slot.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Platform`] for empty/corrupt slots, or
     /// [`CoreError::Calibration`] for a malformed record.
     pub fn load(eeprom: &CalibrationStore) -> Result<Self, CoreError> {
-        let values = CalibrationStore::decode_f64s(eeprom.read_record(Self::EEPROM_SLOT)?)?;
+        Self::load_slot(eeprom, Self::EEPROM_SLOT)
+    }
+
+    /// Loads a calibration from one specific EEPROM slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Platform`] for empty/corrupt slots, or
+    /// [`CoreError::Calibration`] for a malformed record.
+    pub fn load_slot(eeprom: &CalibrationStore, slot: usize) -> Result<Self, CoreError> {
+        let values = CalibrationStore::decode_f64s(eeprom.read_record(slot)?)?;
         if values.len() != 4 {
             return Err(CoreError::Calibration {
                 reason: "calibration record has wrong length",
@@ -386,6 +412,25 @@ mod tests {
         cal.store(&mut eeprom).unwrap();
         eeprom.corrupt(KingCalibration::EEPROM_SLOT, 3);
         assert!(KingCalibration::load(&eeprom).is_err());
+    }
+
+    #[test]
+    fn store_writes_redundant_mirror() {
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.5, 1.0, 2.0]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        let mut eeprom = CalibrationStore::new();
+        cal.store(&mut eeprom).unwrap();
+        // The mirror is a byte-identical, independently loadable copy.
+        let mirror = KingCalibration::load_slot(&eeprom, KingCalibration::REDUNDANT_SLOT).unwrap();
+        assert_eq!(mirror, cal);
+        // Corrupting the primary leaves the mirror intact.
+        eeprom.corrupt(KingCalibration::EEPROM_SLOT, 5);
+        assert!(KingCalibration::load(&eeprom).is_err());
+        assert_eq!(
+            KingCalibration::load_slot(&eeprom, KingCalibration::REDUNDANT_SLOT).unwrap(),
+            cal
+        );
     }
 
     #[test]

@@ -29,6 +29,30 @@ impl FaultFlags {
     }
 }
 
+/// An injected failure of the CTA acquisition channel, applied to the
+/// decimated control code before the firmware sees it (the campaign layer's
+/// ADC fault-injection hook).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdcFault {
+    /// The converter output is frozen at a fixed code (stuck comparator /
+    /// dead modulator). Frozen codes starve the watchdog: healthy ΣΔ output
+    /// always carries noise, so a long identical-code streak is the
+    /// firmware's freeze discriminator.
+    Stuck(i32),
+    /// A constant offset is added to every code (reference drift, leakage).
+    Offset(i32),
+}
+
+impl AdcFault {
+    /// Applies the fault to a converted code.
+    pub fn apply(self, code: i32) -> i32 {
+        match self {
+            AdcFault::Stuck(c) => c,
+            AdcFault::Offset(o) => code.saturating_add(o),
+        }
+    }
+}
+
 /// Spike detector: counts control samples deviating from the despiked
 /// output by more than a threshold, over a sliding window, and tracks how
 /// many *consecutive* windows were spike-active. A single violent flow

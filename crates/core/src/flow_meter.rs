@@ -13,10 +13,11 @@
 //!    output conditioning, King inversion, direction and fault detection.
 
 use crate::calibration::{CalPoint, KingCalibration};
-use crate::config::{FlowMeterConfig, OperatingMode};
+use crate::config::{FlowMeterConfig, OperatingMode, PulsedConfig};
 use crate::cta::{ConductanceEstimator, CtaLoop, SUPPLY_CODE_MAX};
 use crate::direction::{DirectionDetector, FlowDirection};
-use crate::faults::{DriftMonitor, FaultFlags, SaturationMonitor, SpikeMonitor};
+use crate::faults::{AdcFault, DriftMonitor, FaultFlags, SaturationMonitor, SpikeMonitor};
+use crate::health::{HealthMonitor, HealthState, RecoveryAction};
 use crate::modes::{ConstantCurrentDrive, ConstantPowerDrive, WireStateEstimator};
 use crate::output::OutputPipeline;
 use crate::pulsed::{PulsePhase, PulsedScheduler};
@@ -38,6 +39,18 @@ pub const DIR_CHANNEL: usize = 1;
 /// Index of the fluid-temperature channel (the `Rt` arm readout).
 pub const TEMP_CHANNEL: usize = 2;
 
+/// Consecutive identical control codes after which the firmware declares
+/// the acquisition front end frozen and stops kicking the watchdog. A
+/// healthy ΣΔ channel always carries noise — even at zero differential the
+/// modulator dithers — so a long identical-code streak cannot occur in
+/// normal operation.
+pub const FROZEN_CODE_LIMIT: u32 = 8;
+
+/// Drift-monitor baseline time constant in control-tick updates.
+const DRIFT_TAU_UPDATES: f64 = 1e6;
+/// Drift-monitor relative deviation threshold.
+const DRIFT_THRESHOLD: f64 = 0.05;
+
 /// One conditioned measurement, produced at the control rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
@@ -58,6 +71,8 @@ pub struct Measurement {
     pub wire_power: Watts,
     /// Health flags.
     pub faults: FaultFlags,
+    /// Aggregate health state from the graceful-degradation supervisor.
+    pub health: HealthState,
     /// Control-tick index since start.
     pub tick: u64,
 }
@@ -130,6 +145,14 @@ pub struct FlowMeter {
     /// phase); spike monitoring arms only once a short streak has passed so
     /// pulse-resume transients don't read as bubble events.
     settled_streak: u32,
+    /// The graceful-degradation supervisor.
+    health: HealthMonitor,
+    /// Injected ADC fault on the CTA channel (campaign fault injection).
+    adc_fault: Option<AdcFault>,
+    /// Consecutive identical control codes (freeze discriminator).
+    frozen_code_streak: u32,
+    /// The previous control code, for the freeze discriminator.
+    last_raw_ctrl_code: i32,
 }
 
 impl FlowMeter {
@@ -239,7 +262,7 @@ impl FlowMeter {
             // so the flag reacts to detachment events, not ordinary flow
             // noise.
             spikes: SpikeMonitor::new(150, control_rate.get() as u32, 0.002),
-            drift: DriftMonitor::new(1e6, 0.05),
+            drift: DriftMonitor::new(DRIFT_TAU_UPDATES, DRIFT_THRESHOLD),
             saturation: SaturationMonitor::new(
                 config.supply_code_min,
                 SUPPLY_CODE_MAX as u32,
@@ -261,6 +284,15 @@ impl FlowMeter {
             fault_latch: FaultFlags::default(),
             fault_warmup_ticks: (3.0 * control_rate.get()) as u64,
             settled_streak: 0,
+            // Escalate Degraded → Faulted after 5 s of continuous fault;
+            // each recovery stage needs 0.5 s of quiet monitors.
+            health: HealthMonitor::new(
+                (5.0 * control_rate.get()) as u64,
+                (0.5 * control_rate.get()) as u64,
+            ),
+            adc_fault: None,
+            frozen_code_streak: 0,
+            last_raw_ctrl_code: i32::MIN,
             build_seed: seed,
             config,
             die,
@@ -414,6 +446,12 @@ impl FlowMeter {
             )
         };
         let code = ctrl_code?;
+        // Injected acquisition faults corrupt the code before the firmware
+        // sees it — the firmware's own supervision has to catch them.
+        let code = match self.adc_fault {
+            Some(fault) => fault.apply(code),
+            None => code,
+        };
 
         // --- digital domain at the control rate ---
         Some(self.control_step(code, supply))
@@ -620,8 +658,50 @@ impl FlowMeter {
             self.fault_latch.loop_saturated |= faults.loop_saturated;
         }
 
-        self.platform.watchdog_mut().kick();
+        // Watchdog supervision. The firmware kicks only while the control
+        // code keeps moving: a healthy ΣΔ channel always carries noise, so
+        // a long identical-code streak means the acquisition front end is
+        // frozen — the kick stops and the ISIF watchdog expires, which the
+        // supervisor below turns into a soft reset.
+        if code == self.last_raw_ctrl_code {
+            self.frozen_code_streak = self.frozen_code_streak.saturating_add(1);
+        } else {
+            self.frozen_code_streak = 0;
+        }
+        self.last_raw_ctrl_code = code;
+        if self.frozen_code_streak < FROZEN_CODE_LIMIT {
+            self.platform.watchdog_mut().kick();
+        }
         self.platform.watchdog_mut().tick();
+        let watchdog_expired = self.platform.watchdog_mut().take_expiry();
+
+        // Graceful degradation: feed the supervisor the same warmup-gated
+        // flags the latch uses, and apply at most one reaction per tick.
+        let gated_faults = if self.control_tick > self.fault_warmup_ticks {
+            faults
+        } else {
+            FaultFlags::default()
+        };
+        match self.health.update(gated_faults, watchdog_expired) {
+            RecoveryAction::None => {}
+            RecoveryAction::EngagePulsedDrive => {
+                // §4's bubble mitigation: switch to the pulsed drive so the
+                // wall spends most of its time below the outgassing onset.
+                if self.pulsed.is_none() {
+                    self.pulsed = Some(PulsedScheduler::new(PulsedConfig::water_default()));
+                }
+            }
+            RecoveryAction::ReZero => {
+                // Accept the post-fouling conductance as the new baseline
+                // instead of flagging the same drift forever.
+                self.drift = DriftMonitor::new(DRIFT_TAU_UPDATES, DRIFT_THRESHOLD);
+            }
+            RecoveryAction::SoftReset => {
+                self.spikes.reset();
+                self.frozen_code_streak = 0;
+                self.platform.watchdog_mut().kick();
+            }
+        }
 
         let m = Measurement {
             velocity,
@@ -632,6 +712,7 @@ impl FlowMeter {
             conductance,
             wire_power,
             faults,
+            health: self.health.state(),
             tick: self.control_tick,
         };
         self.last_measurement = Some(m);
@@ -748,12 +829,39 @@ impl FlowMeter {
 
     /// Reloads the calibration from EEPROM (power-cycle recovery).
     ///
+    /// A corrupt or missing primary record degrades to the redundant mirror
+    /// slot: the mirror is loaded, the primary is repaired from it, and the
+    /// health supervisor notes a `Recovering` excursion. Only when *both*
+    /// copies fail does this error out — and the instrument goes `Faulted`.
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::Platform`] if the record is missing or corrupt.
+    /// Returns the primary slot's [`CoreError::Platform`] error if every
+    /// calibration copy is missing or corrupt.
     pub fn reload_calibration(&mut self) -> Result<(), CoreError> {
-        self.calibration = Some(KingCalibration::load(self.platform.eeprom())?);
-        Ok(())
+        match KingCalibration::load(self.platform.eeprom()) {
+            Ok(cal) => {
+                self.calibration = Some(cal);
+                Ok(())
+            }
+            Err(primary) => match KingCalibration::load_slot(
+                self.platform.eeprom(),
+                KingCalibration::REDUNDANT_SLOT,
+            ) {
+                Ok(cal) => {
+                    // Repair the primary from the surviving mirror so the
+                    // next power cycle reads clean again.
+                    cal.store_slot(self.platform.eeprom_mut(), KingCalibration::EEPROM_SLOT)?;
+                    self.calibration = Some(cal);
+                    self.health.note_eeprom_fallback();
+                    Ok(())
+                }
+                Err(_) => {
+                    self.health.note_unrecoverable();
+                    Err(primary)
+                }
+            },
+        }
     }
 
     /// Auto-zeroes the direction channel: runs `seconds` of simulation at
@@ -800,6 +908,30 @@ impl FlowMeter {
     pub fn clear_faults(&mut self) {
         self.fault_latch = FaultFlags::default();
         self.spikes.reset();
+    }
+
+    /// The instrument's current aggregate health state.
+    #[inline]
+    pub fn health(&self) -> HealthState {
+        self.health.state()
+    }
+
+    /// The graceful-degradation supervisor (transition diagnostics).
+    #[inline]
+    pub fn health_monitor(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Installs an injected ADC fault on the CTA acquisition channel, or
+    /// clears it with `None` — the campaign layer's fault-injection hook.
+    pub fn inject_adc_fault(&mut self, fault: Option<AdcFault>) {
+        self.adc_fault = fault;
+    }
+
+    /// The injected ADC fault currently active, if any.
+    #[inline]
+    pub fn adc_fault(&self) -> Option<AdcFault> {
+        self.adc_fault
     }
 }
 
@@ -1054,6 +1186,83 @@ mod tests {
         // And real flow still resolves.
         let meas = m.run(0.6, env(60.0)).unwrap();
         assert_eq!(meas.direction, FlowDirection::Forward);
+    }
+
+    #[test]
+    fn corrupt_primary_calibration_falls_back_to_mirror() {
+        let mut m = meter(11);
+        let points: Vec<CalPoint> = [20.0, 80.0, 150.0, 220.0]
+            .iter()
+            .map(|&v| {
+                m.record_calibration_point(MetersPerSecond::from_cm_per_s(v), env(0.0), 0.3, 0.2)
+            })
+            .collect();
+        let fitted = *m.calibrate(&points).unwrap();
+        // Bit-flip the primary record; its CRC check must now fail…
+        m.platform_mut()
+            .eeprom_mut()
+            .corrupt(KingCalibration::EEPROM_SLOT, 3);
+        m.calibration = None;
+        // …but the reload degrades to the redundant mirror instead of dying.
+        m.reload_calibration().unwrap();
+        assert_eq!(*m.calibration().unwrap(), fitted);
+        assert_eq!(m.health(), crate::health::HealthState::Recovering);
+        // The primary was repaired in place from the mirror.
+        assert_eq!(
+            KingCalibration::load(m.platform_mut().eeprom()).unwrap(),
+            fitted
+        );
+    }
+
+    #[test]
+    fn double_calibration_corruption_is_unrecoverable() {
+        let mut m = meter(12);
+        let points: Vec<CalPoint> = [20.0, 100.0, 200.0]
+            .iter()
+            .map(|&v| {
+                m.record_calibration_point(MetersPerSecond::from_cm_per_s(v), env(0.0), 0.3, 0.2)
+            })
+            .collect();
+        m.calibrate(&points).unwrap();
+        m.platform_mut()
+            .eeprom_mut()
+            .corrupt(KingCalibration::EEPROM_SLOT, 2);
+        m.platform_mut()
+            .eeprom_mut()
+            .corrupt(KingCalibration::REDUNDANT_SLOT, 2);
+        assert!(m.reload_calibration().is_err());
+        assert_eq!(m.health(), crate::health::HealthState::Faulted);
+    }
+
+    #[test]
+    fn stuck_adc_starves_watchdog_into_recovering() {
+        let mut m = meter(13);
+        m.run(0.5, env(50.0));
+        assert_eq!(m.health(), crate::health::HealthState::Healthy);
+        assert_eq!(m.platform_mut().watchdog_mut().reset_count(), 0);
+        // Freeze the CTA channel: the firmware must stop kicking and let
+        // the watchdog expire into a soft reset.
+        m.inject_adc_fault(Some(AdcFault::Stuck(1234)));
+        m.run(0.2, env(50.0));
+        assert!(
+            m.platform_mut().watchdog_mut().reset_count() > 0,
+            "watchdog never expired on a frozen channel"
+        );
+        assert_eq!(m.health(), crate::health::HealthState::Recovering);
+        // Clearing the fault lets the kicks resume and health return.
+        m.inject_adc_fault(None);
+        m.run(1.0, env(50.0));
+        assert_eq!(m.health(), crate::health::HealthState::Healthy);
+    }
+
+    #[test]
+    fn offset_adc_fault_does_not_trip_the_watchdog() {
+        let mut m = meter(14);
+        m.run(0.3, env(50.0));
+        m.inject_adc_fault(Some(AdcFault::Offset(300)));
+        m.run(0.3, env(50.0));
+        // Codes still carry noise, so the freeze discriminator stays quiet.
+        assert_eq!(m.platform_mut().watchdog_mut().reset_count(), 0);
     }
 
     #[test]

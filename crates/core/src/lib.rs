@@ -25,6 +25,9 @@
 //!   differential.
 //! * [`output`] — despike + 0.1 Hz smoothing + unit conversion.
 //! * [`faults`] — bubble/fouling detectors and watchdog wiring.
+//! * [`health`] — the graceful-degradation supervisor turning detections
+//!   into reactions (pulsed fallback, re-zero, soft reset, EEPROM
+//!   fallback).
 //! * [`power`] — the duty-cycled power budget of the §7 battery-operated
 //!   probe.
 //! * [`flow_meter`] — [`FlowMeter`], the assembled instrument
@@ -67,6 +70,7 @@ pub mod direction;
 pub mod error;
 pub mod faults;
 pub mod flow_meter;
+pub mod health;
 pub mod modes;
 pub mod output;
 pub mod power;
@@ -78,4 +82,5 @@ pub use calibration::KingCalibration;
 pub use config::{FlowMeterConfig, OperatingMode};
 pub use error::CoreError;
 pub use flow_meter::{FlowMeter, Measurement};
+pub use health::{HealthMonitor, HealthState, RecoveryAction};
 pub use telemetry::TelemetryRecord;

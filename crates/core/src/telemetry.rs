@@ -7,6 +7,7 @@
 
 use crate::direction::FlowDirection;
 use crate::flow_meter::Measurement;
+use crate::health::HealthState;
 use crate::CoreError;
 use hotwire_isif::uart::{encode_frame, FrameDecoder};
 use hotwire_units::MetersPerSecond;
@@ -23,7 +24,8 @@ pub const RECORD_LEN: usize = 16;
 /// ```text
 /// 0      version (u8)
 /// 1      direction (0 = indeterminate, 1 = forward, 2 = reverse)
-/// 2..4   flags (u16): bit0 bubble, bit1 fouling, bit2 saturated
+/// 2..4   flags (u16): bit0 bubble, bit1 fouling, bit2 saturated,
+///        bits 3–4 health state ([`HealthState::code`])
 /// 4..8   signed velocity in hundredths of cm/s (i32)
 /// 8..12  conductance in nW/K (u32)
 /// 12..16 control tick (u32, wrapping)
@@ -40,6 +42,8 @@ pub struct TelemetryRecord {
     pub fouling: bool,
     /// Loop-saturation bit.
     pub saturated: bool,
+    /// Aggregate health state (2-bit field on the wire).
+    pub health: HealthState,
     /// Conductance in nW/K.
     pub conductance_nw_per_k: u32,
     /// Control tick (wrapping).
@@ -56,6 +60,7 @@ impl TelemetryRecord {
             bubble: m.faults.bubble_activity,
             fouling: m.faults.fouling_suspected,
             saturated: m.faults.loop_saturated,
+            health: m.health,
             conductance_nw_per_k: (m.conductance.get() * 1e9).clamp(0.0, u32::MAX as f64) as u32,
             tick: (m.tick & 0xFFFF_FFFF) as u32,
         }
@@ -75,8 +80,10 @@ impl TelemetryRecord {
             FlowDirection::Forward => 1,
             FlowDirection::Reverse => 2,
         };
-        let flags: u16 =
-            (self.bubble as u16) | ((self.fouling as u16) << 1) | ((self.saturated as u16) << 2);
+        let flags: u16 = (self.bubble as u16)
+            | ((self.fouling as u16) << 1)
+            | ((self.saturated as u16) << 2)
+            | ((self.health.code() as u16) << 3);
         out[2..4].copy_from_slice(&flags.to_le_bytes());
         out[4..8].copy_from_slice(&self.velocity_centi_cm_s.to_le_bytes());
         out[8..12].copy_from_slice(&self.conductance_nw_per_k.to_le_bytes());
@@ -118,6 +125,7 @@ impl TelemetryRecord {
             bubble: flags & 1 != 0,
             fouling: flags & 2 != 0,
             saturated: flags & 4 != 0,
+            health: HealthState::from_code((flags >> 3) as u8),
             conductance_nw_per_k: u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")),
             tick: u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")),
         })
@@ -164,6 +172,7 @@ mod tests {
                 fouling_suspected: false,
                 loop_saturated: true,
             },
+            health: HealthState::Recovering,
             tick: 77_000,
         }
     }
@@ -175,9 +184,29 @@ mod tests {
         assert_eq!(back, rec);
         assert_eq!(back.velocity_centi_cm_s, -12345);
         assert!(back.bubble && back.saturated && !back.fouling);
+        assert_eq!(back.health, HealthState::Recovering);
         assert_eq!(back.direction, FlowDirection::Reverse);
         assert_eq!(back.conductance_nw_per_k, 2_345_000);
         assert!((back.velocity().to_cm_per_s() + 123.45).abs() < 1e-9);
+    }
+
+    #[test]
+    fn health_states_round_trip_on_the_wire() {
+        for h in [
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Faulted,
+            HealthState::Recovering,
+        ] {
+            let rec = TelemetryRecord {
+                health: h,
+                ..TelemetryRecord::from_measurement(&sample_measurement())
+            };
+            let back = TelemetryRecord::from_bytes(&rec.to_bytes()).unwrap();
+            assert_eq!(back.health, h);
+            // The neighbouring fault bits are untouched by the 2-bit field.
+            assert!(back.bubble && back.saturated && !back.fouling);
+        }
     }
 
     #[test]

@@ -56,7 +56,16 @@ impl<const FRAC: u32> Fx<FRAC> {
     }
 
     /// Quantizes an `f64`, rounding to nearest and saturating at the rails.
+    ///
+    /// `NaN` saturates to zero — the DSP datapath has no quiet-NaN code, so
+    /// a poisoned upstream value must map to *something*; zero is the choice
+    /// the hardware's clamp network makes. Debug builds assert so the
+    /// upstream source gets caught instead of laundered.
     pub fn from_f64(x: f64) -> Self {
+        debug_assert!(!x.is_nan(), "Fx::<{FRAC}>::from_f64 called with NaN");
+        if x.is_nan() {
+            return Fx(0);
+        }
         let scaled = x * (1u64 << FRAC) as f64;
         if scaled >= i32::MAX as f64 {
             Fx(i32::MAX)
@@ -96,7 +105,10 @@ impl<const FRAC: u32> Fx<FRAC> {
     #[inline]
     pub fn mul(self, rhs: Self) -> Self {
         let wide = self.0 as i64 * rhs.0 as i64;
-        let rounded = (wide + (1i64 << (FRAC - 1))) >> FRAC;
+        // FRAC == 0 (integer format) has no half-LSB to add — and the naive
+        // `1 << (FRAC - 1)` rounding bias would shift by u32::MAX.
+        let half = if FRAC == 0 { 0 } else { 1i64 << (FRAC - 1) };
+        let rounded = (wide + half) >> FRAC;
         Fx(saturate_i32(rounded))
     }
 
@@ -105,7 +117,8 @@ impl<const FRAC: u32> Fx<FRAC> {
     #[inline]
     pub fn mul_q<const F2: u32>(self, rhs: Fx<F2>) -> Self {
         let wide = self.0 as i64 * rhs.0 as i64;
-        let rounded = (wide + (1i64 << (F2 - 1))) >> F2;
+        let half = if F2 == 0 { 0 } else { 1i64 << (F2 - 1) };
+        let rounded = (wide + half) >> F2;
         Fx(saturate_i32(rounded))
     }
 
@@ -220,6 +233,38 @@ mod tests {
         assert_eq!(Q15::MIN.neg(), Q15::MAX);
         assert_eq!(Q15::MIN.abs(), Q15::MAX);
         assert_eq!(Q15::from_f64(-0.5).abs(), Q15::from_f64(0.5));
+    }
+
+    #[test]
+    fn integer_format_mul_has_no_rounding_bias() {
+        // Regression: Fx<0> (pure integer) used to compute the rounding
+        // term as `1 << (FRAC - 1)` — a shift by u32::MAX.
+        type Int = Fx<0>;
+        assert_eq!(Int::from_f64(6.0).mul(Int::from_f64(7.0)), Int::from_f64(42.0));
+        assert_eq!(Int::from_f64(-6.0).mul(Int::from_f64(7.0)), Int::from_f64(-42.0));
+        assert_eq!(Int::MAX.mul(Int::MAX), Int::MAX);
+        assert_eq!(Int::ONE.raw(), 1);
+        // Mixed-format MAC with a zero-fraction coefficient.
+        let sample = Q15::from_f64(0.5);
+        let gain = Fx::<0>::from_f64(3.0);
+        assert!((sample.mul_q(gain).to_f64() - 1.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn from_f64_nan_saturates_to_zero() {
+        // Regression: NaN used to quantize silently (`NaN.round() as i32`
+        // → 0). It still maps to zero, but explicitly — and debug builds
+        // trap it at the boundary.
+        #[cfg(debug_assertions)]
+        {
+            let caught = std::panic::catch_unwind(|| Q15::from_f64(f64::NAN));
+            assert!(caught.is_err(), "debug build must assert on NaN");
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            assert_eq!(Q15::from_f64(f64::NAN), Q15::ZERO);
+            assert_eq!(Fx::<0>::from_f64(f64::NAN), Fx::<0>::ZERO);
+        }
     }
 
     #[test]

@@ -161,6 +161,12 @@ impl IsifPlatform {
         &mut self.watchdog
     }
 
+    /// Read-only watchdog access (reset-count and arming queries).
+    #[inline]
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
     /// The calibration EEPROM.
     pub fn eeprom_mut(&mut self) -> &mut CalibrationStore {
         &mut self.eeprom

@@ -58,6 +58,7 @@ pub struct Watchdog {
     counter: u32,
     resets: u64,
     enabled: bool,
+    pending_expiry: bool,
 }
 
 impl Watchdog {
@@ -69,6 +70,7 @@ impl Watchdog {
             counter: timeout,
             resets: 0,
             enabled: true,
+            pending_expiry: false,
         }
     }
 
@@ -78,7 +80,8 @@ impl Watchdog {
     }
 
     /// Advances one tick; returns `true` if the watchdog expired (a reset
-    /// event is recorded and the window restarts).
+    /// event is recorded, the window restarts, and the expiry is latched
+    /// until [`Watchdog::take_expiry`] collects it).
     pub fn tick(&mut self) -> bool {
         if !self.enabled {
             return false;
@@ -87,10 +90,20 @@ impl Watchdog {
         if self.counter == 0 {
             self.counter = self.timeout;
             self.resets += 1;
+            self.pending_expiry = true;
             true
         } else {
             false
         }
+    }
+
+    /// Collects and clears the latched expiry flag.
+    ///
+    /// Expiry is edge-triggered at [`Watchdog::tick`] but supervision code
+    /// usually runs later in the loop; the latch turns the missed edge into
+    /// a recoverable event the supervisor can consume exactly once.
+    pub fn take_expiry(&mut self) -> bool {
+        core::mem::take(&mut self.pending_expiry)
     }
 
     /// Number of expiry events so far.
@@ -167,6 +180,21 @@ mod tests {
         }
         assert_eq!(fired, 3);
         assert_eq!(w.reset_count(), 3);
+    }
+
+    #[test]
+    fn watchdog_expiry_latches_until_taken() {
+        let mut w = Watchdog::new(2);
+        assert!(!w.take_expiry());
+        w.tick();
+        w.tick(); // expires here
+        assert_eq!(w.reset_count(), 1);
+        assert!(w.take_expiry());
+        assert!(!w.take_expiry(), "take_expiry must consume the latch");
+        // A kicked watchdog never sets the latch.
+        w.kick();
+        assert!(!w.tick());
+        assert!(!w.take_expiry());
     }
 
     #[test]

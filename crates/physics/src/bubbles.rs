@@ -148,6 +148,13 @@ impl BubbleLayer {
         }
     }
 
+    /// Deposits extra coverage instantaneously (a slug of entrained gas
+    /// bursting against the face — fault-injection's abrupt bubble event).
+    /// Coverage clamps to the unit interval.
+    pub fn deposit(&mut self, coverage: f64) {
+        self.coverage = (self.coverage + coverage.max(0.0)).clamp(0.0, 1.0);
+    }
+
     /// Clears the layer (e.g. after a maintenance flush).
     pub fn clear(&mut self) {
         self.coverage = 0.0;
@@ -270,6 +277,17 @@ mod tests {
         );
         assert!(!fired);
         assert_eq!(layer.coverage(), 0.0);
+    }
+
+    #[test]
+    fn deposit_clamps_to_unit_interval() {
+        let mut layer = BubbleLayer::new(BubbleParams::accelerated());
+        layer.deposit(0.4);
+        assert!((layer.coverage() - 0.4).abs() < 1e-12);
+        layer.deposit(0.9);
+        assert_eq!(layer.coverage(), 1.0);
+        layer.deposit(-5.0); // negative deposits are ignored
+        assert_eq!(layer.coverage(), 1.0);
     }
 
     #[test]

@@ -169,6 +169,12 @@ impl FoulingLayer {
         self.step(Seconds::new(hours * 3600.0), wall, hardness_f, coverage);
     }
 
+    /// Deposits extra scale instantaneously (a fault-injection step event:
+    /// debris lodging on the face reads the same as a sudden deposit).
+    pub fn deposit(&mut self, microns: f64) {
+        self.thickness_um += microns.max(0.0);
+    }
+
     /// Removes the deposit (acid flush / replacement).
     pub fn clean(&mut self) {
         self.thickness_um = 0.0;
@@ -245,6 +251,16 @@ mod tests {
         // R = δ/(k·A): 1 µm over 1e-8 m² of calcite is 1e-6/(2.2·1e-8) ≈ 45 K/W.
         assert!((r1 - t1 * 1e-6 / (2.2 * 1e-8)).abs() < 1e-9);
         assert!(r1 > 0.0);
+    }
+
+    #[test]
+    fn deposit_adds_thickness_immediately() {
+        let mut l = layer(Passivation::Bare);
+        l.deposit(3.5);
+        assert!((l.thickness_um() - 3.5).abs() < 1e-12);
+        l.deposit(-1.0); // negative deposits are ignored
+        assert!((l.thickness_um() - 3.5).abs() < 1e-12);
+        assert!(l.thermal_resistance().get() > 0.0);
     }
 
     #[test]

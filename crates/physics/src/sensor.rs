@@ -480,6 +480,22 @@ impl MafDie {
         self.heater_b.bubbles.clear();
         self.heater_b.fouling.clean();
     }
+
+    /// Slams extra bubble coverage onto both heater faces at once — a slug
+    /// of entrained gas bursting against the die (fault injection's abrupt
+    /// bubble event). Coverage clamps to the unit interval per face.
+    pub fn inject_bubble_burst(&mut self, coverage: f64) {
+        self.heater_a.bubbles.deposit(coverage);
+        self.heater_b.bubbles.deposit(coverage);
+    }
+
+    /// Deposits a step of scale thickness on both heater faces at once
+    /// (fault injection's abrupt fouling event, e.g. debris lodging on the
+    /// sensor face).
+    pub fn deposit_fouling(&mut self, microns: f64) {
+        self.heater_a.fouling.deposit(microns);
+        self.heater_b.fouling.deposit(microns);
+    }
 }
 
 #[cfg(test)]

@@ -39,6 +39,7 @@
 //! ```
 
 use crate::exec;
+use crate::fault::FaultSchedule;
 use crate::line::WaterLine;
 use crate::metrics::Welford;
 use crate::promag::Promag50;
@@ -136,6 +137,8 @@ pub struct RunSpec {
     pub auto_zero_s: Option<f64>,
     /// The line scenario to drive.
     pub scenario: Scenario,
+    /// Seeded fault schedule injected during the run (`None` = healthy).
+    pub faults: Option<FaultSchedule>,
     /// Seed for the line's turbulence and the reference meters' noise.
     pub line_seed: u64,
     /// Trace recording cadence, seconds per sample.
@@ -166,6 +169,7 @@ impl RunSpec {
             calibration: Calibration::Factory,
             auto_zero_s: None,
             scenario,
+            faults: None,
             line_seed: seed,
             sample_period_s: 0.02,
             settle_s: 0.0,
@@ -203,6 +207,12 @@ impl RunSpec {
         self
     }
 
+    /// Injects a seeded fault schedule during the run.
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+
     /// Sets the trace recording cadence.
     pub fn with_sample_period(mut self, seconds: f64) -> Self {
         self.sample_period_s = seconds;
@@ -231,6 +241,9 @@ impl RunSpec {
             meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
         }
         let mut runner = LineRunner::new(self.scenario.clone(), meter, self.line_seed);
+        if let Some(schedule) = &self.faults {
+            runner.install_faults(schedule.clone());
+        }
         let trace = runner.run(self.sample_period_s);
         Ok(RunOutcome {
             label: self.label.clone(),
@@ -526,6 +539,42 @@ mod tests {
                 assert_eq!(sa.bubble_coverage.to_bits(), sb.bubble_coverage.to_bits());
                 assert_eq!(sa.fouling_um.to_bits(), sb.fouling_um.to_bits());
                 assert_eq!(sa.fault, sb.fault);
+                assert_eq!(sa.health, sb.health);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_campaigns_stay_bit_identical_across_job_counts() {
+        use crate::fault::{FaultKind, FaultSchedule};
+        // Fault injection must not break the determinism contract: the
+        // injection RNG is part of the spec, so traces — and the UART wire
+        // statistics — match bit-for-bit at any job count.
+        let specs: Vec<RunSpec> = (0..3)
+            .map(|i| {
+                spec(i).with_faults(
+                    FaultSchedule::new(derive_seed(0xFA57, i))
+                        .with_event(0.5, 0.4, FaultKind::AdcStuck { code: 900 })
+                        .with_event(
+                            0.2,
+                            1.5,
+                            FaultKind::UartCorruption {
+                                flip_per_byte: 0.02,
+                                drop_per_byte: 0.02,
+                            },
+                        ),
+                )
+            })
+            .collect();
+        let serial = Campaign::with_jobs(1).run(&specs).unwrap();
+        let parallel = Campaign::with_jobs(3).run(&specs).unwrap();
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.trace.uart, b.trace.uart, "{}", a.label);
+            assert_eq!(a.trace.samples.len(), b.trace.samples.len(), "{}", a.label);
+            for (sa, sb) in a.trace.samples.iter().zip(&b.trace.samples) {
+                assert_eq!(sa.dut_cm_s.to_bits(), sb.dut_cm_s.to_bits());
+                assert_eq!(sa.supply_code, sb.supply_code);
+                assert_eq!(sa.health, sb.health);
             }
         }
     }

@@ -1,0 +1,515 @@
+//! Deterministic fault injection for campaign runs.
+//!
+//! §6 of the paper motivates diffuse deployment with self-diagnosis —
+//! "allowing also any malfunction behavior … to be immediately localized
+//! and isolated". This module supplies the *malfunctions*: a declarative
+//! [`FaultSchedule`] of seeded, time-triggered faults that a [`RunSpec`]
+//! carries alongside its scenario, so the same campaign executor that runs
+//! healthy evaluations also runs fault campaigns — bit-identically at any
+//! job count.
+//!
+//! Two fault families are covered:
+//!
+//! * **Platform faults** — a stuck or offset ADC code, supply-DAC element
+//!   failure, supply brownout, EEPROM bit flips, UART byte corruption and
+//!   drops. These attack the ISIF electronics of paper Fig. 4.
+//! * **Physics events** — an abrupt bubble burst or a step of fouling on
+//!   the heater surfaces. These attack the §4 liquid-specific failure
+//!   modes directly, bypassing the slow natural growth models.
+//!
+//! Windowed faults (ADC, DAC, brownout, UART) are active over
+//! `[at_s, at_s + duration_s)` and reverted afterwards; impulse faults
+//! (EEPROM flip, bubble burst, fouling step) fire once at `at_s` and leave
+//! the firmware's graceful-degradation machinery
+//! ([`HealthMonitor`](hotwire_core::HealthMonitor)) to clean up.
+//!
+//! [`RunSpec`]: crate::campaign::RunSpec
+
+use hotwire_afe::ThermometerDac;
+use hotwire_core::faults::AdcFault;
+use hotwire_core::{FlowMeter, Measurement, TelemetryRecord};
+use hotwire_isif::uart::FrameDecoder;
+use hotwire_units::Volts;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injectable fault class.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub enum FaultKind {
+    /// The control ADC freezes at a fixed code (dead modulator). Starves
+    /// the firmware's frozen-code watchdog discriminator.
+    AdcStuck {
+        /// The frozen converter output.
+        code: i32,
+    },
+    /// A constant offset corrupts every control code (reference drift).
+    AdcOffset {
+        /// Offset added to each code.
+        codes: i32,
+    },
+    /// The bridge supply rail sags: the supply DAC's full scale drops to
+    /// `fraction` of nominal for the event window.
+    SupplyBrownout {
+        /// Remaining full-scale fraction, clamped to `[0.05, 1.0]`.
+        fraction: f64,
+    },
+    /// Thermometer-DAC unit elements fail open, shaving `span_loss` off the
+    /// actuator's output span until redundancy is switched in at the end of
+    /// the window.
+    DacElementFail {
+        /// Fraction of output span lost, clamped to `[0.0, 0.95]`.
+        span_loss: f64,
+    },
+    /// A bit flip lands in a calibration EEPROM slot; the firmware is then
+    /// forced to reload calibration, exercising the CRC check and the
+    /// redundant-slot fallback.
+    EepromBitFlip {
+        /// EEPROM slot to corrupt.
+        slot: usize,
+        /// Byte offset within the stored record.
+        byte: usize,
+    },
+    /// The telemetry UART link degrades: bytes flip and drop with the given
+    /// per-byte probabilities while the window is active.
+    UartCorruption {
+        /// Per-byte probability of a single-bit flip.
+        flip_per_byte: f64,
+        /// Per-byte probability of the byte vanishing entirely.
+        drop_per_byte: f64,
+    },
+    /// An abrupt vapor/air burst blankets both heaters with extra bubble
+    /// coverage (impulse; the bubbles then detach naturally).
+    BubbleBurst {
+        /// Coverage fraction added to each heater, clamped to `[0, 1]`.
+        coverage: f64,
+    },
+    /// A step of CaCO₃ scale lands on both heaters at once (impulse; scale
+    /// does not clear on its own — recovery is the firmware's re-zero).
+    SteppedFouling {
+        /// Scale thickness added, µm.
+        microns: f64,
+    },
+}
+
+/// One scheduled fault occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct FaultEvent {
+    /// Scenario time at which the fault engages, seconds.
+    pub at_s: f64,
+    /// Active window length, seconds (ignored by impulse faults).
+    pub duration_s: f64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// A fault of `kind` active over `[at_s, at_s + duration_s)`.
+    pub fn new(at_s: f64, duration_s: f64, kind: FaultKind) -> Self {
+        FaultEvent {
+            at_s,
+            duration_s: duration_s.max(0.0),
+            kind,
+        }
+    }
+
+    /// End of the active window, seconds.
+    pub fn end_s(&self) -> f64 {
+        self.at_s + self.duration_s
+    }
+
+    /// Whether scenario time `t` falls inside the active window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.at_s && t < self.end_s()
+    }
+}
+
+/// A declarative, seeded schedule of faults for one run.
+///
+/// The schedule travels inside a [`RunSpec`](crate::campaign::RunSpec)
+/// (see [`RunSpec::with_faults`](crate::campaign::RunSpec::with_faults)),
+/// so a fault campaign is exactly as deterministic as a healthy one: the
+/// injected byte noise is driven by `seed`, never by wall-clock or thread
+/// scheduling.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct FaultSchedule {
+    /// Seed for the injection noise (UART byte corruption draws).
+    pub seed: u64,
+    /// The scheduled faults, in any order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule with the given injection seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Adds a fault of `kind` active over `[at_s, at_s + duration_s)`.
+    pub fn with_event(mut self, at_s: f64, duration_s: f64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent::new(at_s, duration_s, kind));
+        self
+    }
+
+    /// Whether any event attacks the UART link (enables the telemetry
+    /// wire simulation in the runner).
+    pub fn has_uart_fault(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::UartCorruption { .. }))
+    }
+}
+
+/// Telemetry-link bookkeeping collected by the UART fault simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct UartStats {
+    /// Telemetry frames encoded onto the simulated wire.
+    pub frames_sent: u64,
+    /// Frames that survived framing + CRC and decoded to valid records.
+    pub frames_received: u64,
+    /// Bytes dropped by the fault window.
+    pub bytes_dropped: u64,
+    /// Bytes corrupted (single-bit flips) by the fault window.
+    pub bytes_corrupted: u64,
+    /// CRC failures counted by the receiving decoder.
+    pub crc_errors: u64,
+}
+
+/// Lifecycle of one scheduled event inside the injector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Pending,
+    Active,
+    Done,
+}
+
+/// Executes a [`FaultSchedule`] against a live meter, one control tick at a
+/// time.
+///
+/// The runner calls [`apply`](Self::apply) with the current scenario time
+/// before each control tick (engaging and reverting windowed faults), and
+/// [`observe`](Self::observe) for each recorded measurement (driving the
+/// telemetry wire simulation when the schedule has a UART fault).
+#[derive(Debug)]
+pub struct FaultInjector {
+    schedule: FaultSchedule,
+    phases: Vec<Phase>,
+    saved_dac: Vec<Option<ThermometerDac>>,
+    rng: StdRng,
+    decoder: FrameDecoder,
+    stats: UartStats,
+    uart_enabled: bool,
+}
+
+impl FaultInjector {
+    /// Builds an injector for `schedule`.
+    pub fn new(schedule: FaultSchedule) -> Self {
+        let n = schedule.events.len();
+        let uart_enabled = schedule.has_uart_fault();
+        FaultInjector {
+            rng: StdRng::seed_from_u64(schedule.seed ^ 0xFA_01_7E_57),
+            phases: vec![Phase::Pending; n],
+            saved_dac: vec![None; n],
+            decoder: FrameDecoder::new(),
+            stats: UartStats::default(),
+            uart_enabled,
+            schedule,
+        }
+    }
+
+    /// The schedule this injector executes.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Engages and reverts scheduled faults for scenario time `t`.
+    pub fn apply(&mut self, t: f64, meter: &mut FlowMeter) {
+        for i in 0..self.schedule.events.len() {
+            let event = self.schedule.events[i];
+            match self.phases[i] {
+                Phase::Pending if t >= event.at_s => {
+                    self.saved_dac[i] = engage(event.kind, meter);
+                    // A zero-length window reverts on the next call.
+                    self.phases[i] = Phase::Active;
+                }
+                Phase::Active if t >= event.end_s() => {
+                    revert(event.kind, self.saved_dac[i].take(), meter);
+                    self.phases[i] = Phase::Done;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Runs one recorded measurement through the telemetry wire simulation
+    /// (no-op unless the schedule has a UART fault).
+    pub fn observe(&mut self, t: f64, m: &Measurement) {
+        if !self.uart_enabled {
+            return;
+        }
+        // The worst active UART window governs this frame's byte noise.
+        let (mut flip_p, mut drop_p) = (0.0_f64, 0.0_f64);
+        for e in &self.schedule.events {
+            if let FaultKind::UartCorruption {
+                flip_per_byte,
+                drop_per_byte,
+            } = e.kind
+            {
+                if e.contains(t) {
+                    flip_p = flip_p.max(flip_per_byte.clamp(0.0, 1.0));
+                    drop_p = drop_p.max(drop_per_byte.clamp(0.0, 1.0));
+                }
+            }
+        }
+        let record = TelemetryRecord::from_measurement(m);
+        let Ok(frame) = record.to_frame() else { return };
+        self.stats.frames_sent += 1;
+        for byte in frame {
+            let mut b = byte;
+            if drop_p > 0.0 && self.rng.gen_bool(drop_p) {
+                self.stats.bytes_dropped += 1;
+                continue;
+            }
+            if flip_p > 0.0 && self.rng.gen_bool(flip_p) {
+                b ^= 1u8 << self.rng.gen_range(0u32..8);
+                self.stats.bytes_corrupted += 1;
+            }
+            if let Some(payload) = self.decoder.push(b) {
+                if TelemetryRecord::from_bytes(&payload).is_ok() {
+                    self.stats.frames_received += 1;
+                }
+            }
+        }
+    }
+
+    /// The telemetry-link statistics accumulated so far.
+    pub fn stats(&self) -> UartStats {
+        UartStats {
+            crc_errors: self.decoder.crc_errors(),
+            ..self.stats
+        }
+    }
+}
+
+/// Engages one fault; returns the saved supply DAC for window faults that
+/// must restore it on revert.
+fn engage(kind: FaultKind, meter: &mut FlowMeter) -> Option<ThermometerDac> {
+    match kind {
+        FaultKind::AdcStuck { code } => {
+            meter.inject_adc_fault(Some(AdcFault::Stuck(code)));
+            None
+        }
+        FaultKind::AdcOffset { codes } => {
+            meter.inject_adc_fault(Some(AdcFault::Offset(codes)));
+            None
+        }
+        FaultKind::SupplyBrownout { fraction } => {
+            Some(degrade_supply(meter, fraction.clamp(0.05, 1.0)))
+        }
+        FaultKind::DacElementFail { span_loss } => {
+            Some(degrade_supply(meter, 1.0 - span_loss.clamp(0.0, 0.95)))
+        }
+        FaultKind::EepromBitFlip { slot, byte } => {
+            meter.platform_mut().eeprom_mut().corrupt(slot, byte);
+            // Force the firmware to re-read: on a corrupt primary it falls
+            // back to the redundant slot and repairs; with both slots gone
+            // it latches Faulted. Either way the health machine reports it.
+            let _ = meter.reload_calibration();
+            None
+        }
+        FaultKind::UartCorruption { .. } => None,
+        FaultKind::BubbleBurst { coverage } => {
+            meter.die_mut().inject_bubble_burst(coverage);
+            None
+        }
+        FaultKind::SteppedFouling { microns } => {
+            meter.die_mut().deposit_fouling(microns);
+            None
+        }
+    }
+}
+
+/// Reverts one windowed fault (impulse faults have nothing to undo).
+fn revert(kind: FaultKind, saved_dac: Option<ThermometerDac>, meter: &mut FlowMeter) {
+    match kind {
+        FaultKind::AdcStuck { .. } | FaultKind::AdcOffset { .. } => {
+            meter.inject_adc_fault(None);
+        }
+        FaultKind::SupplyBrownout { .. } | FaultKind::DacElementFail { .. } => {
+            if let Some(dac) = saved_dac {
+                meter.platform_mut().set_supply_dac(dac);
+            }
+        }
+        FaultKind::EepromBitFlip { .. }
+        | FaultKind::UartCorruption { .. }
+        | FaultKind::BubbleBurst { .. }
+        | FaultKind::SteppedFouling { .. } => {}
+    }
+}
+
+/// Swaps the supply DAC for one whose full scale is `fraction` of nominal;
+/// returns the original for restoration.
+fn degrade_supply(meter: &mut FlowMeter, fraction: f64) -> ThermometerDac {
+    let original = meter.platform_mut().supply_dac().clone();
+    let vref = Volts::new(original.vref().get() * fraction);
+    let degraded = ThermometerDac::ideal(original.bits(), vref)
+        .expect("clamped brownout fraction yields a valid DAC");
+    meter.platform_mut().set_supply_dac(degraded);
+    original
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::LineRunner;
+    use crate::scenario::Scenario;
+    use hotwire_core::{FlowMeterConfig, HealthState};
+    use hotwire_physics::MafParams;
+
+    fn test_meter(seed: u64) -> FlowMeter {
+        FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), seed).unwrap()
+    }
+
+    #[test]
+    fn event_window_semantics() {
+        let e = FaultEvent::new(1.0, 0.5, FaultKind::AdcStuck { code: 0 });
+        assert!(!e.contains(0.99));
+        assert!(e.contains(1.0));
+        assert!(e.contains(1.49));
+        assert!(!e.contains(1.5));
+        assert_eq!(e.end_s(), 1.5);
+    }
+
+    #[test]
+    fn brownout_degrades_and_restores_the_supply_dac() {
+        let mut meter = test_meter(31);
+        let nominal_vref = meter.platform_mut().supply_dac().vref().get();
+        let schedule = FaultSchedule::new(31).with_event(
+            1.0,
+            0.5,
+            FaultKind::SupplyBrownout { fraction: 0.6 },
+        );
+        let mut inj = FaultInjector::new(schedule);
+        inj.apply(0.5, &mut meter);
+        assert_eq!(meter.platform_mut().supply_dac().vref().get(), nominal_vref);
+        inj.apply(1.0, &mut meter);
+        let sagged = meter.platform_mut().supply_dac().vref().get();
+        assert!((sagged - 0.6 * nominal_vref).abs() < 1e-12, "vref {sagged}");
+        inj.apply(1.6, &mut meter);
+        assert_eq!(meter.platform_mut().supply_dac().vref().get(), nominal_vref);
+    }
+
+    #[test]
+    fn adc_events_install_and_clear_the_fault() {
+        let mut meter = test_meter(32);
+        let schedule = FaultSchedule::new(32).with_event(
+            0.0,
+            1.0,
+            FaultKind::AdcOffset { codes: 123 },
+        );
+        let mut inj = FaultInjector::new(schedule);
+        inj.apply(0.0, &mut meter);
+        assert_eq!(meter.adc_fault(), Some(AdcFault::Offset(123)));
+        inj.apply(1.0, &mut meter);
+        assert_eq!(meter.adc_fault(), None);
+    }
+
+    #[test]
+    fn bubble_burst_shows_up_in_the_trace() {
+        let meter = test_meter(33);
+        let schedule =
+            FaultSchedule::new(33).with_event(0.5, 0.0, FaultKind::BubbleBurst { coverage: 0.4 });
+        let mut runner = LineRunner::new(Scenario::steady(100.0, 1.2), meter, 33);
+        runner.install_faults(schedule);
+        let trace = runner.run(0.01);
+        let peak = trace
+            .samples
+            .iter()
+            .map(|s| s.bubble_coverage)
+            .fold(0.0, f64::max);
+        assert!(peak > 0.2, "peak coverage {peak} after a 0.4 burst");
+    }
+
+    #[test]
+    fn uart_corruption_loses_frames_deterministically() {
+        let schedule = FaultSchedule::new(77).with_event(
+            0.0,
+            10.0,
+            FaultKind::UartCorruption {
+                flip_per_byte: 0.05,
+                drop_per_byte: 0.05,
+            },
+        );
+        let run = |schedule: FaultSchedule| {
+            let meter = test_meter(34);
+            let mut runner = LineRunner::new(Scenario::steady(80.0, 2.0), meter, 34);
+            runner.install_faults(schedule);
+            let trace = runner.run(0.01);
+            trace.uart
+        };
+        let stats = run(schedule.clone());
+        assert!(stats.frames_sent > 50, "sent {}", stats.frames_sent);
+        assert!(
+            stats.frames_received < stats.frames_sent,
+            "a 5 %/byte noisy link must lose frames ({} of {} survived)",
+            stats.frames_received,
+            stats.frames_sent
+        );
+        assert!(stats.bytes_dropped > 0 && stats.bytes_corrupted > 0);
+        // Same schedule, same seed → bit-identical wire outcome.
+        assert_eq!(run(schedule.clone()), stats);
+    }
+
+    #[test]
+    fn clean_link_passes_every_frame() {
+        let schedule = FaultSchedule::new(78).with_event(
+            5.0,
+            1.0,
+            FaultKind::UartCorruption {
+                flip_per_byte: 1.0,
+                drop_per_byte: 1.0,
+            },
+        );
+        // The event never triggers inside a 2 s scenario, but its presence
+        // enables the wire simulation — which must then be lossless.
+        let meter = test_meter(35);
+        let mut runner = LineRunner::new(Scenario::steady(80.0, 2.0), meter, 35);
+        runner.install_faults(schedule);
+        let trace = runner.run(0.02);
+        assert!(trace.uart.frames_sent > 0);
+        assert_eq!(trace.uart.frames_sent, trace.uart.frames_received);
+        assert_eq!(trace.uart.crc_errors, 0);
+    }
+
+    #[test]
+    fn eeprom_flip_triggers_redundant_slot_fallback() {
+        use crate::runner::field_calibrate_jobs;
+        use hotwire_core::KingCalibration;
+
+        let mut meter = test_meter(36);
+        field_calibrate_jobs(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 0.6, 0.4, 36, 1)
+            .unwrap();
+        let schedule = FaultSchedule::new(36).with_event(
+            0.2,
+            0.0,
+            FaultKind::EepromBitFlip {
+                slot: KingCalibration::EEPROM_SLOT,
+                byte: 3,
+            },
+        );
+        let mut runner = LineRunner::new(Scenario::steady(100.0, 1.0), meter, 36);
+        runner.install_faults(schedule);
+        let trace = runner.run(0.01);
+        assert!(
+            trace
+                .samples
+                .iter()
+                .any(|s| s.health == HealthState::Recovering),
+            "mirror fallback must surface as Recovering in the trace"
+        );
+        let meter = runner.into_meter();
+        assert!(meter.calibration().is_some(), "calibration must survive");
+    }
+}

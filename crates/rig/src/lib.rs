@@ -19,6 +19,9 @@
 //! * [`runner`] — co-simulation of the device under test and both reference
 //!   meters on shared true flow, plus the field-calibration procedure
 //! * [`campaign`] — declarative [`RunSpec`]s and the [`Campaign`] executor
+//! * [`fault`] — seeded, time-triggered fault schedules ([`FaultSchedule`])
+//!   injectable into any run: ADC/DAC/supply/EEPROM/UART faults plus abrupt
+//!   physics events, executed deterministically by the campaign layer
 //! * [`exec`] — the deterministic scoped-thread parallel map underneath it
 //!
 //! # Campaigns
@@ -68,6 +71,7 @@
 
 pub mod campaign;
 pub mod exec;
+pub mod fault;
 pub mod line;
 pub mod metrics;
 pub mod promag;
@@ -78,6 +82,7 @@ pub mod turbine;
 pub use campaign::{
     Calibration, Campaign, FieldCalibration, RunOutcome, RunSpec, PAPER_SETPOINTS_CM_S,
 };
+pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, UartStats};
 pub use line::WaterLine;
 pub use metrics::Welford;
 pub use promag::Promag50;

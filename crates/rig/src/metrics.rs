@@ -14,8 +14,8 @@
 /// The allocation-free path for windowed sweep statistics: campaign runs
 /// fold their settled windows through this instead of materializing a
 /// per-window `Vec<f64>` copy of the trace. Matches [`mean`] / [`std_dev`]
-/// (population σ) to floating-point accuracy; the empty/singleton
-/// conventions (`mean → 0`, `σ → 0`) are identical.
+/// (population σ) to floating-point accuracy; the degenerate-input
+/// conventions (empty → `NaN`, singleton σ → 0) are identical.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct Welford {
     n: u64,
@@ -42,23 +42,27 @@ impl Welford {
         self.n
     }
 
-    /// Mean of the samples (0 for an empty accumulator).
+    /// Mean of the samples (`NaN` for an empty accumulator — an empty
+    /// window has no mean, and pretending it is 0 poisons downstream
+    /// error metrics with a plausible-looking number).
     pub fn mean(&self) -> f64 {
         if self.n == 0 {
-            return 0.0;
+            return f64::NAN;
         }
         self.mean
     }
 
-    /// Population variance (0 for < 2 samples).
+    /// Population variance (`NaN` when empty, 0 for a single sample).
     pub fn variance(&self) -> f64 {
-        if self.n < 2 {
-            return 0.0;
+        match self.n {
+            0 => f64::NAN,
+            1 => 0.0,
+            n => self.m2 / n as f64,
         }
-        self.m2 / self.n as f64
     }
 
-    /// Population standard deviation (0 for < 2 samples).
+    /// Population standard deviation (`NaN` when empty, 0 for a single
+    /// sample).
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
@@ -80,33 +84,43 @@ impl FromIterator<f64> for Welford {
     }
 }
 
-/// Mean of a slice (0 for empty input).
+/// Mean of a slice (`NaN` for empty input — see [`Welford::mean`]).
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     xs.iter().sum::<f64>() / xs.len() as f64
 }
 
-/// Population standard deviation of a slice (0 for < 2 samples).
+/// Population standard deviation of a slice (`NaN` when empty, 0 for a
+/// single sample — a lone reading has no spread, but *no* readings have no
+/// statistic at all, and 0 would read as a perfect instrument).
 pub fn std_dev(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
+    match xs.len() {
+        0 => f64::NAN,
+        1 => 0.0,
+        n => {
+            let m = mean(xs);
+            (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64).sqrt()
+        }
     }
-    let m = mean(xs);
-    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64).sqrt()
 }
 
-/// Resolution at a steady point: ±σ of the samples, in the samples' unit.
+/// Resolution at a steady point: ±σ of the samples, in the samples' unit
+/// (`NaN` for an empty window).
 pub fn resolution(samples: &[f64]) -> f64 {
     std_dev(samples)
 }
 
 /// Repeatability across revisits: half the spread of the settled means,
 /// as a fraction of `full_scale`.
+///
+/// `NaN` for fewer than two visits or a non-positive full scale — both are
+/// measurement mistakes, and the old `0.0` convention reported them as a
+/// perfect instrument. `repro --json` renders the `NaN` as `null`.
 pub fn repeatability(settled_means: &[f64], full_scale: f64) -> f64 {
     if settled_means.len() < 2 || full_scale <= 0.0 {
-        return 0.0;
+        return f64::NAN;
     }
     let max = settled_means
         .iter()
@@ -191,9 +205,9 @@ mod tests {
         assert_eq!(w.count(), xs.len() as u64);
         assert!((w.mean() - mean(&xs)).abs() < 1e-12);
         assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-12);
-        // Empty/singleton conventions match.
-        assert_eq!(Welford::new().mean(), 0.0);
-        assert_eq!(Welford::new().std_dev(), 0.0);
+        // Degenerate-input conventions match.
+        assert!(Welford::new().mean().is_nan());
+        assert!(Welford::new().std_dev().is_nan());
         let one: Welford = [3.5].into_iter().collect();
         assert_eq!(one.mean(), 3.5);
         assert_eq!(one.std_dev(), 0.0);
@@ -209,8 +223,13 @@ mod tests {
                 xs in proptest::collection::vec(-1.0e3f64..1.0e3, 0..200)
             ) {
                 let w: Welford = xs.iter().copied().collect();
-                prop_assert!((w.mean() - mean(&xs)).abs() < 1e-9);
-                prop_assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-9);
+                if xs.is_empty() {
+                    prop_assert!(w.mean().is_nan() && mean(&xs).is_nan());
+                    prop_assert!(w.std_dev().is_nan() && std_dev(&xs).is_nan());
+                } else {
+                    prop_assert!((w.mean() - mean(&xs)).abs() < 1e-9);
+                    prop_assert!((w.std_dev() - std_dev(&xs)).abs() < 1e-9);
+                }
             }
         }
     }
@@ -219,7 +238,10 @@ mod tests {
     fn mean_and_std() {
         assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
         assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(mean(&[]), 0.0);
+        // Regression: empty windows used to read as perfect (0).
+        assert!(mean(&[]).is_nan());
+        assert!(std_dev(&[]).is_nan());
+        assert!(resolution(&[]).is_nan());
         assert_eq!(std_dev(&[1.0]), 0.0);
     }
 
@@ -227,7 +249,11 @@ mod tests {
     fn repeatability_is_half_spread() {
         let means = [99.0, 101.0, 100.0, 100.5];
         assert!((repeatability(&means, 250.0) - 1.0 / 250.0).abs() < 1e-12);
-        assert_eq!(repeatability(&[100.0], 250.0), 0.0);
+        // Regression: a single visit / bad full scale used to report 0.0,
+        // i.e. a *perfect* instrument, instead of "not a measurement".
+        assert!(repeatability(&[100.0], 250.0).is_nan());
+        assert!(repeatability(&means, 0.0).is_nan());
+        assert!(repeatability(&means, -1.0).is_nan());
     }
 
     #[test]

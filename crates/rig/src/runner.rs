@@ -7,13 +7,14 @@
 
 use crate::campaign::{self, FieldCalibration};
 use crate::exec;
+use crate::fault::{FaultInjector, FaultSchedule, UartStats};
 use crate::line::WaterLine;
 use crate::metrics::Welford;
 use crate::promag::Promag50;
 use crate::scenario::Scenario;
 use crate::turbine::TurbineMeter;
 use hotwire_core::calibration::CalPoint;
-use hotwire_core::{CoreError, FlowMeter};
+use hotwire_core::{CoreError, FlowMeter, HealthState};
 use hotwire_physics::sensor::HeaterId;
 use hotwire_physics::SensorEnvironment;
 use hotwire_units::Seconds;
@@ -41,6 +42,8 @@ pub struct TraceSample {
     pub fouling_um: f64,
     /// Any fault flag raised this tick.
     pub fault: bool,
+    /// Aggregate health state reported by the firmware supervisor.
+    pub health: HealthState,
 }
 
 /// A recorded co-simulation run.
@@ -48,6 +51,9 @@ pub struct TraceSample {
 pub struct Trace {
     /// The recorded samples, in time order.
     pub samples: Vec<TraceSample>,
+    /// Telemetry-link statistics (non-zero only when the run carried a
+    /// UART fault — see [`FaultSchedule`]).
+    pub uart: UartStats,
 }
 
 impl Trace {
@@ -55,6 +61,7 @@ impl Trace {
     pub fn with_capacity(samples: usize) -> Self {
         Trace {
             samples: Vec::with_capacity(samples),
+            uart: UartStats::default(),
         }
     }
 
@@ -100,7 +107,7 @@ impl Trace {
     /// plotting — the raw material of the paper's Fig. 11.
     pub fn to_csv(&self) -> String {
         let header =
-            "t_s,true_cm_s,dut_cm_s,promag_cm_s,turbine_cm_s,supply_code,bubble_coverage,fouling_um,fault\n";
+            "t_s,true_cm_s,dut_cm_s,promag_cm_s,turbine_cm_s,supply_code,bubble_coverage,fouling_um,fault,health\n";
         // ~64 bytes per formatted row; reserving up front keeps the export
         // to a handful of reallocations instead of O(log n) doublings over
         // megabyte-scale traces.
@@ -110,7 +117,7 @@ impl Trace {
             use std::fmt::Write as _;
             let _ = writeln!(
                 out,
-                "{:.4},{:.3},{:.3},{:.3},{:.3},{},{:.4},{:.3},{}",
+                "{:.4},{:.3},{:.3},{:.3},{:.3},{},{:.4},{:.3},{},{}",
                 s.t,
                 s.true_cm_s,
                 s.dut_cm_s,
@@ -120,6 +127,7 @@ impl Trace {
                 s.bubble_coverage,
                 s.fouling_um,
                 u8::from(s.fault),
+                s.health.code(),
             );
         }
         out
@@ -136,6 +144,7 @@ pub struct LineRunner {
     ref_rng: StdRng,
     env: SensorEnvironment,
     control_dt: Seconds,
+    injector: Option<FaultInjector>,
 }
 
 impl LineRunner {
@@ -153,7 +162,14 @@ impl LineRunner {
             ref_rng: StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF),
             env: SensorEnvironment::still_water(),
             control_dt,
+            injector: None,
         }
+    }
+
+    /// Installs a fault schedule: its events will fire at their scheduled
+    /// scenario times during [`run`](Self::run).
+    pub fn install_faults(&mut self, schedule: FaultSchedule) {
+        self.injector = Some(FaultInjector::new(schedule));
     }
 
     /// The device under test.
@@ -191,6 +207,11 @@ impl LineRunner {
         let mut trace = Trace::with_capacity(expected);
         let mut next_sample_t = 0.0;
         while !self.line.finished() {
+            // Faults engage/revert on the scenario clock, before the tick
+            // they first affect.
+            if let Some(injector) = self.injector.as_mut() {
+                injector.apply(self.line.time(), &mut self.meter);
+            }
             let measurement = self.meter.step(self.env);
             let Some(m) = measurement else { continue };
 
@@ -203,6 +224,9 @@ impl LineRunner {
             let t = self.line.time();
             if t >= next_sample_t {
                 next_sample_t = t + sample_period_s;
+                if let Some(injector) = self.injector.as_mut() {
+                    injector.observe(t, &m);
+                }
                 let die = self.meter.die();
                 trace.samples.push(TraceSample {
                     t,
@@ -218,8 +242,12 @@ impl LineRunner {
                         .fouling_thickness_um(HeaterId::A)
                         .max(die.fouling_thickness_um(HeaterId::B)),
                     fault: m.faults.any(),
+                    health: m.health,
                 });
             }
+        }
+        if let Some(injector) = &self.injector {
+            trace.uart = injector.stats();
         }
         trace
     }
@@ -374,7 +402,7 @@ mod tests {
         assert!(lines[0].starts_with("t_s,true_cm_s"));
         // Every data row parses back to the right number of fields.
         for row in &lines[1..] {
-            assert_eq!(row.split(',').count(), 9, "row `{row}`");
+            assert_eq!(row.split(',').count(), 10, "row `{row}`");
         }
     }
 

@@ -63,15 +63,33 @@ fn calibration_survives_simulated_power_cycle() {
 
 #[test]
 fn eeprom_corruption_is_detected_not_silently_used() {
+    use hotwire::core::calibration::KingCalibration;
+    use hotwire::core::HealthState;
+
     let mut m = meter(4);
     field_calibrate(&mut m, &[20.0, 80.0, 180.0], 0.6, 0.4, 4).expect("calibrates");
+    let stored = *m.calibration().expect("installed");
+    // A corrupt primary fails its CRC but degrades to the redundant mirror
+    // slot — never silently used, never fatal while a good copy survives.
     m.platform_mut()
         .eeprom_mut()
-        .corrupt(hotwire::core::calibration::KingCalibration::EEPROM_SLOT, 2);
+        .corrupt(KingCalibration::EEPROM_SLOT, 2);
+    m.reload_calibration()
+        .expect("mirror slot rescues a corrupt primary");
+    assert_eq!(*m.calibration().unwrap(), stored);
+    assert_eq!(m.health(), HealthState::Recovering);
+    // With *both* copies gone the reload must fail loudly.
+    m.platform_mut()
+        .eeprom_mut()
+        .corrupt(KingCalibration::EEPROM_SLOT, 2);
+    m.platform_mut()
+        .eeprom_mut()
+        .corrupt(KingCalibration::REDUNDANT_SLOT, 2);
     assert!(
         m.reload_calibration().is_err(),
-        "corrupt calibration must fail the CRC check"
+        "doubly-corrupt calibration must fail the CRC check"
     );
+    assert_eq!(m.health(), HealthState::Faulted);
 }
 
 #[test]
