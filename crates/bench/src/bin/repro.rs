@@ -110,7 +110,10 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
             let r = experiments::e07_pressure::run(speed).map_err(err)?;
             Report {
                 metrics: vec![
-                    ("paper_worst_deviation_cm_s", r.cases[0].worst_deviation_cm_s),
+                    (
+                        "paper_worst_deviation_cm_s",
+                        r.cases[0].worst_deviation_cm_s,
+                    ),
                     ("paper_peak_coverage", r.cases[0].peak_coverage),
                 ],
                 text: r.to_string(),
@@ -280,12 +283,19 @@ fn write_json(
                     if j > 0 {
                         out.push_str(", ");
                     }
-                    out.push_str(&format!("\"{}\": {}", json_escape(name), json_number(*value)));
+                    out.push_str(&format!(
+                        "\"{}\": {}",
+                        json_escape(name),
+                        json_number(*value)
+                    ));
                 }
                 out.push_str("}}");
             }
             Err(e) => {
-                out.push_str(&format!("\"ok\": false, \"error\": \"{}\"}}", json_escape(e)));
+                out.push_str(&format!(
+                    "\"ok\": false, \"error\": \"{}\"}}",
+                    json_escape(e)
+                ));
             }
         }
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
@@ -338,12 +348,11 @@ fn main() -> ExitCode {
     // campaigns nest harmlessly (scoped threads, no global pool) and the
     // index-ordered merge keeps reports in request order regardless of
     // which experiment finishes first.
-    let rows: Vec<(String, Result<Report, String>, f64)> =
-        Campaign::new().map(&ids, |_, id| {
-            let started = std::time::Instant::now();
-            let result = dispatch(id, speed);
-            (id.clone(), result, started.elapsed().as_secs_f64())
-        });
+    let rows: Vec<(String, Result<Report, String>, f64)> = Campaign::new().map(&ids, |_, id| {
+        let started = std::time::Instant::now();
+        let result = dispatch(id, speed);
+        (id.clone(), result, started.elapsed().as_secs_f64())
+    });
 
     let mut failed = false;
     for (id, result, wall_s) in &rows {

@@ -74,8 +74,15 @@ pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
                     .then_hold(150.0, hold),
                 ..Scenario::steady(0.0, hold * 2.5)
             };
+            // Low-gain loops settle more slowly; stretch the calibration
+            // windows in proportion so the King fit sees settled points at
+            // every grid corner, not just near the production gains.
+            let (kp0, ki0) = (speed.config().kp, speed.config().ki);
+            let cal_scale = (kp0 / kp).max(ki0 / ki);
             RunSpec::new(format!("kp{kp}-ki{ki}"), config, scenario, 0xA1)
-                .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xA1)))
+                .with_calibration(Calibration::Field(super::calibration_recipe_scaled(
+                    speed, 0xA1, cal_scale,
+                )))
                 .with_line_seed(0xA100 + i as u64)
         })
         .collect();

@@ -54,14 +54,20 @@ pub fn run(speed: Speed) -> Result<DecimationResult, CoreError> {
                 ),
                 ..base
             };
+            // Stretch the calibration windows with R so each setpoint
+            // settles/averages over as many control samples as at the
+            // baseline ratio.
+            let cal_scale = ratio as f64 / base.decimation as f64;
             RunSpec::new(
                 format!("decimation-{ratio}"),
                 config,
                 Scenario::steady(100.0, hold),
                 0xA2,
             )
-            .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xA2)))
-            .with_line_seed(0xA200 + i as u64)
+            .with_calibration(Calibration::Field(super::calibration_recipe_scaled(
+                speed, 0xA2, cal_scale,
+            )))
+            .with_line_seed(0xB700 + i as u64)
             .with_windows(hold * 0.4, hold * 0.6)
         })
         .collect();

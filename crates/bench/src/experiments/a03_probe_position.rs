@@ -44,8 +44,7 @@ pub struct ProbePositionResult {
 ///
 /// Returns [`CoreError`] if a meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<ProbePositionResult, CoreError> {
-    let calibration =
-        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xA3)?;
+    let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xA3)?;
     let bulk = MetersPerSecond::from_cm_per_s(100.0);
     let pipe = Pipe::dn50();
     let water = Water::potable();

@@ -35,8 +35,7 @@ pub struct StaircaseResult {
 /// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<StaircaseResult, CoreError> {
     let dwell = speed.seconds(8.0);
-    let calibration =
-        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE1)?;
+    let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE1)?;
     let spec = RunSpec::new(
         "fig11-staircase",
         speed.config(),

@@ -63,8 +63,7 @@ pub fn run(speed: Speed) -> Result<ResolutionResult, CoreError> {
     let window = speed.seconds(40.0);
     // One field calibration, shared by every setpoint's meter replica; the
     // setpoints then run as a parallel campaign.
-    let calibration =
-        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE2)?;
+    let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE2)?;
     let flows = [10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 250.0];
     let specs: Vec<RunSpec> = flows
         .iter()

@@ -37,8 +37,7 @@ pub fn run(speed: Speed) -> Result<RepeatabilityResult, CoreError> {
         flow_cm_s: Schedule::staircase(&levels, dwell),
         ..Scenario::steady(0.0, levels.len() as f64 * dwell)
     };
-    let calibration =
-        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE3)?;
+    let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE3)?;
     let spec = RunSpec::new("repeatability-staircase", speed.config(), scenario, 0xE3)
         .with_calibration(calibration)
         .with_sample_period(0.05);

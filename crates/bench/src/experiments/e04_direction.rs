@@ -34,8 +34,7 @@ pub struct DirectionResult {
 /// Returns [`CoreError`] if the meter cannot be built or calibrated.
 pub fn run(speed: Speed) -> Result<DirectionResult, CoreError> {
     let dwell = speed.seconds(10.0);
-    let calibration =
-        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE4)?;
+    let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE4)?;
     let spec = RunSpec::new(
         "direction-sweep",
         speed.config(),

@@ -59,8 +59,7 @@ pub fn run(speed: Speed) -> Result<ComparisonResult, CoreError> {
         flow_cm_s: flow,
         ..Scenario::steady(0.0, 5.0 * dwell)
     };
-    let calibration =
-        super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE8)?;
+    let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE8)?;
     let spec = RunSpec::new("instrument-comparison", speed.config(), scenario, 0xE8)
         .with_calibration(calibration);
     let outcomes = Campaign::new().run(&[spec])?;

@@ -80,12 +80,7 @@ pub fn run(speed: Speed) -> Result<KingsLawResult, CoreError> {
         unreachable!("shared_calibration_with always returns Points");
     };
     let cal_points: Vec<CalPoint> = points.clone();
-    let meter = campaign::build_meter(
-        speed.config(),
-        MafParams::nominal(),
-        0xE9,
-        &calibration,
-    )?;
+    let meter = campaign::build_meter(speed.config(), MafParams::nominal(), 0xE9, &calibration)?;
     let cal = *meter.calibration().expect("calibration installed");
 
     // Naive linear model v = a + b·G fitted on the same points.

@@ -59,6 +59,23 @@ pub fn calibration_recipe(speed: Speed, seed: u64) -> FieldCalibration {
     FieldCalibration::paper(speed.seconds(1.5), speed.seconds(0.5), seed ^ 0xCAFE)
 }
 
+/// [`calibration_recipe`] with the settle/average windows stretched by
+/// `scale` (clamped to ≥ 1) — for specs whose closed loop is slower than
+/// the fidelity baseline (heavier decimation, lower PI gains). The windows
+/// are wall-clock seconds, so without stretching, a loop running at 1/8 the
+/// baseline control rate would settle and average over 1/8 as many control
+/// samples, and the King-law fit degrades into seed-sensitive garbage; a
+/// field engineer would likewise wait longer per setpoint on a slower
+/// meter. Scaling keeps the control-sample count per calibration point
+/// invariant across the swept design space.
+pub fn calibration_recipe_scaled(speed: Speed, seed: u64, scale: f64) -> FieldCalibration {
+    let scale = scale.max(1.0);
+    let mut recipe = calibration_recipe(speed, seed);
+    recipe.settle_s *= scale;
+    recipe.average_s *= scale;
+    recipe
+}
+
 /// Runs the field-calibration procedure once (setpoints in parallel, up to
 /// the process default job count) and packages the result as a reusable
 /// [`Calibration::Points`] — the cheap path when several [`RunSpec`]s share

@@ -240,8 +240,14 @@ mod tests {
         // Regression: Fx<0> (pure integer) used to compute the rounding
         // term as `1 << (FRAC - 1)` — a shift by u32::MAX.
         type Int = Fx<0>;
-        assert_eq!(Int::from_f64(6.0).mul(Int::from_f64(7.0)), Int::from_f64(42.0));
-        assert_eq!(Int::from_f64(-6.0).mul(Int::from_f64(7.0)), Int::from_f64(-42.0));
+        assert_eq!(
+            Int::from_f64(6.0).mul(Int::from_f64(7.0)),
+            Int::from_f64(42.0)
+        );
+        assert_eq!(
+            Int::from_f64(-6.0).mul(Int::from_f64(7.0)),
+            Int::from_f64(-42.0)
+        );
         assert_eq!(Int::MAX.mul(Int::MAX), Int::MAX);
         assert_eq!(Int::ONE.raw(), 1);
         // Mixed-format MAC with a zero-fraction coefficient.

@@ -235,7 +235,10 @@ mod tests {
         e.write_record(0, b"primary").unwrap();
         e.write_record(7, b"mirror").unwrap();
         // Healthy primary wins.
-        assert_eq!(e.read_record_any(&[0, 7]).unwrap(), (0, b"primary" as &[u8]));
+        assert_eq!(
+            e.read_record_any(&[0, 7]).unwrap(),
+            (0, b"primary" as &[u8])
+        );
         // Corrupt primary degrades to the mirror.
         e.corrupt(0, 2);
         assert_eq!(e.read_record_any(&[0, 7]).unwrap(), (7, b"mirror" as &[u8]));

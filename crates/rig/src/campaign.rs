@@ -360,8 +360,7 @@ pub fn collect_calibration_points(
         jobs,
         |i, &setpoint| -> Result<(CalPoint, f64), CoreError> {
             let mut meter = FlowMeter::new(config, params, meter_seed)?;
-            let control_dt =
-                Seconds::new(config.decimation as f64 / config.modulator_rate.get());
+            let control_dt = Seconds::new(config.decimation as f64 / config.modulator_rate.get());
             let scenario = Scenario::steady(setpoint, recipe.settle_s + recipe.average_s);
             let mut line = WaterLine::new(scenario, recipe.seed.wrapping_add(i as u64));
             let mut promag = Promag50::new(config.full_scale);
@@ -581,12 +580,8 @@ mod tests {
 
     #[test]
     fn shared_points_calibration_matches_field() {
-        let proto = FlowMeter::new(
-            FlowMeterConfig::test_profile(),
-            MafParams::nominal(),
-            77,
-        )
-        .unwrap();
+        let proto =
+            FlowMeter::new(FlowMeterConfig::test_profile(), MafParams::nominal(), 77).unwrap();
         let recipe = FieldCalibration::paper(0.6, 0.4, 77);
         let (points, estimate) = collect_calibration_points(&proto, &recipe, 2).unwrap();
         assert_eq!(points.len(), PAPER_SETPOINTS_CM_S.len());
@@ -603,9 +598,13 @@ mod tests {
             },
         )
         .unwrap();
-        let via_field =
-            build_meter(*proto.config(), *proto.die().params(), 77, &Calibration::Field(recipe))
-                .unwrap();
+        let via_field = build_meter(
+            *proto.config(),
+            *proto.die().params(),
+            77,
+            &Calibration::Field(recipe),
+        )
+        .unwrap();
         let a = via_points.calibration().unwrap();
         let b = via_field.calibration().unwrap();
         assert_eq!(a.a.to_bits(), b.a.to_bits());

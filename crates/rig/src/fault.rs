@@ -404,11 +404,8 @@ mod tests {
     #[test]
     fn adc_events_install_and_clear_the_fault() {
         let mut meter = test_meter(32);
-        let schedule = FaultSchedule::new(32).with_event(
-            0.0,
-            1.0,
-            FaultKind::AdcOffset { codes: 123 },
-        );
+        let schedule =
+            FaultSchedule::new(32).with_event(0.0, 1.0, FaultKind::AdcOffset { codes: 123 });
         let mut inj = FaultInjector::new(schedule);
         inj.apply(0.0, &mut meter);
         assert_eq!(meter.adc_fault(), Some(AdcFault::Offset(123)));
@@ -489,8 +486,15 @@ mod tests {
         use hotwire_core::KingCalibration;
 
         let mut meter = test_meter(36);
-        field_calibrate_jobs(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 0.6, 0.4, 36, 1)
-            .unwrap();
+        field_calibrate_jobs(
+            &mut meter,
+            &[15.0, 50.0, 100.0, 160.0, 220.0],
+            0.6,
+            0.4,
+            36,
+            1,
+        )
+        .unwrap();
         let schedule = FaultSchedule::new(36).with_event(
             0.2,
             0.0,

@@ -1,0 +1,36 @@
+//! Offline stand-in for the subset of `serde` this workspace uses.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes through a real format (the one JSON-ish round-trip test
+//! hand-rolls its encoding). With no registry access in the build
+//! container, the traits are vendored as blanket-implemented markers and
+//! the derives (see `serde_derive`) expand to nothing, keeping every
+//! `#[derive(serde::Serialize, serde::Deserialize)]` in the tree valid
+//! without pulling in the real dependency graph.
+//!
+//! # ⚠️ This is NOT serde
+//!
+//! `Serialize` is implemented for **every** type and the derives are
+//! no-ops. Do not add a format crate (`serde_json`, `bincode`, …) or write
+//! code whose correctness depends on a `T: Serialize`/`DeserializeOwned`
+//! bound while this stand-in is in the workspace: it will compile and
+//! silently do nothing / accept everything. If the build environment ever
+//! gains registry access, replace *all* of `vendor/` with the real crates
+//! in one commit (see README "Vendored dependency stand-ins").
+
+#![warn(missing_docs)]
+
+/// Marker matching `serde::Serialize`'s role in type signatures.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker matching `serde::Deserialize`'s role in type signatures.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker matching `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
