@@ -13,14 +13,19 @@
 //! ```
 
 use hotwire_bench::experiments::{self, Speed};
-use hotwire_rig::{exec, Campaign};
+use hotwire_rig::obs::{self, ScopeObs};
+use hotwire_rig::{exec, Campaign, Histogram};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: repro [--fast] [--jobs N] [--json PATH] <experiment…|all>
+const USAGE: &str = "usage: repro [--fast] [--jobs N] [--json PATH] [--no-obs] <experiment…|all>
 options:
   --fast       scaled-down scenarios (the integration-test profile)
   --jobs N     worker threads for campaigns (default: all cores; 1 = serial)
-  --json PATH  also write per-experiment wall-clock + headline metrics as JSON
+  --json PATH  also write wall-clock + headline metrics + observability
+               (counters, histograms, samples/s) as JSON
+  --no-obs     skip run instrumentation (for measuring its overhead;
+               results are identical either way, by construction)
 experiments:
   e1   Fig. 11 — water-speed staircase vs Promag 50
   e2   Table I — resolution across the range
@@ -253,11 +258,73 @@ fn json_number(x: f64) -> String {
     }
 }
 
+/// Flat counters as a JSON object, in the stable `as_pairs` order.
+fn json_counters(c: &obs::Counters) -> String {
+    let mut out = String::from("{");
+    for (i, (name, value)) in c.as_pairs().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{name}\": {value}"));
+    }
+    out.push('}');
+    out
+}
+
+/// A histogram as a JSON object; the bucket layout travels with the counts
+/// so consumers can reconstruct edges without out-of-band knowledge.
+fn json_histogram(h: &Histogram) -> String {
+    let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{\"lo\": {}, \"bucket_width\": {}, \"counts\": [{}], \
+         \"underflow\": {}, \"overflow\": {}, \"total\": {}, \"mean\": {}}}",
+        h.lo,
+        h.bucket_width,
+        counts.join(", "),
+        h.underflow,
+        h.overflow,
+        h.total,
+        json_number(h.mean())
+    )
+}
+
+/// One registry scope (or the cross-experiment total) as a JSON object.
+/// `wall_s` and `samples_per_s` are profiling — everything else is
+/// deterministic and jobs-invariant.
+fn json_scope(s: &ScopeObs) -> String {
+    format!(
+        "{{\"campaigns\": {}, \"runs\": {}, \"wall_s\": {}, \"samples_per_s\": {}, \
+         \"counters\": {}, \"pi_output\": {}, \"latency_ticks\": {}}}",
+        s.campaigns,
+        s.runs,
+        json_number(s.wall_s),
+        json_number(s.samples_per_s()),
+        json_counters(&s.counters),
+        json_histogram(&s.pi_output),
+        json_histogram(&s.latency_ticks)
+    )
+}
+
+/// Folds every experiment scope into one cross-experiment aggregate.
+fn registry_total(registry: &BTreeMap<String, ScopeObs>) -> ScopeObs {
+    let mut total = ScopeObs::default();
+    for s in registry.values() {
+        total.campaigns += s.campaigns;
+        total.runs += s.runs;
+        total.counters.merge(&s.counters);
+        total.pi_output.merge(&s.pi_output);
+        total.latency_ticks.merge(&s.latency_ticks);
+        total.wall_s += s.wall_s;
+    }
+    total
+}
+
 fn write_json(
     path: &str,
     speed: Speed,
     jobs: usize,
     rows: &[(String, Result<Report, String>, f64)],
+    registry: &BTreeMap<String, ScopeObs>,
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
@@ -300,7 +367,23 @@ fn write_json(
         }
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"obs\": {\n");
+    out.push_str(&format!(
+        "    \"total\": {},\n",
+        json_scope(&registry_total(registry))
+    ));
+    out.push_str("    \"per_experiment\": {\n");
+    for (i, (label, scope)) in registry.iter().enumerate() {
+        out.push_str(&format!(
+            "      \"{}\": {}{}\n",
+            json_escape(label),
+            json_scope(scope),
+            if i + 1 < registry.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    }\n");
+    out.push_str("  }\n}\n");
     std::fs::write(path, out)
 }
 
@@ -313,6 +396,7 @@ fn main() -> ExitCode {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => speed = Speed::Fast,
+            "--no-obs" => obs::set_default_enabled(false),
             "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n >= 1 => jobs = Some(n),
                 _ => {
@@ -347,12 +431,16 @@ fn main() -> ExitCode {
     // Fan the experiments themselves across the campaign executor. Inner
     // campaigns nest harmlessly (scoped threads, no global pool) and the
     // index-ordered merge keeps reports in request order regardless of
-    // which experiment finishes first.
+    // which experiment finishes first. The obs scope is installed inside
+    // the closure because it is thread-local and the closure runs on a
+    // worker thread: every campaign an experiment executes records its
+    // merged observability under that experiment's id.
     let rows: Vec<(String, Result<Report, String>, f64)> = Campaign::new().map(&ids, |_, id| {
         let started = std::time::Instant::now();
-        let result = dispatch(id, speed);
+        let result = obs::scoped(id, || dispatch(id, speed));
         (id.clone(), result, started.elapsed().as_secs_f64())
     });
+    let registry = obs::take_registry();
 
     let mut failed = false;
     for (id, result, wall_s) in &rows {
@@ -368,8 +456,18 @@ fn main() -> ExitCode {
             }
         }
     }
+    let total = registry_total(&registry);
+    if total.runs > 0 {
+        println!(
+            "[obs] {} campaigns, {} runs, {} modulator steps, {:.2} Msteps/s aggregate",
+            total.campaigns,
+            total.runs,
+            total.counters.modulator_steps,
+            total.samples_per_s() / 1e6
+        );
+    }
     if let Some(path) = &json_path {
-        if let Err(e) = write_json(path, speed, jobs, &rows) {
+        if let Err(e) = write_json(path, speed, jobs, &rows, &registry) {
             eprintln!("--json {path}: {e}");
             failed = true;
         }

@@ -19,6 +19,7 @@ use crate::direction::{DirectionDetector, FlowDirection};
 use crate::faults::{AdcFault, DriftMonitor, FaultFlags, SaturationMonitor, SpikeMonitor};
 use crate::health::{HealthMonitor, HealthState, RecoveryAction};
 use crate::modes::{ConstantCurrentDrive, ConstantPowerDrive, WireStateEstimator};
+use crate::obs::{CalSlot, EventKind, ObsEvent, Observer};
 use crate::output::OutputPipeline;
 use crate::pulsed::{PulsePhase, PulsedScheduler};
 use crate::CoreError;
@@ -153,6 +154,12 @@ pub struct FlowMeter {
     frozen_code_streak: u32,
     /// The previous control code, for the freeze discriminator.
     last_raw_ctrl_code: i32,
+    /// Installed observability sink, if any. Observation never feeds back
+    /// into control: a meter computes bit-identical measurements with or
+    /// without an observer.
+    observer: Option<Box<dyn Observer>>,
+    /// Previous saturation-monitor verdict, for edge detection.
+    was_saturated: bool,
 }
 
 impl FlowMeter {
@@ -293,6 +300,8 @@ impl FlowMeter {
             adc_fault: None,
             frozen_code_streak: 0,
             last_raw_ctrl_code: i32::MIN,
+            observer: None,
+            was_saturated: false,
             build_seed: seed,
             config,
             die,
@@ -580,6 +589,14 @@ impl FlowMeter {
             self.spikes.rate()
         };
         let saturated = self.saturation.update(supply_code.max(1));
+        if saturated != self.was_saturated {
+            self.was_saturated = saturated;
+            self.observe(if saturated {
+                EventKind::PiSaturationEnter
+            } else {
+                EventKind::PiSaturationExit
+            });
+        }
 
         // Conductance + velocity from the conditioned signal.
         let (conductance, wire_power) = match self.config.mode {
@@ -674,6 +691,9 @@ impl FlowMeter {
         }
         self.platform.watchdog_mut().tick();
         let watchdog_expired = self.platform.watchdog_mut().take_expiry();
+        if watchdog_expired {
+            self.observe(EventKind::WatchdogExpired);
+        }
 
         // Graceful degradation: feed the supervisor the same warmup-gated
         // flags the latch uses, and apply at most one reaction per tick.
@@ -701,6 +721,12 @@ impl FlowMeter {
                 self.frozen_code_streak = 0;
                 self.platform.watchdog_mut().kick();
             }
+        }
+        // Poll the supervisor's collapsed edge once per tick. This runs
+        // whether or not an observer is installed: `take_transition` only
+        // advances the supervisor's *observed* state, never its behaviour.
+        if let Some((from, to)) = self.health.take_transition() {
+            self.observe(EventKind::HealthTransition { from, to });
         }
 
         let m = Measurement {
@@ -839,9 +865,12 @@ impl FlowMeter {
     /// Returns the primary slot's [`CoreError::Platform`] error if every
     /// calibration copy is missing or corrupt.
     pub fn reload_calibration(&mut self) -> Result<(), CoreError> {
-        match KingCalibration::load(self.platform.eeprom()) {
+        let outcome = match KingCalibration::load(self.platform.eeprom()) {
             Ok(cal) => {
                 self.calibration = Some(cal);
+                self.observe(EventKind::CalibrationReloaded {
+                    slot: CalSlot::Primary,
+                });
                 Ok(())
             }
             Err(primary) => match KingCalibration::load_slot(
@@ -854,14 +883,25 @@ impl FlowMeter {
                     cal.store_slot(self.platform.eeprom_mut(), KingCalibration::EEPROM_SLOT)?;
                     self.calibration = Some(cal);
                     self.health.note_eeprom_fallback();
+                    self.observe(EventKind::CalibrationReloaded {
+                        slot: CalSlot::Redundant,
+                    });
                     Ok(())
                 }
                 Err(_) => {
                     self.health.note_unrecoverable();
+                    self.observe(EventKind::CalibrationReloadFailed);
                     Err(primary)
                 }
             },
+        };
+        // Surface any health edge the reload caused (fallback → Recovering,
+        // unrecoverable → Faulted) without waiting for the next control
+        // tick's poll.
+        if let Some((from, to)) = self.health.take_transition() {
+            self.observe(EventKind::HealthTransition { from, to });
         }
+        outcome
     }
 
     /// Auto-zeroes the direction channel: runs `seconds` of simulation at
@@ -932,6 +972,47 @@ impl FlowMeter {
     #[inline]
     pub fn adc_fault(&self) -> Option<AdcFault> {
         self.adc_fault
+    }
+
+    /// Installs an observability sink (replacing any previous one). The
+    /// meter emits tick-stamped [`ObsEvent`]s into it from the control path;
+    /// see [`Observer`] for the contract. Without a sink every emission site
+    /// reduces to one `Option` check.
+    pub fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes and returns the installed observability sink, if any — how
+    /// the rig collects a run's event log after the simulation finishes.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
+    }
+
+    /// Whether an observability sink is installed (lets callers skip their
+    /// own instrumentation when nobody is listening).
+    #[inline]
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
+    }
+
+    /// Emits an event to the installed observer (if any), stamped with the
+    /// current control tick. Public so the rig's fault injector can report
+    /// *its* actions (fault engage/revert, wire-level frame errors) into the
+    /// same per-run log the firmware writes.
+    pub fn observe(&mut self, kind: EventKind) {
+        if let Some(observer) = self.observer.as_mut() {
+            observer.record(ObsEvent {
+                tick: self.control_tick,
+                kind,
+            });
+        }
+    }
+
+    /// Total control ticks executed since construction (the timestamp
+    /// domain of [`ObsEvent`]s).
+    #[inline]
+    pub fn control_ticks(&self) -> u64 {
+        self.control_tick
     }
 }
 

@@ -111,6 +111,9 @@ pub struct HealthMonitor {
     pulsed_engaged: bool,
     /// One-shot latch: re-zero already requested this episode.
     rezeroed: bool,
+    /// Last state handed out by [`take_transition`](Self::take_transition);
+    /// lets observers see edges without hooking `set_state`.
+    observed_state: HealthState,
 }
 
 impl HealthMonitor {
@@ -127,6 +130,7 @@ impl HealthMonitor {
             transitions: 0,
             pulsed_engaged: false,
             rezeroed: false,
+            observed_state: HealthState::Healthy,
         }
     }
 
@@ -146,6 +150,25 @@ impl HealthMonitor {
         if self.state != next {
             self.state = next;
             self.transitions += 1;
+        }
+    }
+
+    /// Returns `Some((from, to))` if the state changed since the last call
+    /// (or since construction), `None` otherwise.
+    ///
+    /// The edge is computed against the last *observed* state, not the last
+    /// internal transition, so multiple `set_state` calls within one control
+    /// tick collapse into a single edge — and a change that nets out back to
+    /// the observed state reports nothing. Callers poll this once per tick
+    /// to turn the supervisor's state into observability events; polling is
+    /// read-only with respect to the supervisor's behaviour.
+    pub fn take_transition(&mut self) -> Option<(HealthState, HealthState)> {
+        if self.observed_state != self.state {
+            let from = self.observed_state;
+            self.observed_state = self.state;
+            Some((from, self.state))
+        } else {
+            None
         }
     }
 
@@ -314,6 +337,26 @@ mod tests {
         assert_eq!(h.state(), HealthState::Recovering);
         h.note_unrecoverable();
         assert_eq!(h.state(), HealthState::Faulted);
+    }
+
+    #[test]
+    fn take_transition_reports_collapsed_edges() {
+        let mut h = HealthMonitor::new(100, 2);
+        assert_eq!(h.take_transition(), None);
+        h.update(bubble(), false);
+        assert_eq!(
+            h.take_transition(),
+            Some((HealthState::Healthy, HealthState::Degraded))
+        );
+        // No change since last poll.
+        assert_eq!(h.take_transition(), None);
+        // Two internal transitions before one poll collapse to one edge.
+        h.note_eeprom_fallback();
+        h.note_unrecoverable();
+        assert_eq!(
+            h.take_transition(),
+            Some((HealthState::Degraded, HealthState::Faulted))
+        );
     }
 
     #[test]

@@ -28,6 +28,9 @@
 //! * [`health`] — the graceful-degradation supervisor turning detections
 //!   into reactions (pulsed fallback, re-zero, soft reset, EEPROM
 //!   fallback).
+//! * [`obs`] — tick-stamped observability events ([`obs::ObsEvent`]) and the
+//!   [`obs::Observer`] sink trait the firmware emits them through; the crate
+//!   stays dependency-free while the rig collects structured telemetry.
 //! * [`power`] — the duty-cycled power budget of the §7 battery-operated
 //!   probe.
 //! * [`flow_meter`] — [`FlowMeter`], the assembled instrument
@@ -72,6 +75,7 @@ pub mod faults;
 pub mod flow_meter;
 pub mod health;
 pub mod modes;
+pub mod obs;
 pub mod output;
 pub mod power;
 pub mod pulsed;
@@ -83,4 +87,5 @@ pub use config::{FlowMeterConfig, OperatingMode};
 pub use error::CoreError;
 pub use flow_meter::{FlowMeter, Measurement};
 pub use health::{HealthMonitor, HealthState, RecoveryAction};
+pub use obs::{CalSlot, EventKind, ObsEvent, Observer};
 pub use telemetry::TelemetryRecord;

@@ -52,16 +52,33 @@ pub struct TelemetryRecord {
 
 impl TelemetryRecord {
     /// Builds a record from a conditioned measurement.
+    ///
+    /// Non-finite values cannot ride the fixed-point wire honestly: `clamp`
+    /// preserves NaN and the saturating `as` cast would then encode it as a
+    /// plausible-looking 0. A NaN velocity or conductance (a poisoned King
+    /// inversion, e.g. from a corrupt calibration record) is therefore
+    /// encoded as 0 **with the `saturated` flag raised**, so the receiver
+    /// sees an out-of-band measurement instead of a silent zero-flow report.
     pub fn from_measurement(m: &Measurement) -> Self {
+        let v = m.velocity.to_cm_per_s() * 100.0;
+        let g = m.conductance.get() * 1e9;
+        let poisoned = v.is_nan() || g.is_nan();
         TelemetryRecord {
-            velocity_centi_cm_s: (m.velocity.to_cm_per_s() * 100.0)
-                .clamp(i32::MIN as f64, i32::MAX as f64) as i32,
+            velocity_centi_cm_s: if v.is_nan() {
+                0
+            } else {
+                v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+            },
             direction: m.direction,
             bubble: m.faults.bubble_activity,
             fouling: m.faults.fouling_suspected,
-            saturated: m.faults.loop_saturated,
+            saturated: m.faults.loop_saturated || poisoned,
             health: m.health,
-            conductance_nw_per_k: (m.conductance.get() * 1e9).clamp(0.0, u32::MAX as f64) as u32,
+            conductance_nw_per_k: if g.is_nan() {
+                0
+            } else {
+                g.clamp(0.0, u32::MAX as f64) as u32
+            },
             tick: (m.tick & 0xFFFF_FFFF) as u32,
         }
     }
@@ -253,5 +270,40 @@ mod tests {
         };
         let rec = TelemetryRecord::from_measurement(&m);
         assert_eq!(rec.velocity_centi_cm_s, i32::MAX);
+    }
+
+    #[test]
+    fn nan_measurement_is_flagged_not_zeroed_silently() {
+        // Start from a measurement with NO fault flags, so the only way the
+        // wire record can carry `saturated` is the NaN detection itself.
+        let m = Measurement {
+            velocity: MetersPerSecond::new(f64::NAN),
+            faults: FaultFlags::default(),
+            ..sample_measurement()
+        };
+        let rec = TelemetryRecord::from_measurement(&m);
+        assert_eq!(rec.velocity_centi_cm_s, 0);
+        assert!(rec.saturated, "NaN velocity must raise the saturated flag");
+        // The flag survives the wire round trip.
+        let back = TelemetryRecord::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(back, rec);
+        assert!(back.saturated);
+
+        // A NaN conductance is caught the same way.
+        let m = Measurement {
+            conductance: ThermalConductance::new(f64::NAN),
+            faults: FaultFlags::default(),
+            ..sample_measurement()
+        };
+        let rec = TelemetryRecord::from_measurement(&m);
+        assert_eq!(rec.conductance_nw_per_k, 0);
+        assert!(rec.saturated);
+
+        // And a clean measurement still reports a clean flag word.
+        let m = Measurement {
+            faults: FaultFlags::default(),
+            ..sample_measurement()
+        };
+        assert!(!TelemetryRecord::from_measurement(&m).saturated);
     }
 }

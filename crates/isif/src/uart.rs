@@ -49,6 +49,31 @@ enum DecodeState {
     },
 }
 
+/// What one pushed byte did to the decoder — the edge-resolved variant of
+/// [`FrameDecoder::push`]'s `Option`, for callers that must react to frame
+/// *errors* (observability, link diagnostics) rather than only to good
+/// frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The byte advanced the state machine; nothing concluded yet.
+    Pending,
+    /// The byte closed a frame with a valid CRC; here is its payload.
+    Frame(Vec<u8>),
+    /// The byte closed a frame whose CRC mismatched; the frame was dropped.
+    CrcError,
+}
+
+/// A snapshot of the decoder's cumulative link counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
+pub struct LinkStats {
+    /// Frames decoded successfully.
+    pub good_frames: u64,
+    /// Frames dropped for CRC mismatch.
+    pub crc_errors: u64,
+    /// Bytes skipped while hunting for a start-of-header.
+    pub resyncs: u64,
+}
+
 /// A resynchronizing frame decoder.
 ///
 /// ```
@@ -83,6 +108,17 @@ impl FrameDecoder {
     /// Feeds one wire byte; returns a completed payload when a frame closes
     /// with a valid CRC.
     pub fn push(&mut self, byte: u8) -> Option<Vec<u8>> {
+        match self.push_described(byte) {
+            PushOutcome::Frame(payload) => Some(payload),
+            PushOutcome::Pending | PushOutcome::CrcError => None,
+        }
+    }
+
+    /// Feeds one wire byte and reports what it concluded — like
+    /// [`push`](Self::push), but a dropped frame is distinguishable from
+    /// an uneventful byte, so callers can emit a frame-error event at the
+    /// exact byte that killed the frame.
+    pub fn push_described(&mut self, byte: u8) -> PushOutcome {
         match self.state {
             DecodeState::Hunt => {
                 if byte == SOH {
@@ -90,7 +126,7 @@ impl FrameDecoder {
                 } else {
                     self.resyncs += 1;
                 }
-                None
+                PushOutcome::Pending
             }
             DecodeState::Length => {
                 self.buf.clear();
@@ -104,7 +140,7 @@ impl FrameDecoder {
                         expected: byte as usize,
                     };
                 }
-                None
+                PushOutcome::Pending
             }
             DecodeState::Payload { expected } => {
                 self.buf.push(byte);
@@ -114,7 +150,7 @@ impl FrameDecoder {
                         high: 0,
                     };
                 }
-                None
+                PushOutcome::Pending
             }
             DecodeState::Crc { have_high, high } => {
                 if !have_high {
@@ -122,16 +158,16 @@ impl FrameDecoder {
                         have_high: true,
                         high: byte,
                     };
-                    None
+                    PushOutcome::Pending
                 } else {
                     self.state = DecodeState::Hunt;
                     let wire_crc = u16::from_be_bytes([high, byte]);
                     if wire_crc == crc16_ccitt(&self.buf) {
                         self.good_frames += 1;
-                        Some(std::mem::take(&mut self.buf))
+                        PushOutcome::Frame(std::mem::take(&mut self.buf))
                     } else {
                         self.crc_errors += 1;
-                        None
+                        PushOutcome::CrcError
                     }
                 }
             }
@@ -154,6 +190,16 @@ impl FrameDecoder {
     #[inline]
     pub fn resyncs(&self) -> u64 {
         self.resyncs
+    }
+
+    /// Snapshot of all cumulative link counters.
+    #[inline]
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            good_frames: self.good_frames,
+            crc_errors: self.crc_errors,
+            resyncs: self.resyncs,
+        }
     }
 
     /// Idle-line flush: a UART receiver detects inter-frame silence and
@@ -242,5 +288,29 @@ mod tests {
         assert!(encode_frame(&big).is_err());
         let max = vec![7u8; 255];
         assert!(encode_frame(&max).is_ok());
+    }
+
+    #[test]
+    fn push_described_distinguishes_crc_errors() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = encode_frame(b"payload").unwrap();
+        let n = wire.len();
+        wire[n - 1] ^= 0x01; // corrupt the CRC low byte
+        let mut outcomes: Vec<PushOutcome> = wire.iter().map(|&b| dec.push_described(b)).collect();
+        assert_eq!(outcomes.pop(), Some(PushOutcome::CrcError));
+        assert!(outcomes.iter().all(|o| *o == PushOutcome::Pending));
+
+        // A good frame closes with its payload on the final byte.
+        let wire = encode_frame(b"ok").unwrap();
+        let last = wire.iter().map(|&b| dec.push_described(b)).last().unwrap();
+        assert_eq!(last, PushOutcome::Frame(b"ok".to_vec()));
+        assert_eq!(
+            dec.stats(),
+            LinkStats {
+                good_frames: 1,
+                crc_errors: 1,
+                resyncs: 0
+            }
+        );
     }
 }

@@ -42,6 +42,7 @@ use crate::exec;
 use crate::fault::FaultSchedule;
 use crate::line::WaterLine;
 use crate::metrics::Welford;
+use crate::obs::{self, EventLog, ObsConfig};
 use crate::promag::Promag50;
 use crate::runner::{LineRunner, Trace};
 use crate::scenario::Scenario;
@@ -148,6 +149,9 @@ pub struct RunSpec {
     /// Length of the measurement window after settling, seconds
     /// (`0.0` = to the end of the scenario).
     pub measure_s: f64,
+    /// Observability configuration (on by default; see
+    /// [`with_obs`](Self::with_obs) / [`without_obs`](Self::without_obs)).
+    pub obs: ObsConfig,
 }
 
 impl RunSpec {
@@ -174,6 +178,7 @@ impl RunSpec {
             sample_period_s: 0.02,
             settle_s: 0.0,
             measure_s: 0.0,
+            obs: ObsConfig::default(),
         }
     }
 
@@ -227,6 +232,20 @@ impl RunSpec {
         self
     }
 
+    /// Overrides the observability configuration.
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Disables observability for this run: no event log is installed and
+    /// the runner skips its hot-loop instrumentation entirely
+    /// (`trace.obs` comes back `None`).
+    pub fn without_obs(mut self) -> Self {
+        self.obs.enabled = false;
+        self
+    }
+
     /// Executes this spec on the current thread: build the meter, apply the
     /// calibration, optionally auto-zero, run the scenario.
     ///
@@ -239,6 +258,11 @@ impl RunSpec {
         let mut meter = build_meter(self.config, self.params, self.meter_seed, &self.calibration)?;
         if let Some(seconds) = self.auto_zero_s {
             meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
+        }
+        if self.obs.enabled {
+            // Installed after calibration and auto-zero, so the event log
+            // covers exactly the scenario run.
+            meter.set_observer(Box::new(EventLog::with_capacity(self.obs.event_capacity)));
         }
         let mut runner = LineRunner::new(self.scenario.clone(), meter, self.line_seed);
         if let Some(schedule) = &self.faults {
@@ -439,8 +463,26 @@ impl Campaign {
     ///
     /// Use this when a calibration failure is itself a data point (e.g.
     /// the overheat study's railed configurations).
+    ///
+    /// The batch's merged observability ([`obs::merge_outcomes`], spec
+    /// order → jobs-invariant) is recorded into the process-wide registry
+    /// under the calling thread's experiment scope, if one is active
+    /// ([`obs::scoped`]) — along with the batch's wall-clock, which feeds
+    /// the samples/s profiling in `repro --json` and is the only
+    /// non-deterministic quantity recorded.
     pub fn try_run(&self, specs: &[RunSpec]) -> Vec<Result<RunOutcome, CoreError>> {
-        self.map(specs, |_, spec| spec.execute())
+        let started = std::time::Instant::now();
+        let results = self.map(specs, |_, spec| spec.execute());
+        let wall_s = started.elapsed().as_secs_f64();
+        let outcomes: Vec<&RunOutcome> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        let mut snapshot = obs::ObsSnapshot::default();
+        for outcome in outcomes {
+            if let Some(run_obs) = &outcome.trace.obs {
+                snapshot.absorb_run(&outcome.label, run_obs);
+            }
+        }
+        obs::record_campaign(&snapshot, wall_s);
+        results
     }
 
     /// Executes every spec, failing fast on the first error (in spec
@@ -540,7 +582,15 @@ mod tests {
                 assert_eq!(sa.fault, sb.fault);
                 assert_eq!(sa.health, sb.health);
             }
+            // The observability layer obeys the same guarantee: per-run
+            // counters, histograms and event logs match exactly.
+            assert_eq!(a.trace.obs, b.trace.obs, "{}", a.label);
         }
+        // And so does the campaign-wide merged snapshot.
+        assert_eq!(
+            crate::obs::merge_outcomes(&serial),
+            crate::obs::merge_outcomes(&parallel)
+        );
     }
 
     #[test]
@@ -575,7 +625,20 @@ mod tests {
                 assert_eq!(sa.supply_code, sb.supply_code);
                 assert_eq!(sa.health, sb.health);
             }
+            // Fault campaigns carry the densest event logs (activations,
+            // clears, frame errors) — they must match too.
+            assert_eq!(a.trace.obs, b.trace.obs, "{}", a.label);
+            let obs = a.trace.obs.as_ref().unwrap();
+            assert!(
+                obs.counters.faults_activated >= 2,
+                "{}: both scheduled faults should activate",
+                a.label
+            );
         }
+        assert_eq!(
+            crate::obs::merge_outcomes(&serial),
+            crate::obs::merge_outcomes(&parallel)
+        );
     }
 
     #[test]

@@ -12,6 +12,12 @@
 //! computes which item varies with scheduling, but each item's computation
 //! is self-contained, so the returned `Vec` is identical for any job count
 //! — including `jobs == 1`, which runs inline on the caller's thread.
+//!
+//! The observability layer leans on this same guarantee: `rig::obs` merges
+//! per-run snapshots by walking the returned `Vec` in order, so the merged
+//! counters, histograms and labelled event logs are in deterministic spec
+//! order — and therefore bit-identical across job counts — precisely
+//! because this function returns index-ordered results.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

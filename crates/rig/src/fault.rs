@@ -27,8 +27,9 @@
 
 use hotwire_afe::ThermometerDac;
 use hotwire_core::faults::AdcFault;
+use hotwire_core::obs::EventKind;
 use hotwire_core::{FlowMeter, Measurement, TelemetryRecord};
-use hotwire_isif::uart::FrameDecoder;
+use hotwire_isif::uart::{FrameDecoder, PushOutcome};
 use hotwire_units::Volts;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +90,23 @@ pub enum FaultKind {
         /// Scale thickness added, µm.
         microns: f64,
     },
+}
+
+impl FaultKind {
+    /// Stable snake_case name of the fault class — the label carried by
+    /// `FaultActivated`/`FaultCleared` observability events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::AdcStuck { .. } => "adc_stuck",
+            FaultKind::AdcOffset { .. } => "adc_offset",
+            FaultKind::SupplyBrownout { .. } => "supply_brownout",
+            FaultKind::DacElementFail { .. } => "dac_element_fail",
+            FaultKind::EepromBitFlip { .. } => "eeprom_bit_flip",
+            FaultKind::UartCorruption { .. } => "uart_corruption",
+            FaultKind::BubbleBurst { .. } => "bubble_burst",
+            FaultKind::SteppedFouling { .. } => "stepped_fouling",
+        }
+    }
 }
 
 /// One scheduled fault occurrence.
@@ -230,12 +248,22 @@ impl FaultInjector {
             let event = self.schedule.events[i];
             match self.phases[i] {
                 Phase::Pending if t >= event.at_s => {
+                    // Activation is reported *before* the engage, so any
+                    // consequence event (e.g. the calibration reload an
+                    // EEPROM flip forces) appears after its cause in the
+                    // run's event log.
+                    meter.observe(EventKind::FaultActivated {
+                        fault: event.kind.name(),
+                    });
                     self.saved_dac[i] = engage(event.kind, meter);
                     // A zero-length window reverts on the next call.
                     self.phases[i] = Phase::Active;
                 }
                 Phase::Active if t >= event.end_s() => {
                     revert(event.kind, self.saved_dac[i].take(), meter);
+                    meter.observe(EventKind::FaultCleared {
+                        fault: event.kind.name(),
+                    });
                     self.phases[i] = Phase::Done;
                 }
                 _ => {}
@@ -244,8 +272,10 @@ impl FaultInjector {
     }
 
     /// Runs one recorded measurement through the telemetry wire simulation
-    /// (no-op unless the schedule has a UART fault).
-    pub fn observe(&mut self, t: f64, m: &Measurement) {
+    /// (no-op unless the schedule has a UART fault). `meter` is only used
+    /// to report frame-error events into the run's observability log — the
+    /// wire simulation itself never touches the instrument.
+    pub fn observe(&mut self, t: f64, m: &Measurement, meter: &mut FlowMeter) {
         if !self.uart_enabled {
             return;
         }
@@ -276,10 +306,16 @@ impl FaultInjector {
                 b ^= 1u8 << self.rng.gen_range(0u32..8);
                 self.stats.bytes_corrupted += 1;
             }
-            if let Some(payload) = self.decoder.push(b) {
-                if TelemetryRecord::from_bytes(&payload).is_ok() {
-                    self.stats.frames_received += 1;
+            match self.decoder.push_described(b) {
+                PushOutcome::Frame(payload) => {
+                    if TelemetryRecord::from_bytes(&payload).is_ok() {
+                        self.stats.frames_received += 1;
+                    }
                 }
+                PushOutcome::CrcError => {
+                    meter.observe(EventKind::UartFrameError);
+                }
+                PushOutcome::Pending => {}
             }
         }
     }

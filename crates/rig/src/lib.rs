@@ -23,6 +23,12 @@
 //!   injectable into any run: ADC/DAC/supply/EEPROM/UART faults plus abrupt
 //!   physics events, executed deterministically by the campaign layer
 //! * [`exec`] — the deterministic scoped-thread parallel map underneath it
+//! * [`obs`] — deterministic structured observability: per-run event logs
+//!   ([`obs::EventLog`]) fed by the firmware's `Observer` hook, hot-loop
+//!   counters and histograms, campaign-wide merged snapshots
+//!   ([`obs::ObsSnapshot`], bit-identical at any job count) and the
+//!   per-experiment profiling registry behind `repro --json`'s `"obs"`
+//!   section
 //!
 //! # Campaigns
 //!
@@ -74,6 +80,7 @@ pub mod exec;
 pub mod fault;
 pub mod line;
 pub mod metrics;
+pub mod obs;
 pub mod promag;
 pub mod runner;
 pub mod scenario;
@@ -85,6 +92,7 @@ pub use campaign::{
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, UartStats};
 pub use line::WaterLine;
 pub use metrics::Welford;
+pub use obs::{EventLog, Histogram, ObsConfig, ObsSnapshot, RunObs};
 pub use promag::Promag50;
 pub use runner::{LineRunner, Trace, TraceSample};
 pub use scenario::{Scenario, Schedule};

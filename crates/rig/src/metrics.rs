@@ -156,15 +156,41 @@ pub fn linearity(pairs: &[(f64, f64)], full_scale: f64) -> f64 {
 
 /// 10 %→90 % rise time through a step, given `(t, y)` samples, the level
 /// before the step and the final level. Returns `None` if the trace never
-/// crosses both thresholds.
+/// crosses both thresholds (or is empty).
+///
+/// The 10 % time is the *final entry* into the crossed region — the time
+/// after the last sample still on the wrong side. Plain first-crossing
+/// search (the old implementation) is wrong on noisy traces: a pre-step
+/// spike that touches the 90 % level also touches the 10 % level at the
+/// same sample, so both "first crossings" land on the spike and the rise
+/// time collapses to ~0. Final entry anchors on the departure that
+/// actually *holds* — settled traces sit ~100 % away from the 10 % level,
+/// so ordinary noise cannot move it.
+///
+/// The 90 % time is then the *first* crossing at or after the 10 % time.
+/// Final entry would be wrong there for the mirrored reason: settled noise
+/// rides right on the 90 % level, and any late dip would push the "final
+/// entry" out and inflate the measurement (noisier configurations would
+/// absurdly report *slower* responses than clean ones). For a clean
+/// monotonic step all the definitions agree.
 pub fn rise_time(samples: &[(f64, f64)], from: f64, to: f64) -> Option<f64> {
     let lo = from + 0.1 * (to - from);
     let hi = from + 0.9 * (to - from);
     let rising = to > from;
     let crossed = |y: f64, level: f64| if rising { y >= level } else { y <= level };
-    let t_lo = samples.iter().find(|&&(_, y)| crossed(y, lo))?.0;
-    let t_hi = samples.iter().find(|&&(_, y)| crossed(y, hi))?.0;
-    (t_hi >= t_lo).then_some(t_hi - t_lo)
+    // Final entry into the region beyond `lo`: the sample after the last
+    // one still outside it. `None` if the trace never ends up inside
+    // (i.e. the level is never crossed durably).
+    let t_lo = match samples.iter().rposition(|&(_, y)| !crossed(y, lo)) {
+        Some(i) => samples.get(i + 1).map(|&(t, _)| t),
+        // Every sample is already beyond the level: entry at the start.
+        None => samples.first().map(|&(t, _)| t),
+    }?;
+    let t_hi = samples
+        .iter()
+        .find(|&&(t, y)| t >= t_lo && crossed(y, hi))
+        .map(|&(t, _)| t)?;
+    Some(t_hi - t_lo)
 }
 
 /// Hysteresis: worst absolute difference between the settled means measured
@@ -187,9 +213,14 @@ pub fn hysteresis(up: &[(f64, f64)], down: &[(f64, f64)], full_scale: f64) -> f6
 }
 
 /// Root-mean-square error between measured and reference series (pairwise).
+///
+/// `NaN` for empty input, matching the crate's empty⇒NaN convention
+/// ([`mean`], [`std_dev`], [`Welford::mean`]): no comparison happened, and
+/// the old `0.0` read as a *perfect* agreement. `repro --json` renders the
+/// `NaN` as `null`.
 pub fn rms_error(pairs: &[(f64, f64)]) -> f64 {
     if pairs.is_empty() {
-        return 0.0;
+        return f64::NAN;
     }
     (pairs.iter().map(|&(a, b)| (a - b).powi(2)).sum::<f64>() / pairs.len() as f64).sqrt()
 }
@@ -303,6 +334,70 @@ mod tests {
     fn rise_time_none_when_never_crossing() {
         let samples = [(0.0, 0.0), (1.0, 0.05)];
         assert!(rise_time(&samples, 0.0, 1.0).is_none());
+        assert!(rise_time(&[], 0.0, 1.0).is_none());
+    }
+
+    #[test]
+    fn rise_time_ignores_pre_step_spike() {
+        // Exponential step with a single pre-step noise spike that shoots
+        // past the 90 % level. First-crossing search put both thresholds on
+        // the spike → rise ≈ 0; the final-entry definition recovers the
+        // true ≈ 2.197 s transition.
+        let mut samples: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                (
+                    t,
+                    if t < 0.05 {
+                        0.0
+                    } else {
+                        1.0 - (-(t - 0.05)).exp()
+                    },
+                )
+            })
+            .collect();
+        samples[20].1 = 0.95; // spike at t = 0.02, before the step
+        let rt = rise_time(&samples, 0.0, 1.0).unwrap();
+        assert!((rt - 2.197).abs() < 0.01, "spiky rise {rt}");
+    }
+
+    #[test]
+    fn rise_time_ignores_mid_level_spike() {
+        // A spike that only reaches mid-level (crosses lo, not hi) used to
+        // pull t_lo early and overstate the rise time.
+        let mut samples: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                (
+                    t,
+                    if t < 1.0 {
+                        0.0
+                    } else {
+                        1.0 - (-(t - 1.0)).exp()
+                    },
+                )
+            })
+            .collect();
+        samples[100].1 = 0.5; // spike at t = 0.1, 0.9 s before the step
+        let rt = rise_time(&samples, 0.0, 1.0).unwrap();
+        assert!((rt - 2.197).abs() < 0.01, "mid-spike rise {rt}");
+    }
+
+    #[test]
+    fn rise_time_tolerates_settling_noise_at_the_high_threshold() {
+        // Settled output noise rides on the 90 % level; late dips below it
+        // must not push the measurement out (a final-entry search at the
+        // high threshold would report ≈ 7.8 s here instead of ≈ 2.197 s,
+        // making noisier traces look *slower*).
+        let mut samples: Vec<(f64, f64)> = (0..10_000)
+            .map(|i| {
+                let t = i as f64 * 1e-3;
+                (t, 1.0 - (-t).exp())
+            })
+            .collect();
+        samples[7_800].1 = 0.88; // noise dip at t = 7.8, long after settling
+        let rt = rise_time(&samples, 0.0, 1.0).unwrap();
+        assert!((rt - 2.197).abs() < 0.01, "noisy-settle rise {rt}");
     }
 
     #[test]
@@ -320,5 +415,7 @@ mod tests {
     fn rms_error_basic() {
         assert_eq!(rms_error(&[(1.0, 1.0), (2.0, 2.0)]), 0.0);
         assert!((rms_error(&[(0.0, 3.0), (0.0, 4.0)]) - 3.5355).abs() < 1e-3);
+        // Regression: empty input used to score as perfect agreement (0.0).
+        assert!(rms_error(&[]).is_nan());
     }
 }

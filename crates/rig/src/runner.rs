@@ -10,6 +10,7 @@ use crate::exec;
 use crate::fault::{FaultInjector, FaultSchedule, UartStats};
 use crate::line::WaterLine;
 use crate::metrics::Welford;
+use crate::obs::RunObs;
 use crate::promag::Promag50;
 use crate::scenario::Scenario;
 use crate::turbine::TurbineMeter;
@@ -54,6 +55,11 @@ pub struct Trace {
     /// Telemetry-link statistics (non-zero only when the run carried a
     /// UART fault — see [`FaultSchedule`]).
     pub uart: UartStats,
+    /// Structured observability for the run — present when the meter
+    /// entered [`LineRunner::run`] with an observer installed (which the
+    /// campaign layer does unless the spec disabled it). Deterministic:
+    /// equal specs produce equal `obs` at any job count.
+    pub obs: Option<RunObs>,
 }
 
 impl Trace {
@@ -62,6 +68,7 @@ impl Trace {
         Trace {
             samples: Vec::with_capacity(samples),
             uart: UartStats::default(),
+            obs: None,
         }
     }
 
@@ -206,6 +213,11 @@ impl LineRunner {
         };
         let mut trace = Trace::with_capacity(expected);
         let mut next_sample_t = 0.0;
+        // Hot-loop instrumentation is gated on the observer's presence:
+        // without one, the per-step overhead is a single `bool` test.
+        let observing = self.meter.has_observer();
+        let mut run_obs = observing.then(RunObs::default);
+        let mut steps_since_control: u64 = 0;
         while !self.line.finished() {
             // Faults engage/revert on the scenario clock, before the tick
             // they first affect.
@@ -213,7 +225,19 @@ impl LineRunner {
                 injector.apply(self.line.time(), &mut self.meter);
             }
             let measurement = self.meter.step(self.env);
+            if let Some(obs) = run_obs.as_mut() {
+                obs.counters.modulator_steps += 1;
+                steps_since_control += 1;
+            }
             let Some(m) = measurement else { continue };
+            if let Some(obs) = run_obs.as_mut() {
+                obs.counters.control_ticks += 1;
+                // Modulator ticks from the ADC samples entering the channel
+                // to this conditioned measurement (= the CIC decimation).
+                obs.latency_ticks.record(steps_since_control as i64);
+                obs.pi_output.record(m.supply_code as i64);
+                steps_since_control = 0;
+            }
 
             // Control tick: refresh environment and references.
             self.env = self.line.step(self.control_dt);
@@ -225,7 +249,10 @@ impl LineRunner {
             if t >= next_sample_t {
                 next_sample_t = t + sample_period_s;
                 if let Some(injector) = self.injector.as_mut() {
-                    injector.observe(t, &m);
+                    injector.observe(t, &m, &mut self.meter);
+                }
+                if let Some(obs) = run_obs.as_mut() {
+                    obs.counters.samples_recorded += 1;
                 }
                 let die = self.meter.die();
                 trace.samples.push(TraceSample {
@@ -248,6 +275,17 @@ impl LineRunner {
         }
         if let Some(injector) = &self.injector {
             trace.uart = injector.stats();
+        }
+        if let Some(mut obs) = run_obs {
+            // Collect the event log the campaign layer installed; the
+            // meter leaves the run unobserved (a second `run` would carry
+            // no `obs`, matching the empty observer).
+            if let Some(mut observer) = self.meter.take_observer() {
+                obs.events = observer.drain();
+                obs.counters.events_dropped = observer.dropped();
+            }
+            obs.counters.absorb_events(&obs.events);
+            trace.obs = Some(obs);
         }
         trace
     }
