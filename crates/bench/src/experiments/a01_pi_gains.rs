@@ -12,7 +12,7 @@ use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, Campaign, RunSpec};
+use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec};
 
 /// One gain pair's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -79,18 +79,23 @@ pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
             // every grid corner, not just near the production gains.
             let (kp0, ki0) = (speed.config().kp, speed.config().ki);
             let cal_scale = (kp0 / kp).max(ki0 / ki);
+            // Resolution, step response and the rail check all stream
+            // (settled Welford, bounded series window, supply-code max).
             RunSpec::new(format!("kp{kp}-ki{ki}"), config, scenario, 0xA1)
                 .with_calibration(Calibration::Field(super::calibration_recipe_scaled(
                     speed, 0xA1, cal_scale,
                 )))
                 .with_line_seed(0xA100 + i as u64)
+                .with_windows(hold * 0.4, hold * 0.6)
+                .with_series_window(hold * 1.5 - 0.5, f64::INFINITY)
+                .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();
     let outcomes = Campaign::new().try_run(&specs);
     let mut points = Vec::new();
     for (&(kp, ki), outcome) in grid.iter().zip(outcomes) {
-        let trace = match outcome {
-            Ok(outcome) => outcome.trace,
+        let reduced = match outcome {
+            Ok(outcome) => outcome.reduced,
             // An unstable loop fails calibration (garbage points) — that
             // *is* the data point, not an error.
             Err(CoreError::Calibration { .. }) => {
@@ -105,20 +110,13 @@ pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
             }
             Err(e) => return Err(e),
         };
-        let resolution = metrics::resolution(&trace.dut_window(hold * 0.4, hold));
-        let step: Vec<(f64, f64)> = trace
-            .samples
-            .iter()
-            .filter(|s| s.t >= hold * 1.5 - 0.5)
-            .map(|s| (s.t, s.dut_cm_s))
-            .collect();
-        let railed = trace.samples.iter().any(|s| s.supply_code >= 4095);
+        let step = &reduced.series;
         points.push(GainPoint {
             kp,
             ki,
-            response_s: metrics::rise_time(&step, 50.0, 150.0),
-            resolution_cm_s: resolution,
-            railed,
+            response_s: metrics::rise_time_split(&step.ts, &step.ys, 50.0, 150.0),
+            resolution_cm_s: reduced.settled.std_dev(),
+            railed: reduced.supply_code_max >= 4095,
         });
     }
     Ok(PiGainResult { points, production })

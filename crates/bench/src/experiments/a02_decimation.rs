@@ -10,7 +10,7 @@ use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
-use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
+use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario};
 
 /// One decimation setting's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -69,6 +69,7 @@ pub fn run(speed: Speed) -> Result<DecimationResult, CoreError> {
             )))
             .with_line_seed(0xB700 + i as u64)
             .with_windows(hold * 0.4, hold * 0.6)
+            .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();
     let outcomes = Campaign::new().run(&specs)?;
@@ -76,14 +77,11 @@ pub fn run(speed: Speed) -> Result<DecimationResult, CoreError> {
         points: ratios
             .iter()
             .zip(&outcomes)
-            .map(|(&ratio, outcome)| {
-                let window = outcome.trace.dut_window(hold * 0.4, hold);
-                DecimationPoint {
-                    ratio,
-                    control_rate_hz: base.modulator_rate.get() / ratio as f64,
-                    resolution_cm_s: metrics::resolution(&window),
-                    bias_cm_s: metrics::mean(&window) - 100.0,
-                }
+            .map(|(&ratio, outcome)| DecimationPoint {
+                ratio,
+                control_rate_hz: base.modulator_rate.get() / ratio as f64,
+                resolution_cm_s: outcome.settled_std(),
+                bias_cm_s: outcome.settled_mean() - 100.0,
             })
             .collect(),
     })

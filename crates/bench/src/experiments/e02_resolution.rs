@@ -13,7 +13,7 @@ use super::Speed;
 use crate::table::Table;
 use hotwire_core::CoreError;
 use hotwire_physics::MafParams;
-use hotwire_rig::{Campaign, RunSpec, Scenario};
+use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario};
 
 /// Resolution at one operating point.
 #[derive(Debug, Clone, Copy)]
@@ -78,6 +78,9 @@ pub fn run(speed: Speed) -> Result<ResolutionResult, CoreError> {
             .with_line_seed(0x2000 + i as u64)
             .with_calibration(calibration.clone())
             .with_windows(settle, window)
+            // Pure sweep: the ±σ comes from the streaming settled window,
+            // so no raw samples need to be held at all.
+            .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();
     let points = Campaign::new()

@@ -8,7 +8,7 @@ use crate::table::Table;
 use hotwire_core::CoreError;
 use hotwire_physics::MafParams;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, Campaign, RunSpec};
+use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec};
 
 /// E3 results.
 #[derive(Debug, Clone)]
@@ -38,24 +38,29 @@ pub fn run(speed: Speed) -> Result<RepeatabilityResult, CoreError> {
         ..Scenario::steady(0.0, levels.len() as f64 * dwell)
     };
     let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE3)?;
-    let spec = RunSpec::new("repeatability-staircase", speed.config(), scenario, 0xE3)
+    // Every visit window is known up front, so the run streams one Welford
+    // per visit and never stores a sample (MetricsOnly).
+    let mut spec = RunSpec::new("repeatability-staircase", speed.config(), scenario, 0xE3)
         .with_calibration(calibration)
-        .with_sample_period(0.05);
-    let outcomes = Campaign::new().run(&[spec])?;
-    let trace = &outcomes[0].trace;
-
-    let mut visit_means = Vec::new();
+        .with_sample_period(0.05)
+        .with_record(RecordPolicy::MetricsOnly);
     for (k, &level) in levels.iter().enumerate() {
         if level != setpoint {
             continue;
         }
         let t0 = k as f64 * dwell + 0.7 * dwell;
         let t1 = (k + 1) as f64 * dwell;
-        let stats = trace.window_stats(t0, t1);
-        if stats.count() > 0 {
-            visit_means.push(stats.mean());
-        }
+        spec = spec.with_extra_window(t0, t1);
     }
+    let outcomes = Campaign::new().run(&[spec])?;
+
+    let visit_means: Vec<f64> = outcomes[0]
+        .reduced
+        .windows
+        .iter()
+        .filter(|stats| stats.count() > 0)
+        .map(|stats| stats.mean())
+        .collect();
     let repeatability_pct_fs = metrics::repeatability(&visit_means, 250.0) * 100.0;
     Ok(RepeatabilityResult {
         setpoint_cm_s: setpoint,

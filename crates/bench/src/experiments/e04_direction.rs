@@ -54,21 +54,18 @@ pub fn run(speed: Speed) -> Result<DirectionResult, CoreError> {
     for (k, &level) in levels.iter().enumerate() {
         let t0 = k as f64 * dwell + 0.5 * dwell;
         let t1 = (k + 1) as f64 * dwell;
-        let window: Vec<&hotwire_rig::TraceSample> = trace
-            .samples
-            .iter()
-            .filter(|s| s.t >= t0 && s.t < t1)
-            .collect();
+        // Columnar slice of the settled window — no per-sample refs.
+        let window = trace.samples.dut_in(t0, t1);
         if window.is_empty() {
             continue;
         }
         let agree = window
             .iter()
-            .filter(|s| {
+            .filter(|&&dut| {
                 if level > 0.0 {
-                    s.dut_cm_s > 0.0
+                    dut > 0.0
                 } else if level < 0.0 {
-                    s.dut_cm_s < 0.0
+                    dut < 0.0
                 } else {
                     true // stagnant: any report acceptable
                 }

@@ -14,7 +14,7 @@ use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_physics::sensor::HeaterId;
 use hotwire_rig::campaign::{Calibration, RunOutcome};
-use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
+use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario};
 
 /// One drive's outcome.
 #[derive(Debug, Clone)]
@@ -42,30 +42,20 @@ pub struct BubbleResult {
     pub duration_s: f64,
 }
 
-fn reduce_case(label: &'static str, duration: f64, outcome: &RunOutcome) -> BubbleCase {
-    let trace = &outcome.trace;
+fn reduce_case(label: &'static str, outcome: &RunOutcome) -> BubbleCase {
+    // Every trace-derived statistic streamed during the run (peak
+    // coverage, second-half RMS error); the rest reads meter state.
     let meter = &outcome.meter;
-    let peak = trace
-        .samples
-        .iter()
-        .map(|s| s.bubble_coverage)
-        .fold(0.0, f64::max);
-    let errors: Vec<(f64, f64)> = trace
-        .samples
-        .iter()
-        .filter(|s| s.t > duration / 2.0)
-        .map(|s| (s.true_cm_s, s.dut_cm_s))
-        .collect();
     BubbleCase {
         label,
-        peak_coverage: peak,
+        peak_coverage: outcome.reduced.bubble_peak,
         final_coverage: meter
             .die()
             .bubble_coverage(HeaterId::A)
             .max(meter.die().bubble_coverage(HeaterId::B)),
         detachments: meter.die().detachment_count(HeaterId::A)
             + meter.die().detachment_count(HeaterId::B),
-        rms_error_cm_s: metrics::rms_error(&errors),
+        rms_error_cm_s: outcome.reduced.err_rms(),
         flagged: meter.fault_latch().bubble_activity,
     }
 }
@@ -104,6 +94,8 @@ pub fn run(speed: Speed) -> Result<BubbleResult, CoreError> {
             RunSpec::new(label, config, Scenario::steady(100.0, duration), 0xE5)
                 .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE5)))
                 .with_sample_period(0.1)
+                .with_err_window(duration / 2.0, f64::INFINITY)
+                .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();
     let outcomes = Campaign::new().run(&specs)?;
@@ -111,7 +103,7 @@ pub fn run(speed: Speed) -> Result<BubbleResult, CoreError> {
         cases: labels
             .iter()
             .zip(&outcomes)
-            .map(|(&label, outcome)| reduce_case(label, duration, outcome))
+            .map(|(&label, outcome)| reduce_case(label, outcome))
             .collect(),
         duration_s: duration,
     })

@@ -40,29 +40,27 @@ pub struct PressureResult {
 fn reduce_case(label: &'static str, trace: &Trace) -> PressureCase {
     // Schedule landmarks (see Scenario::pressure_torture): 1 bar hold ends
     // at t=10; first 7 bar peak spans t∈[40,42); second t∈[52,54).
+    // Deviations are measured against the baseline mean, so this is an
+    // inherently two-pass reduction over the stored (Full) trace — read
+    // straight off the columnar slices.
+    let store = &trace.samples;
     let baseline = trace.window_stats(5.0, 10.0).mean();
-    let worst = trace
-        .samples
+    let after_hold = store.ts().partition_point(|&t| t <= 5.0);
+    let worst = store.dut()[after_hold..]
         .iter()
-        .filter(|s| s.t > 5.0)
-        .map(|s| (s.dut_cm_s - baseline).abs())
+        .map(|&dut| (dut - baseline).abs())
         .fold(0.0, f64::max);
-    let peak_window: Vec<f64> = trace
-        .samples
-        .iter()
-        .filter(|s| (40.0..42.0).contains(&s.t) || (52.0..54.0).contains(&s.t))
-        .map(|s| (s.dut_cm_s - baseline).abs())
-        .collect();
-    let coverage = trace
-        .samples
-        .iter()
-        .map(|s| s.bubble_coverage)
+    let peak_deviation = store
+        .window(40.0, 42.0)
+        .chain(store.window(52.0, 54.0))
+        .map(|i| (store.dut()[i] - baseline).abs())
         .fold(0.0, f64::max);
+    let coverage = store.bubble().iter().copied().fold(0.0, f64::max);
     PressureCase {
         label,
         baseline_cm_s: baseline,
         worst_deviation_cm_s: worst,
-        peak_deviation_cm_s: peak_window.iter().copied().fold(0.0, f64::max),
+        peak_deviation_cm_s: peak_deviation,
         peak_coverage: coverage,
     }
 }

@@ -12,7 +12,7 @@ use crate::table::Table;
 use hotwire_core::CoreError;
 use hotwire_physics::MafParams;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, Campaign, RunSpec};
+use hotwire_rig::{metrics, Campaign, Channel, RunSpec};
 
 /// One instrument's scorecard.
 #[derive(Debug, Clone)]
@@ -65,59 +65,48 @@ pub fn run(speed: Speed) -> Result<ComparisonResult, CoreError> {
     let outcomes = Campaign::new().run(&[spec])?;
     let trace = &outcomes[0].trace;
 
-    let window = |t0: f64, t1: f64, pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<f64> {
-        trace
-            .samples
+    // All three instruments reduce over the same stored trace — per-channel
+    // columnar slices instead of striding row structs with a picker.
+    let store = &trace.samples;
+    let settled_pairs = |channel: Channel| -> Vec<(f64, f64)> {
+        store
+            .ts()
             .iter()
-            .filter(|s| s.t >= t0 && s.t < t1)
-            .map(pick)
+            .zip(store.truth())
+            .zip(store.channel(channel))
+            .filter(|((&t, _), _)| (t / dwell).fract() > 0.7)
+            .map(|((_, &truth), &y)| (truth, y))
             .collect()
     };
-    let settled_pairs = |pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<(f64, f64)> {
-        trace
-            .samples
-            .iter()
-            .filter(|s| (s.t / dwell).fract() > 0.7)
-            .map(|s| (s.true_cm_s, pick(s)))
-            .collect()
-    };
-    let step_series = |pick: fn(&hotwire_rig::TraceSample) -> f64| -> Vec<(f64, f64)> {
-        trace
-            .samples
-            .iter()
-            .filter(|s| s.t >= 2.0 * dwell - 0.5 && s.t < 3.0 * dwell)
-            .map(|s| (s.t, pick(s)))
-            .collect()
-    };
+    let step = store.window(2.0 * dwell - 0.5, 3.0 * dwell);
+    let resolution_window = store.window(dwell * 0.5, dwell);
 
-    let score = |name: &'static str,
-                 pick: fn(&hotwire_rig::TraceSample) -> f64,
-                 directional: bool,
-                 moving: bool,
-                 cost: f64| {
-        InstrumentScore {
-            name,
-            resolution_pct_fs: metrics::resolution(&window(dwell * 0.5, dwell, pick)) / 250.0
-                * 100.0,
-            rms_error_cm_s: metrics::rms_error(&settled_pairs(pick)),
-            response_s: metrics::rise_time(&step_series(pick), 50.0, 150.0),
-            directional,
-            moving_parts: moving,
-            relative_cost: cost,
-        }
-    };
+    let score =
+        |name: &'static str, channel: Channel, directional: bool, moving: bool, cost: f64| {
+            InstrumentScore {
+                name,
+                resolution_pct_fs: metrics::resolution(
+                    &store.channel(channel)[resolution_window.clone()],
+                ) / 250.0
+                    * 100.0,
+                rms_error_cm_s: metrics::rms_error(&settled_pairs(channel)),
+                response_s: metrics::rise_time_split(
+                    &store.ts()[step.clone()],
+                    &store.channel(channel)[step.clone()],
+                    50.0,
+                    150.0,
+                ),
+                directional,
+                moving_parts: moving,
+                relative_cost: cost,
+            }
+        };
 
     Ok(ComparisonResult {
         instruments: vec![
-            score(
-                "MEMS hot-wire (this work)",
-                |s| s.dut_cm_s,
-                true,
-                false,
-                0.08,
-            ),
-            score("Promag 50 (magnetic)", |s| s.promag_cm_s, true, false, 1.0),
-            score("turbine wheel", |s| s.turbine_cm_s, false, true, 0.35),
+            score("MEMS hot-wire (this work)", Channel::Dut, true, false, 0.08),
+            score("Promag 50 (magnetic)", Channel::Promag, true, false, 1.0),
+            score("turbine wheel", Channel::Turbine, false, true, 0.35),
         ],
     })
 }

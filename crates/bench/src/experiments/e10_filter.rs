@@ -11,7 +11,7 @@ use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
-use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
+use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec, Scenario};
 use hotwire_units::Hertz;
 
 /// Resolution at one filter setting.
@@ -73,30 +73,26 @@ pub fn run(speed: Speed) -> Result<FilterResult, CoreError> {
                     .then_hold(150.0, settle + window),
                 ..Scenario::steady(0.0, settle + window + settle + settle + window)
             };
+            // Resolution streams from the settled window and the step
+            // response from a bounded series window — no stored trace.
             RunSpec::new(format!("filter-corner-{corner}Hz"), config, scenario, 0xE10)
                 .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE10)))
                 .with_line_seed(0x1000 + i as u64)
                 .with_windows(settle, window)
+                .with_series_window(settle + window + settle - 0.5, f64::INFINITY)
+                .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();
     let outcomes = Campaign::new().run(&specs)?;
     let points = corners
         .iter()
-        .zip(&windows)
         .zip(&outcomes)
-        .map(|((&corner, &(settle, window)), outcome)| {
-            let trace = &outcome.trace;
-            let sigma = metrics::resolution(&trace.dut_window(settle, settle + window));
-            let step: Vec<(f64, f64)> = trace
-                .samples
-                .iter()
-                .filter(|s| s.t >= settle + window + settle - 0.5)
-                .map(|s| (s.t, s.dut_cm_s))
-                .collect();
+        .map(|(&corner, outcome)| {
+            let step = &outcome.reduced.series;
             FilterPoint {
                 corner_hz: corner,
-                resolution_cm_s: sigma,
-                response_s: metrics::rise_time(&step, 50.0, 150.0),
+                resolution_cm_s: outcome.settled_std(),
+                response_s: metrics::rise_time_split(&step.ts, &step.ys, 50.0, 150.0),
             }
         })
         .collect();

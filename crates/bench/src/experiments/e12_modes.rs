@@ -14,7 +14,7 @@ use crate::table::Table;
 use hotwire_core::config::{FlowMeterConfig, OperatingMode};
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
-use hotwire_rig::{metrics, Campaign, RunSpec, Scenario};
+use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario};
 
 /// One mode's drift result.
 #[derive(Debug, Clone)]
@@ -64,9 +64,15 @@ pub fn run(speed: Speed) -> Result<ModesResult, CoreError> {
                 ..speed.config()
             };
             let scenario = Scenario::temperature_ramp(100.0, 15.0, 30.0, duration);
+            // Settled windows: the last portion of the 15 °C hold and of
+            // the 30 °C hold (holds are the first/last 20 % of the
+            // scenario) — both stream, so no samples are stored.
             RunSpec::new(format!("{mode:?}"), config, scenario, 0xE12)
                 .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE12)))
                 .with_sample_period(0.05)
+                .with_extra_window(0.1 * duration, 0.2 * duration)
+                .with_extra_window(0.9 * duration, duration)
+                .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();
     let outcomes = Campaign::new().run(&specs)?;
@@ -75,12 +81,8 @@ pub fn run(speed: Speed) -> Result<ModesResult, CoreError> {
             .iter()
             .zip(&outcomes)
             .map(|(&mode, outcome)| {
-                // Settled windows: the last portion of the 15 °C hold and of
-                // the 30 °C hold (holds are the first/last 20 % of the
-                // scenario).
-                let trace = &outcome.trace;
-                let reading_15c = metrics::mean(&trace.dut_window(0.1 * duration, 0.2 * duration));
-                let reading_30c = metrics::mean(&trace.dut_window(0.9 * duration, duration));
+                let reading_15c = outcome.window(0).mean();
+                let reading_30c = outcome.window(1).mean();
                 ModeDrift {
                     mode,
                     reading_15c,

@@ -122,19 +122,21 @@ fn matrix() -> Vec<(&'static str, FaultKind, f64)> {
 }
 
 fn reduce_case(label: &'static str, window_s: f64, outcome: &RunOutcome) -> FaultCase {
-    let samples = &outcome.trace.samples;
+    // Health scans read the dense health/time columns; the error scan zips
+    // the dut/truth columns over a partition_point window.
+    let store = &outcome.trace.samples;
     let fault_end = ONSET_S + window_s;
     let error_end = ONSET_S + window_s.max(IMPULSE_TAIL_S);
 
-    let detect_s = samples
+    let onset = store.ts().partition_point(|&t| t < ONSET_S);
+    let detect_s = store.health()[onset..]
         .iter()
-        .find(|s| s.t >= ONSET_S && s.health != HealthState::Healthy)
-        .map_or(f64::NAN, |s| s.t - ONSET_S);
+        .position(|&h| h != HealthState::Healthy)
+        .map_or(f64::NAN, |i| store.ts()[onset + i] - ONSET_S);
 
-    let worst_error_cm_s = samples
-        .iter()
-        .filter(|s| s.t >= ONSET_S && s.t < error_end)
-        .map(|s| (s.dut_cm_s - s.true_cm_s).abs())
+    let worst_error_cm_s = store
+        .window(ONSET_S, error_end)
+        .map(|i| (store.dut()[i] - store.truth()[i]).abs())
         .fold(0.0, f64::max);
 
     // Recovery = the last unhealthy sample, measured from the end of the
@@ -142,14 +144,15 @@ fn reduce_case(label: &'static str, window_s: f64, outcome: &RunOutcome) -> Faul
     let recover_s = if detect_s.is_nan() {
         f64::NAN
     } else {
-        let last_bad = samples
+        let last_bad = store
+            .health()
             .iter()
-            .filter(|s| s.health != HealthState::Healthy)
-            .map(|s| s.t)
-            .fold(f64::NAN, f64::max);
-        let ends_healthy = samples
+            .rposition(|&h| h != HealthState::Healthy)
+            .map_or(f64::NAN, |i| store.ts()[i]);
+        let ends_healthy = store
+            .health()
             .last()
-            .is_some_and(|s| s.health == HealthState::Healthy);
+            .is_some_and(|&h| h == HealthState::Healthy);
         if ends_healthy {
             (last_bad - fault_end).max(0.0)
         } else {

@@ -44,6 +44,7 @@ use crate::line::WaterLine;
 use crate::metrics::Welford;
 use crate::obs::{self, EventLog, ObsConfig};
 use crate::promag::Promag50;
+use crate::record::{PolicyRecorder, RecordPolicy, ReductionPlan, RunReductions};
 use crate::runner::{LineRunner, Trace};
 use crate::scenario::Scenario;
 use hotwire_core::calibration::CalPoint;
@@ -152,6 +153,21 @@ pub struct RunSpec {
     /// Observability configuration (on by default; see
     /// [`with_obs`](Self::with_obs) / [`without_obs`](Self::without_obs)).
     pub obs: ObsConfig,
+    /// What the stored trace keeps of the raw samples
+    /// ([`RecordPolicy::Full`] by default). Streaming reductions
+    /// ([`RunOutcome::reduced`]) are computed under every policy.
+    pub record: RecordPolicy,
+    /// Extra `[t0, t1)` DUT Welford windows reduced during the run (e.g.
+    /// per-visit repeatability windows) — read back via
+    /// [`RunOutcome::window`].
+    pub extra_windows: Vec<(f64, f64)>,
+    /// If set, retain the `(t, dut)` series inside this window during the
+    /// run (bounded by the window), for rise-time analysis under
+    /// [`RecordPolicy::MetricsOnly`].
+    pub series_window: Option<(f64, f64)>,
+    /// If set, accumulate DUT-vs-truth error statistics (worst |err|, RMS)
+    /// over this window during the run.
+    pub err_window: Option<(f64, f64)>,
 }
 
 impl RunSpec {
@@ -179,6 +195,10 @@ impl RunSpec {
             settle_s: 0.0,
             measure_s: 0.0,
             obs: ObsConfig::default(),
+            record: RecordPolicy::Full,
+            extra_windows: Vec::new(),
+            series_window: None,
+            err_window: None,
         }
     }
 
@@ -246,6 +266,56 @@ impl RunSpec {
         self
     }
 
+    /// Sets the record policy — what the stored trace keeps of the raw
+    /// samples. Sweep specs should use [`RecordPolicy::MetricsOnly`] and
+    /// read the streaming [`RunOutcome::reduced`] instead of the trace.
+    pub fn with_record(mut self, policy: RecordPolicy) -> Self {
+        self.record = policy;
+        self
+    }
+
+    /// Adds an extra `[t0, t1)` DUT Welford window to reduce during the
+    /// run (read back via [`RunOutcome::window`], in insertion order).
+    pub fn with_extra_window(mut self, t0: f64, t1: f64) -> Self {
+        self.extra_windows.push((t0, t1));
+        self
+    }
+
+    /// Retains the `(t, dut)` series inside `[t0, t1)` during the run,
+    /// for rise-time analysis without a stored trace.
+    pub fn with_series_window(mut self, t0: f64, t1: f64) -> Self {
+        self.series_window = Some((t0, t1));
+        self
+    }
+
+    /// Accumulates DUT-vs-truth error statistics over `[t0, t1)` during
+    /// the run ([`RunReductions::err_rms`], worst |err|).
+    pub fn with_err_window(mut self, t0: f64, t1: f64) -> Self {
+        self.err_window = Some((t0, t1));
+        self
+    }
+
+    /// The settled window as a half-open `[t0, t1)` interval
+    /// (`measure_s == 0.0` ⇒ unbounded).
+    pub fn settled_window(&self) -> (f64, f64) {
+        let t1 = if self.measure_s > 0.0 {
+            self.settle_s + self.measure_s
+        } else {
+            f64::INFINITY
+        };
+        (self.settle_s, t1)
+    }
+
+    /// The streaming-reduction plan this spec's windows describe.
+    pub fn reduction_plan(&self) -> ReductionPlan {
+        ReductionPlan {
+            settle: self.settled_window(),
+            windows: self.extra_windows.clone(),
+            series: self.series_window,
+            err: self.err_window,
+        }
+    }
+
     /// Executes this spec on the current thread: build the meter, apply the
     /// calibration, optionally auto-zero, run the scenario.
     ///
@@ -268,10 +338,18 @@ impl RunSpec {
         if let Some(schedule) = &self.faults {
             runner.install_faults(schedule.clone());
         }
-        let trace = runner.run(self.sample_period_s);
+        let mut recorder = PolicyRecorder::new(self.record, self.reduction_plan());
+        recorder.reserve(runner.expected_samples(self.sample_period_s));
+        let tail = runner.run_with(self.sample_period_s, &mut recorder);
+        let (samples, reduced) = recorder.finish();
         Ok(RunOutcome {
             label: self.label.clone(),
-            trace,
+            trace: Trace {
+                samples,
+                uart: tail.uart,
+                obs: tail.obs,
+            },
+            reduced,
             meter: runner.into_meter(),
             settle_s: self.settle_s,
             measure_s: self.measure_s,
@@ -284,8 +362,14 @@ impl RunSpec {
 pub struct RunOutcome {
     /// The spec's label.
     pub label: String,
-    /// The recorded co-simulation trace.
+    /// The recorded co-simulation trace. Under
+    /// [`RecordPolicy::MetricsOnly`] the sample store is empty — read
+    /// [`reduced`](Self::reduced) instead.
     pub trace: Trace,
+    /// Streaming reductions folded during the run (computed under every
+    /// record policy; bit-identical to post-hoc reductions over a
+    /// [`RecordPolicy::Full`] trace of the same spec).
+    pub reduced: RunReductions,
     /// The meter after the run (fault latches, calibration, state intact).
     pub meter: FlowMeter,
     /// The spec's settling time (for the settled-window statistics).
@@ -295,15 +379,20 @@ pub struct RunOutcome {
 }
 
 impl RunOutcome {
-    /// Streaming statistics of the DUT output over the spec's settled
-    /// window — no intermediate `Vec` is materialized.
+    /// Statistics of the DUT output over the spec's settled window,
+    /// reduced while the run streamed — no trace pass, no allocation.
     pub fn settled(&self) -> Welford {
-        let t1 = if self.measure_s > 0.0 {
-            self.settle_s + self.measure_s
-        } else {
-            f64::INFINITY
-        };
-        self.trace.window_stats(self.settle_s, t1)
+        self.reduced.settled
+    }
+
+    /// The spec's `i`-th extra window ([`RunSpec::with_extra_window`]),
+    /// reduced while the run streamed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec declared fewer than `i + 1` extra windows.
+    pub fn window(&self, i: usize) -> Welford {
+        self.reduced.windows[i]
     }
 
     /// Mean DUT output over the settled window, cm/s.

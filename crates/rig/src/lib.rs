@@ -16,6 +16,10 @@
 //! * [`metrics`] — resolution / repeatability / linearity / response-time
 //!   estimators matching the paper's definitions, including the streaming
 //!   [`Welford`] accumulator
+//! * [`record`] — push-based recording: the [`Recorder`] sink trait, the
+//!   columnar [`TraceStore`], streaming [`RunReductions`] reducers, CSV
+//!   streaming and the per-spec [`RecordPolicy`] (sweep experiments run in
+//!   O(1) sample memory under [`RecordPolicy::MetricsOnly`])
 //! * [`runner`] — co-simulation of the device under test and both reference
 //!   meters on shared true flow, plus the field-calibration procedure
 //! * [`campaign`] — declarative [`RunSpec`]s and the [`Campaign`] executor
@@ -82,6 +86,7 @@ pub mod line;
 pub mod metrics;
 pub mod obs;
 pub mod promag;
+pub mod record;
 pub mod runner;
 pub mod scenario;
 pub mod turbine;
@@ -94,6 +99,10 @@ pub use line::WaterLine;
 pub use metrics::Welford;
 pub use obs::{EventLog, Histogram, ObsConfig, ObsSnapshot, RunObs};
 pub use promag::Promag50;
-pub use runner::{LineRunner, Trace, TraceSample};
+pub use record::{
+    Channel, CsvSink, PolicyRecorder, RecordPolicy, Recorder, ReductionPlan, RunReductions,
+    SeriesReducer, Tee, TraceStore,
+};
+pub use runner::{LineRunner, RunTail, Trace, TraceSample};
 pub use scenario::{Scenario, Schedule};
 pub use turbine::TurbineMeter;

@@ -174,6 +174,35 @@ pub fn linearity(pairs: &[(f64, f64)], full_scale: f64) -> f64 {
 /// absurdly report *slower* responses than clean ones). For a clean
 /// monotonic step all the definitions agree.
 pub fn rise_time(samples: &[(f64, f64)], from: f64, to: f64) -> Option<f64> {
+    rise_time_impl(samples.len(), |i| samples[i].0, |i| samples[i].1, from, to)
+}
+
+/// [`rise_time`] over split time/value slices — the zero-copy entry point
+/// for columnar stores and streaming series reducers, which hold `t` and
+/// `y` in separate columns. Identical semantics (one shared
+/// implementation); the pair-slice form exists for callers that already
+/// have `(t, y)` tuples.
+///
+/// # Panics
+///
+/// Panics if `ts` and `ys` differ in length.
+pub fn rise_time_split(ts: &[f64], ys: &[f64], from: f64, to: f64) -> Option<f64> {
+    assert_eq!(
+        ts.len(),
+        ys.len(),
+        "rise_time_split: time/value columns differ in length"
+    );
+    rise_time_impl(ts.len(), |i| ts[i], |i| ys[i], from, to)
+}
+
+/// Shared spike-robust rise-time search over indexed accessors.
+fn rise_time_impl(
+    n: usize,
+    t_at: impl Fn(usize) -> f64,
+    y_at: impl Fn(usize) -> f64,
+    from: f64,
+    to: f64,
+) -> Option<f64> {
     let lo = from + 0.1 * (to - from);
     let hi = from + 0.9 * (to - from);
     let rising = to > from;
@@ -181,15 +210,14 @@ pub fn rise_time(samples: &[(f64, f64)], from: f64, to: f64) -> Option<f64> {
     // Final entry into the region beyond `lo`: the sample after the last
     // one still outside it. `None` if the trace never ends up inside
     // (i.e. the level is never crossed durably).
-    let t_lo = match samples.iter().rposition(|&(_, y)| !crossed(y, lo)) {
-        Some(i) => samples.get(i + 1).map(|&(t, _)| t),
+    let t_lo = match (0..n).rev().find(|&i| !crossed(y_at(i), lo)) {
+        Some(i) => (i + 1 < n).then(|| t_at(i + 1)),
         // Every sample is already beyond the level: entry at the start.
-        None => samples.first().map(|&(t, _)| t),
+        None => (n > 0).then(|| t_at(0)),
     }?;
-    let t_hi = samples
-        .iter()
-        .find(|&&(t, y)| t >= t_lo && crossed(y, hi))
-        .map(|&(t, _)| t)?;
+    let t_hi = (0..n)
+        .find(|&i| t_at(i) >= t_lo && crossed(y_at(i), hi))
+        .map(t_at)?;
     Some(t_hi - t_lo)
 }
 
@@ -335,6 +363,55 @@ mod tests {
         let samples = [(0.0, 0.0), (1.0, 0.05)];
         assert!(rise_time(&samples, 0.0, 1.0).is_none());
         assert!(rise_time(&[], 0.0, 1.0).is_none());
+    }
+
+    mod rise_time_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn split_agrees_with_pairs(
+                ys in proptest::collection::vec(-0.5f64..1.5, 0..300),
+                from in -0.2f64..0.2,
+                to in 0.8f64..1.2
+            ) {
+                // Same data through both entry points: the split form must
+                // agree with the pair form bit-for-bit, spikes and all.
+                let ts: Vec<f64> = (0..ys.len()).map(|i| i as f64 * 1e-2).collect();
+                let pairs: Vec<(f64, f64)> =
+                    ts.iter().copied().zip(ys.iter().copied()).collect();
+                let a = rise_time(&pairs, from, to);
+                let b = rise_time_split(&ts, &ys, from, to);
+                prop_assert_eq!(a.map(f64::to_bits), b.map(f64::to_bits));
+            }
+        }
+    }
+
+    #[test]
+    fn rise_time_split_keeps_spike_robust_semantics() {
+        // The split entry point shares the final-entry / first-crossing
+        // search — re-run the pre-step-spike regression through it.
+        let mut ts = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..10_000 {
+            let t = i as f64 * 1e-3;
+            ts.push(t);
+            ys.push(if t < 0.05 {
+                0.0
+            } else {
+                1.0 - (-(t - 0.05)).exp()
+            });
+        }
+        ys[20] = 0.95; // spike at t = 0.02, before the step
+        let rt = rise_time_split(&ts, &ys, 0.0, 1.0).unwrap();
+        assert!((rt - 2.197).abs() < 0.01, "spiky split rise {rt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "columns differ in length")]
+    fn rise_time_split_rejects_mismatched_columns() {
+        rise_time_split(&[0.0, 1.0], &[0.0], 0.0, 1.0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::line::WaterLine;
 use crate::metrics::Welford;
 use crate::obs::RunObs;
 use crate::promag::Promag50;
+use crate::record::{CsvSink, Recorder, TraceStore};
 use crate::scenario::Scenario;
 use crate::turbine::TurbineMeter;
 use hotwire_core::calibration::CalPoint;
@@ -50,8 +51,8 @@ pub struct TraceSample {
 /// A recorded co-simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    /// The recorded samples, in time order.
-    pub samples: Vec<TraceSample>,
+    /// The recorded samples, in time order (columnar; see [`TraceStore`]).
+    pub samples: TraceStore,
     /// Telemetry-link statistics (non-zero only when the run carried a
     /// UART fault — see [`FaultSchedule`]).
     pub uart: UartStats,
@@ -66,79 +67,43 @@ impl Trace {
     /// An empty trace with room for `samples` recorded samples.
     pub fn with_capacity(samples: usize) -> Self {
         Trace {
-            samples: Vec::with_capacity(samples),
+            samples: TraceStore::with_capacity(samples),
             uart: UartStats::default(),
             obs: None,
         }
     }
 
-    /// Streaming statistics of the DUT series over `[t0, t1)` — the
-    /// allocation-free alternative to [`dut_window`](Self::dut_window) for
-    /// settled-window reductions.
+    /// Streaming statistics of the DUT series over `[t0, t1)` — window
+    /// bounds found by `partition_point` binary search on the time column.
     pub fn window_stats(&self, t0: f64, t1: f64) -> Welford {
-        self.samples
-            .iter()
-            .filter(|s| s.t >= t0 && s.t < t1)
-            .map(|s| s.dut_cm_s)
-            .collect()
+        self.samples.window_stats(t0, t1)
     }
 
-    /// `(true, dut)` velocity pairs for error statistics.
-    pub fn dut_vs_truth(&self) -> Vec<(f64, f64)> {
-        self.samples
-            .iter()
-            .map(|s| (s.true_cm_s, s.dut_cm_s))
-            .collect()
-    }
-
-    /// The DUT series over a time window.
-    pub fn dut_window(&self, t0: f64, t1: f64) -> Vec<f64> {
-        self.samples
-            .iter()
-            .filter(|s| s.t >= t0 && s.t < t1)
-            .map(|s| s.dut_cm_s)
-            .collect()
-    }
-
-    /// `(t, dut)` pairs (for rise-time analysis).
-    pub fn dut_series(&self) -> Vec<(f64, f64)> {
-        self.samples.iter().map(|s| (s.t, s.dut_cm_s)).collect()
-    }
-
-    /// The last sample, if any.
-    pub fn last(&self) -> Option<&TraceSample> {
+    /// The last sample, if any (reassembled from the columns).
+    pub fn last(&self) -> Option<TraceSample> {
         self.samples.last()
     }
 
     /// Renders the trace as CSV (header + one row per sample) for external
-    /// plotting — the raw material of the paper's Fig. 11.
+    /// plotting — the raw material of the paper's Fig. 11. Streaming runs
+    /// can write rows directly with a [`CsvSink`] instead.
     pub fn to_csv(&self) -> String {
-        let header =
-            "t_s,true_cm_s,dut_cm_s,promag_cm_s,turbine_cm_s,supply_code,bubble_coverage,fouling_um,fault,health\n";
-        // ~64 bytes per formatted row; reserving up front keeps the export
-        // to a handful of reallocations instead of O(log n) doublings over
-        // megabyte-scale traces.
-        let mut out = String::with_capacity(header.len() + self.samples.len() * 64);
-        out.push_str(header);
+        let mut sink = CsvSink::with_capacity(self.samples.len());
         for s in &self.samples {
-            use std::fmt::Write as _;
-            let _ = writeln!(
-                out,
-                "{:.4},{:.3},{:.3},{:.3},{:.3},{},{:.4},{:.3},{},{}",
-                s.t,
-                s.true_cm_s,
-                s.dut_cm_s,
-                s.promag_cm_s,
-                s.turbine_cm_s,
-                s.supply_code,
-                s.bubble_coverage,
-                s.fouling_um,
-                u8::from(s.fault),
-                s.health.code(),
-            );
+            sink.record(&s);
         }
-        out
+        sink.into_string()
     }
+}
+
+/// Everything [`LineRunner::run_with`] produces besides the samples it
+/// pushed into the caller's [`Recorder`].
+#[derive(Debug, Default)]
+pub struct RunTail {
+    /// Telemetry-link statistics (non-zero only for UART-faulted runs).
+    pub uart: UartStats,
+    /// Structured observability, when an observer was installed.
+    pub obs: Option<RunObs>,
 }
 
 /// The co-simulation runner.
@@ -196,22 +161,59 @@ impl LineRunner {
         self.meter
     }
 
+    /// The number of samples a run at `sample_period_s` is expected to
+    /// record (+1 covers the t=0 sample, +1 the final edge) — the right
+    /// capacity to reserve in a full-trace sink.
+    pub fn expected_samples(&self, sample_period_s: f64) -> usize {
+        expected_samples(self.line.scenario().duration_s, sample_period_s)
+    }
+
     /// Runs the scenario to completion, recording one sample every
-    /// `sample_period_s` of scenario time.
+    /// `sample_period_s` of scenario time into a full [`Trace`].
+    ///
+    /// Convenience over [`run_with`](Self::run_with) with a pre-sized
+    /// [`TraceStore`] sink — use `run_with` directly to stream into
+    /// reducers instead of materializing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_period_s` is not a positive number (see
+    /// [`run_with`](Self::run_with)).
+    pub fn run(&mut self, sample_period_s: f64) -> Trace {
+        // Pre-allocating keeps the hot recording loop free of reallocation.
+        let mut store = TraceStore::with_capacity(self.expected_samples(sample_period_s));
+        let tail = self.run_with(sample_period_s, &mut store);
+        Trace {
+            samples: store,
+            uart: tail.uart,
+            obs: tail.obs,
+        }
+    }
+
+    /// Runs the scenario to completion, pushing one sample every
+    /// `sample_period_s` of scenario time into `recorder`.
     ///
     /// The line and reference meters advance at the control rate (the probe
     /// environment is held between control ticks — turbulence above the
     /// control bandwidth is invisible to every instrument on the line).
-    pub fn run(&mut self, sample_period_s: f64) -> Trace {
-        // The sample count is known up front from the scenario length and
-        // the cadence; pre-allocating keeps the hot recording loop free of
-        // reallocation (+1 covers the t=0 sample, +1 the final edge).
-        let expected = if sample_period_s > 0.0 {
-            (self.line.scenario().duration_s / sample_period_s).ceil() as usize + 2
-        } else {
-            0
-        };
-        let mut trace = Trace::with_capacity(expected);
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_period_s` is not a positive number. A
+    /// non-positive cadence used to silently record *every* control tick
+    /// (`t >= next_sample_t` always held) while pre-allocating for none —
+    /// the contract is now explicit.
+    pub fn run_with<R: Recorder + ?Sized>(
+        &mut self,
+        sample_period_s: f64,
+        recorder: &mut R,
+    ) -> RunTail {
+        assert!(
+            sample_period_s > 0.0,
+            "LineRunner::run: sample_period_s must be a positive number of \
+             seconds, got {sample_period_s}"
+        );
+        let mut tail = RunTail::default();
         let mut next_sample_t = 0.0;
         // Hot-loop instrumentation is gated on the observer's presence:
         // without one, the per-step overhead is a single `bool` test.
@@ -255,7 +257,7 @@ impl LineRunner {
                     obs.counters.samples_recorded += 1;
                 }
                 let die = self.meter.die();
-                trace.samples.push(TraceSample {
+                recorder.record(&TraceSample {
                     t,
                     true_cm_s: bulk.to_cm_per_s(),
                     dut_cm_s: m.velocity.to_cm_per_s(),
@@ -274,7 +276,7 @@ impl LineRunner {
             }
         }
         if let Some(injector) = &self.injector {
-            trace.uart = injector.stats();
+            tail.uart = injector.stats();
         }
         if let Some(mut obs) = run_obs {
             // Collect the event log the campaign layer installed; the
@@ -285,9 +287,18 @@ impl LineRunner {
                 obs.counters.events_dropped = observer.dropped();
             }
             obs.counters.absorb_events(&obs.events);
-            trace.obs = Some(obs);
+            tail.obs = Some(obs);
         }
-        trace
+        tail
+    }
+}
+
+/// Expected sample count for a `duration_s` scenario at `sample_period_s`.
+fn expected_samples(duration_s: f64, sample_period_s: f64) -> usize {
+    if sample_period_s > 0.0 {
+        (duration_s / sample_period_s).ceil() as usize + 2
+    } else {
+        0
     }
 }
 
@@ -367,8 +378,7 @@ mod tests {
         let mut runner = LineRunner::new(Scenario::steady(100.0, 4.0), meter, 11);
         let trace = runner.run(0.01);
         assert!(!trace.samples.is_empty());
-        let settled = trace.dut_window(2.0, 4.0);
-        let mean = metrics::mean(&settled);
+        let mean = metrics::mean(trace.samples.dut_in(2.0, 4.0));
         assert!(
             (mean - 100.0).abs() < 25.0,
             "factory-calibrated DUT mean {mean} cm/s at 100 cm/s true"
@@ -389,8 +399,7 @@ mod tests {
         field_calibrate(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 0.6, 0.4, 12).unwrap();
         let mut runner = LineRunner::new(Scenario::steady(120.0, 4.0), meter, 13);
         let trace = runner.run(0.01);
-        let settled = trace.dut_window(2.0, 4.0);
-        let mean = metrics::mean(&settled);
+        let mean = metrics::mean(trace.samples.dut_in(2.0, 4.0));
         assert!(
             (mean - 120.0).abs() < 8.0,
             "calibrated DUT mean {mean} cm/s at 120 cm/s true"
@@ -442,6 +451,70 @@ mod tests {
         for row in &lines[1..] {
             assert_eq!(row.split(',').count(), 10, "row `{row}`");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_period_s must be a positive number")]
+    fn zero_sample_period_is_rejected() {
+        // Regression: `run(0.0)` used to pre-allocate for zero samples and
+        // then record every control tick.
+        let meter = test_meter(18);
+        let mut runner = LineRunner::new(Scenario::steady(50.0, 1.0), meter, 18);
+        runner.run(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_period_s must be a positive number")]
+    fn negative_sample_period_is_rejected() {
+        let meter = test_meter(18);
+        let mut runner = LineRunner::new(Scenario::steady(50.0, 1.0), meter, 18);
+        runner.run(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_period_s must be a positive number")]
+    fn nan_sample_period_is_rejected() {
+        let meter = test_meter(18);
+        let mut runner = LineRunner::new(Scenario::steady(50.0, 1.0), meter, 18);
+        runner.run(f64::NAN);
+    }
+
+    #[test]
+    fn window_stats_matches_linear_filter() {
+        // The partition_point window bounds agree with the historical
+        // linear scan, bit for bit.
+        let meter = test_meter(19);
+        let mut runner = LineRunner::new(Scenario::steady(90.0, 3.0), meter, 19);
+        let trace = runner.run(0.02);
+        let post_hoc: Welford = trace
+            .samples
+            .iter()
+            .filter(|s| s.t >= 1.0 && s.t < 2.5)
+            .map(|s| s.dut_cm_s)
+            .collect();
+        assert_eq!(trace.window_stats(1.0, 2.5), post_hoc);
+        assert!(trace.window_stats(1.0, 2.5).count() > 0);
+    }
+
+    #[test]
+    fn run_with_streams_into_custom_recorder() {
+        use crate::record::{PolicyRecorder, RecordPolicy, ReductionPlan};
+        let meter = test_meter(20);
+        let mut runner = LineRunner::new(Scenario::steady(70.0, 2.0), meter, 20);
+        let mut rec = PolicyRecorder::new(
+            RecordPolicy::MetricsOnly,
+            ReductionPlan {
+                settle: (1.0, 2.0),
+                ..ReductionPlan::default()
+            },
+        );
+        let tail = runner.run_with(0.05, &mut rec);
+        assert!(tail.obs.is_none(), "no observer was installed");
+        let (store, red) = rec.finish();
+        assert!(store.is_empty(), "MetricsOnly must hold no samples");
+        assert!(red.samples > 20);
+        assert!(red.settled.count() > 0);
+        assert!((red.settled.mean() - 70.0).abs() < 35.0);
     }
 
     #[test]

@@ -40,7 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let pairs = trace.dut_vs_truth();
+    let pairs: Vec<(f64, f64)> = trace
+        .samples
+        .truth()
+        .iter()
+        .copied()
+        .zip(trace.samples.dut().iter().copied())
+        .collect();
     let rms = metrics::rms_error(&pairs);
     let lin = metrics::linearity(&pairs, 250.0) * 100.0;
     println!(

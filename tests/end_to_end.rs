@@ -44,7 +44,7 @@ fn worst_case_die_is_rescued_by_field_calibration() {
     field_calibrate(&mut m, &[15.0, 60.0, 120.0, 200.0], 0.6, 0.4, 2).expect("calibrates");
     let mut runner = LineRunner::new(Scenario::steady(150.0, 4.0), m, 2);
     let trace = runner.run(0.02);
-    let mean = metrics::mean(&trace.dut_window(2.0, 4.0));
+    let mean = metrics::mean(trace.samples.dut_in(2.0, 4.0));
     assert!(
         (mean - 150.0).abs() < 12.0,
         "worst-case die reads {mean:.1} at 150 cm/s"
