@@ -1,0 +1,239 @@
+//! `fleet_bench` — measures the fleet engine and guards it against
+//! regressions.
+//!
+//! Two measurements, written to `BENCH_fleet.json`:
+//!
+//! * **throughput** — the F2 fleet population (seed-diverse lines, ±5 %
+//!   demand jitter, faults on every 10th line) executed end to end:
+//!   lines/s and streamed samples/s, at a pinned 2-job count (the gated
+//!   headline, comparable across machines with ≥ 2 cores) and again at
+//!   the process default (informational);
+//! * **memory** — retained bytes per line: the fleet keeps one compact
+//!   [`LineSummary`] per line and **zero** trace bytes (`MetricsOnly` is
+//!   forced by the engine); the run fails outright if the measured trace
+//!   heap is non-zero.
+//!
+//! ```sh
+//! cargo run -p hotwire-bench --release --bin fleet_bench
+//! cargo run -p hotwire-bench --release --bin fleet_bench -- --smoke --out out.json
+//! cargo run -p hotwire-bench --release --bin fleet_bench -- --smoke --check BENCH_fleet.json
+//! ```
+//!
+//! `--check BASELINE` compares the freshly measured pinned-jobs lines/s
+//! against the committed baseline and exits non-zero if it regressed by
+//! more than 10 %.
+
+use hotwire_bench::experiments::f2_fleet;
+use hotwire_rig::fleet::{FleetOutcome, LineSummary};
+use std::process::ExitCode;
+use std::time::Instant;
+
+const USAGE: &str = "usage: fleet_bench [--smoke] [--out PATH] [--check BASELINE]
+options:
+  --smoke          scaled-down fleet for CI (64 lines instead of 1000,
+                   same scenario seconds per line so lines/s is comparable)
+  --out PATH       where to write the JSON report (default: BENCH_fleet.json)
+  --check BASELINE compare against a committed BENCH_fleet.json; exit 1 if the
+                   pinned-jobs lines/s regressed more than 10 %";
+
+/// Fraction of the baseline's throughput the fresh measurement may lose
+/// before `--check` fails.
+const REGRESSION_TOLERANCE: f64 = 0.10;
+
+/// The job count the gated headline is measured at — pinned so the
+/// number is comparable across machines with different core counts.
+const HEADLINE_JOBS: usize = 2;
+
+/// One fleet execution's measurement.
+struct FleetRun {
+    lines: usize,
+    samples: u64,
+    wall_s: f64,
+    trace_heap_bytes: usize,
+    summary_bytes_per_line: usize,
+}
+
+impl FleetRun {
+    fn lines_per_s(&self) -> f64 {
+        self.lines as f64 / self.wall_s
+    }
+
+    fn samples_per_s(&self) -> f64 {
+        self.samples as f64 / self.wall_s
+    }
+}
+
+/// Retained bytes for one line's summary: the struct itself plus its
+/// fault-kind label list (static strs — only the pointers are heap).
+fn summary_bytes(s: &LineSummary) -> usize {
+    std::mem::size_of::<LineSummary>()
+        + s.fault_kinds.capacity() * std::mem::size_of::<&'static str>()
+}
+
+fn measure(lines: usize, duration_s: f64, jobs: usize) -> Result<FleetRun, String> {
+    let spec = f2_fleet::fleet_spec(lines, duration_s);
+    let start = Instant::now();
+    let outcome: FleetOutcome = spec.run_jobs(jobs).map_err(|e| e.to_string())?;
+    let wall_s = start.elapsed().as_secs_f64();
+    let retained: usize = outcome.lines.iter().map(summary_bytes).sum();
+    Ok(FleetRun {
+        lines: outcome.aggregates.lines,
+        samples: outcome.aggregates.total_samples,
+        wall_s,
+        trace_heap_bytes: outcome.trace_heap_bytes(),
+        summary_bytes_per_line: retained / outcome.aggregates.lines.max(1),
+    })
+}
+
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn run_json(run: &FleetRun) -> String {
+    format!(
+        "{{\"lines\": {}, \"samples\": {}, \"wall_s\": {}, \"lines_per_s\": {}, \
+         \"samples_per_s\": {}, \"trace_heap_bytes\": {}, \"summary_bytes_per_line\": {}}}",
+        run.lines,
+        run.samples,
+        json_number(run.wall_s),
+        json_number(run.lines_per_s()),
+        json_number(run.samples_per_s()),
+        run.trace_heap_bytes,
+        run.summary_bytes_per_line
+    )
+}
+
+/// Pulls `"headline_lines_per_s": <number>` out of a baseline report
+/// without a JSON parser (the repo vendors no serde_json).
+fn parse_headline(baseline: &str) -> Option<f64> {
+    let key = "\"headline_lines_per_s\":";
+    let at = baseline.find(key)? + key.len();
+    let rest = baseline[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = "BENCH_fleet.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = path,
+                None => {
+                    eprintln!("--out needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--check" => match args.next() {
+                Some(path) => check_path = Some(path),
+                None => {
+                    eprintln!("--check needs a baseline path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Same scenario seconds per line in both modes so lines/s stays
+    // comparable between a committed full baseline and a smoke check.
+    let (lines, duration_s) = if smoke { (64, 8.0) } else { (1000, 8.0) };
+
+    eprintln!("fleet: {lines} lines × {duration_s} s at --jobs {HEADLINE_JOBS} (headline)…");
+    let pinned = match measure(lines, duration_s, HEADLINE_JOBS) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pinned-jobs fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  {:.1} lines/s, {:.0} samples/s, {} trace bytes, {} summary bytes/line",
+        pinned.lines_per_s(),
+        pinned.samples_per_s(),
+        pinned.trace_heap_bytes,
+        pinned.summary_bytes_per_line
+    );
+
+    let default_jobs = hotwire_rig::exec::default_jobs();
+    eprintln!("fleet: same population at --jobs {default_jobs} (informational)…");
+    let auto = match measure(lines, duration_s, default_jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("default-jobs fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  {:.1} lines/s, {:.0} samples/s",
+        auto.lines_per_s(),
+        auto.samples_per_s()
+    );
+
+    // The memory contract is a hard gate, not a trend: MetricsOnly fleets
+    // must hold zero trace bytes at any scale.
+    if pinned.trace_heap_bytes != 0 || auto.trace_heap_bytes != 0 {
+        eprintln!(
+            "fleet leaked trace memory: {} / {} bytes (expected 0 under MetricsOnly)",
+            pinned.trace_heap_bytes, auto.trace_heap_bytes
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let headline = pinned.lines_per_s();
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"headline_lines_per_s\": {},\n  \
+         \"headline_jobs\": {HEADLINE_JOBS},\n  \"fleet\": {{\n    \"sim_seconds_per_line\": {},\n    \
+         \"pinned_jobs\": {},\n    \"default_jobs\": {}\n  }},\n  \"default_jobs_used\": {default_jobs}\n}}\n",
+        json_number(headline),
+        json_number(duration_s),
+        run_json(&pinned),
+        run_json(&auto),
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(baseline_path) = check_path {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(expected) = parse_headline(&baseline) else {
+            eprintln!("baseline {baseline_path} has no headline_lines_per_s");
+            return ExitCode::FAILURE;
+        };
+        let floor = expected * (1.0 - REGRESSION_TOLERANCE);
+        if headline < floor {
+            eprintln!(
+                "fleet throughput regressed: {headline:.1} lines/s vs baseline \
+                 {expected:.1} (floor {floor:.1})"
+            );
+            return ExitCode::FAILURE;
+        }
+        eprintln!("throughput check passed: {headline:.1} lines/s vs baseline {expected:.1}");
+    }
+    ExitCode::SUCCESS
+}

@@ -26,7 +26,7 @@
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::HealthState;
 use hotwire_rig::{
-    PolicyRecorder, RecordPolicy, Recorder, ReductionPlan, RunSpec, Scenario, TraceSample,
+    PolicyRecorder, RecordPolicy, Recorder, ReductionPlan, RunSpec, Scenario, TraceSample, Windows,
 };
 use hotwire_units::Hertz;
 use std::process::ExitCode;
@@ -136,8 +136,7 @@ fn endurance_spec(policy: RecordPolicy, duration_s: f64) -> RunSpec {
         0xBE7C,
     )
     .with_sample_period(0.01)
-    .with_windows(30.0, 0.0)
-    .with_err_window(30.0, f64::INFINITY)
+    .with_windows(Windows::settled(30.0, 0.0).with_err(30.0, f64::INFINITY))
     .with_record(policy)
 }
 

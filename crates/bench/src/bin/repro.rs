@@ -42,7 +42,8 @@ experiments:
   a1   ablation — PI gain design-space exploration
   a2   ablation — decimation-ratio sweep
   a3   ablation — probe insertion position
-  f1   §6      — fault-injection matrix: detection / worst error / recovery";
+  f1   §6      — fault-injection matrix: detection / worst error / recovery
+  f2   §6      — fleet simulation: population percentiles / health census";
 
 /// One experiment's rendered report plus its headline numbers for `--json`.
 struct Report {
@@ -223,13 +224,28 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
                 text: r.to_string(),
             }
         }
+        "f2" => {
+            let r = experiments::f2_fleet::run(speed).map_err(err)?;
+            let a = &r.outcome.aggregates;
+            Report {
+                metrics: vec![
+                    ("fleet_lines", a.lines as f64),
+                    ("resolution_p50_pct_fs", a.resolution_pct_fs.p50),
+                    ("resolution_p99_pct_fs", a.resolution_pct_fs.p99),
+                    ("repeatability_pct_fs", a.repeatability_pct_fs),
+                    ("lines_faulted", a.lines_faulted as f64),
+                    ("trace_heap_bytes", a.trace_heap_bytes as f64),
+                ],
+                text: r.to_string(),
+            }
+        }
         other => return Err(format!("unknown experiment `{other}`")),
     })
 }
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
-    "f1",
+    "f1", "f2",
 ];
 
 /// Minimal JSON string escaping (we have no JSON dependency by design).

@@ -12,7 +12,7 @@ use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec};
+use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec, Windows};
 
 /// One gain pair's outcome.
 #[derive(Debug, Clone, Copy)]
@@ -86,8 +86,10 @@ pub fn run(speed: Speed) -> Result<PiGainResult, CoreError> {
                     speed, 0xA1, cal_scale,
                 )))
                 .with_line_seed(0xA100 + i as u64)
-                .with_windows(hold * 0.4, hold * 0.6)
-                .with_series_window(hold * 1.5 - 0.5, f64::INFINITY)
+                .with_windows(
+                    Windows::settled(hold * 0.4, hold * 0.6)
+                        .with_series(hold * 1.5 - 0.5, f64::INFINITY),
+                )
                 .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();

@@ -68,7 +68,7 @@ pub fn run(speed: Speed) -> Result<DecimationResult, CoreError> {
                 speed, 0xA2, cal_scale,
             )))
             .with_line_seed(0xB700 + i as u64)
-            .with_windows(hold * 0.4, hold * 0.6)
+            .with_windows((hold * 0.4, hold * 0.6))
             .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();

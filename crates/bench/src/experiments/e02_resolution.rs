@@ -77,7 +77,7 @@ pub fn run(speed: Speed) -> Result<ResolutionResult, CoreError> {
             )
             .with_line_seed(0x2000 + i as u64)
             .with_calibration(calibration.clone())
-            .with_windows(settle, window)
+            .with_windows((settle, window))
             // Pure sweep: the ±σ comes from the streaming settled window,
             // so no raw samples need to be held at all.
             .with_record(RecordPolicy::MetricsOnly)

@@ -8,7 +8,7 @@ use crate::table::Table;
 use hotwire_core::CoreError;
 use hotwire_physics::MafParams;
 use hotwire_rig::scenario::{Scenario, Schedule};
-use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec};
+use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec, Windows};
 
 /// E3 results.
 #[derive(Debug, Clone)]
@@ -40,18 +40,20 @@ pub fn run(speed: Speed) -> Result<RepeatabilityResult, CoreError> {
     let calibration = super::shared_calibration(speed.config(), MafParams::nominal(), speed, 0xE3)?;
     // Every visit window is known up front, so the run streams one Welford
     // per visit and never stores a sample (MetricsOnly).
-    let mut spec = RunSpec::new("repeatability-staircase", speed.config(), scenario, 0xE3)
-        .with_calibration(calibration)
-        .with_sample_period(0.05)
-        .with_record(RecordPolicy::MetricsOnly);
+    let mut windows = Windows::none();
     for (k, &level) in levels.iter().enumerate() {
         if level != setpoint {
             continue;
         }
         let t0 = k as f64 * dwell + 0.7 * dwell;
         let t1 = (k + 1) as f64 * dwell;
-        spec = spec.with_extra_window(t0, t1);
+        windows = windows.with_extra(t0, t1);
     }
+    let spec = RunSpec::new("repeatability-staircase", speed.config(), scenario, 0xE3)
+        .with_calibration(calibration)
+        .with_sample_period(0.05)
+        .with_windows(windows)
+        .with_record(RecordPolicy::MetricsOnly);
     let outcomes = Campaign::new().run(&[spec])?;
 
     let visit_means: Vec<f64> = outcomes[0]

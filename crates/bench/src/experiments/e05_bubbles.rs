@@ -14,7 +14,7 @@ use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_physics::sensor::HeaterId;
 use hotwire_rig::campaign::{Calibration, RunOutcome};
-use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario};
+use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario, Windows};
 
 /// One drive's outcome.
 #[derive(Debug, Clone)]
@@ -94,7 +94,7 @@ pub fn run(speed: Speed) -> Result<BubbleResult, CoreError> {
             RunSpec::new(label, config, Scenario::steady(100.0, duration), 0xE5)
                 .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE5)))
                 .with_sample_period(0.1)
-                .with_err_window(duration / 2.0, f64::INFINITY)
+                .with_windows(Windows::none().with_err(duration / 2.0, f64::INFINITY))
                 .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();

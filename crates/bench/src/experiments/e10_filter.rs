@@ -11,7 +11,7 @@ use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
-use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec, Scenario};
+use hotwire_rig::{metrics, Campaign, RecordPolicy, RunSpec, Scenario, Windows};
 use hotwire_units::Hertz;
 
 /// Resolution at one filter setting.
@@ -78,8 +78,10 @@ pub fn run(speed: Speed) -> Result<FilterResult, CoreError> {
             RunSpec::new(format!("filter-corner-{corner}Hz"), config, scenario, 0xE10)
                 .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE10)))
                 .with_line_seed(0x1000 + i as u64)
-                .with_windows(settle, window)
-                .with_series_window(settle + window + settle - 0.5, f64::INFINITY)
+                .with_windows(
+                    Windows::settled(settle, window)
+                        .with_series(settle + window + settle - 0.5, f64::INFINITY),
+                )
                 .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();

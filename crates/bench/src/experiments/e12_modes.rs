@@ -14,7 +14,7 @@ use crate::table::Table;
 use hotwire_core::config::{FlowMeterConfig, OperatingMode};
 use hotwire_core::CoreError;
 use hotwire_rig::campaign::Calibration;
-use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario};
+use hotwire_rig::{Campaign, RecordPolicy, RunSpec, Scenario, Windows};
 
 /// One mode's drift result.
 #[derive(Debug, Clone)]
@@ -70,8 +70,11 @@ pub fn run(speed: Speed) -> Result<ModesResult, CoreError> {
             RunSpec::new(format!("{mode:?}"), config, scenario, 0xE12)
                 .with_calibration(Calibration::Field(super::calibration_recipe(speed, 0xE12)))
                 .with_sample_period(0.05)
-                .with_extra_window(0.1 * duration, 0.2 * duration)
-                .with_extra_window(0.9 * duration, duration)
+                .with_windows(
+                    Windows::none()
+                        .with_extra(0.1 * duration, 0.2 * duration)
+                        .with_extra(0.9 * duration, duration),
+                )
                 .with_record(RecordPolicy::MetricsOnly)
         })
         .collect();

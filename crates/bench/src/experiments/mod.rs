@@ -16,6 +16,7 @@ pub mod e10_filter;
 pub mod e11_power;
 pub mod e12_modes;
 pub mod f1_faults;
+pub mod f2_fleet;
 
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::{CoreError, FlowMeter};

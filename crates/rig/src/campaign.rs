@@ -28,7 +28,7 @@
 //!             Scenario::steady(50.0 + 50.0 * i as f64, 4.0),
 //!             hotwire_rig::campaign::derive_seed(0xC0FFEE, i),
 //!         )
-//!         .with_windows(2.0, 2.0)
+//!         .with_windows((2.0, 2.0))
 //!     })
 //!     .collect();
 //! let outcomes = Campaign::new().run(&specs)?;
@@ -44,8 +44,8 @@ use crate::line::WaterLine;
 use crate::metrics::Welford;
 use crate::obs::{self, EventLog, ObsConfig};
 use crate::promag::Promag50;
-use crate::record::{PolicyRecorder, RecordPolicy, ReductionPlan, RunReductions};
-use crate::runner::{LineRunner, Trace};
+use crate::record::{PolicyRecorder, RecordPolicy, Recorder, ReductionPlan, RunReductions};
+use crate::runner::{LineRunner, RunTail, Trace};
 use crate::scenario::Scenario;
 use hotwire_core::calibration::CalPoint;
 use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig};
@@ -98,6 +98,115 @@ impl FieldCalibration {
     }
 }
 
+/// Every reduction window a [`RunSpec`] declares, grouped in one value.
+///
+/// Historically the spec grew one `with_*` method per window class
+/// (settled, extra, series, error) — twelve builder methods deep, they
+/// stopped composing once fleets needed to stamp out thousands of
+/// per-line specs from one template. `Windows` is that template: build it
+/// once, hand it to [`RunSpec::with_windows`] (or a
+/// [`FleetSpec`](crate::fleet::FleetSpec)), clone it freely.
+///
+/// All windows are half-open `[t0, t1)` intervals on the scenario clock.
+///
+/// ```
+/// use hotwire_rig::Windows;
+///
+/// let w = Windows::settled(2.0, 3.0) // ignore 2 s, measure 3 s
+///     .with_extra(1.0, 2.0)          // an extra Welford window
+///     .with_err(2.0, f64::INFINITY); // DUT-vs-truth error stats
+/// assert_eq!(w.settled_window(), (2.0, 5.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Windows {
+    /// Settling time ignored by the settled-window statistics, seconds.
+    pub settle_s: f64,
+    /// Length of the measurement window after settling, seconds
+    /// (`0.0` = to the end of the scenario).
+    pub measure_s: f64,
+    /// Extra `[t0, t1)` DUT Welford windows reduced during the run (e.g.
+    /// per-visit repeatability windows) — read back via
+    /// [`RunOutcome::window`].
+    pub extra: Vec<(f64, f64)>,
+    /// If set, retain the `(t, dut)` series inside this window during the
+    /// run (bounded by the window), for rise-time analysis under
+    /// [`RecordPolicy::MetricsOnly`].
+    pub series: Option<(f64, f64)>,
+    /// If set, accumulate DUT-vs-truth error statistics (worst |err|, RMS)
+    /// over this window during the run.
+    pub err: Option<(f64, f64)>,
+}
+
+impl Windows {
+    /// No settling, no extra windows: every sample is "settled".
+    pub fn none() -> Self {
+        Windows::default()
+    }
+
+    /// Settled statistics ignoring the first `settle_s` seconds, then
+    /// measuring for `measure_s` seconds (`0.0` = to the end).
+    pub fn settled(settle_s: f64, measure_s: f64) -> Self {
+        Windows {
+            settle_s,
+            measure_s,
+            ..Windows::default()
+        }
+    }
+
+    /// Adds an extra `[t0, t1)` DUT Welford window (read back via
+    /// [`RunOutcome::window`], in insertion order).
+    #[must_use]
+    pub fn with_extra(mut self, t0: f64, t1: f64) -> Self {
+        self.extra.push((t0, t1));
+        self
+    }
+
+    /// Retains the `(t, dut)` series inside `[t0, t1)` for rise-time
+    /// analysis without a stored trace.
+    #[must_use]
+    pub fn with_series(mut self, t0: f64, t1: f64) -> Self {
+        self.series = Some((t0, t1));
+        self
+    }
+
+    /// Accumulates DUT-vs-truth error statistics over `[t0, t1)`
+    /// ([`RunReductions::err_rms`], worst |err|).
+    #[must_use]
+    pub fn with_err(mut self, t0: f64, t1: f64) -> Self {
+        self.err = Some((t0, t1));
+        self
+    }
+
+    /// The settled window as a half-open `[t0, t1)` interval
+    /// (`measure_s == 0.0` ⇒ unbounded).
+    pub fn settled_window(&self) -> (f64, f64) {
+        let t1 = if self.measure_s > 0.0 {
+            self.settle_s + self.measure_s
+        } else {
+            f64::INFINITY
+        };
+        (self.settle_s, t1)
+    }
+
+    /// The streaming-reduction plan these windows describe.
+    pub fn reduction_plan(&self) -> ReductionPlan {
+        ReductionPlan {
+            settle: self.settled_window(),
+            windows: self.extra.clone(),
+            series: self.series,
+            err: self.err,
+        }
+    }
+}
+
+/// `(settle_s, measure_s)` is the overwhelmingly common case, so it
+/// converts directly: `spec.with_windows((2.0, 3.0))`.
+impl From<(f64, f64)> for Windows {
+    fn from((settle_s, measure_s): (f64, f64)) -> Self {
+        Windows::settled(settle_s, measure_s)
+    }
+}
+
 /// How a [`RunSpec`]'s meter is calibrated before the scenario starts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Calibration {
@@ -145,11 +254,9 @@ pub struct RunSpec {
     pub line_seed: u64,
     /// Trace recording cadence, seconds per sample.
     pub sample_period_s: f64,
-    /// Settling time ignored by the settled-window statistics, seconds.
-    pub settle_s: f64,
-    /// Length of the measurement window after settling, seconds
-    /// (`0.0` = to the end of the scenario).
-    pub measure_s: f64,
+    /// Every reduction window of the run, grouped
+    /// ([`with_windows`](Self::with_windows)).
+    pub windows: Windows,
     /// Observability configuration (on by default; see
     /// [`with_obs`](Self::with_obs) / [`without_obs`](Self::without_obs)).
     pub obs: ObsConfig,
@@ -157,17 +264,6 @@ pub struct RunSpec {
     /// ([`RecordPolicy::Full`] by default). Streaming reductions
     /// ([`RunOutcome::reduced`]) are computed under every policy.
     pub record: RecordPolicy,
-    /// Extra `[t0, t1)` DUT Welford windows reduced during the run (e.g.
-    /// per-visit repeatability windows) — read back via
-    /// [`RunOutcome::window`].
-    pub extra_windows: Vec<(f64, f64)>,
-    /// If set, retain the `(t, dut)` series inside this window during the
-    /// run (bounded by the window), for rise-time analysis under
-    /// [`RecordPolicy::MetricsOnly`].
-    pub series_window: Option<(f64, f64)>,
-    /// If set, accumulate DUT-vs-truth error statistics (worst |err|, RMS)
-    /// over this window during the run.
-    pub err_window: Option<(f64, f64)>,
 }
 
 impl RunSpec {
@@ -192,13 +288,9 @@ impl RunSpec {
             faults: None,
             line_seed: seed,
             sample_period_s: 0.02,
-            settle_s: 0.0,
-            measure_s: 0.0,
+            windows: Windows::default(),
             obs: ObsConfig::default(),
             record: RecordPolicy::Full,
-            extra_windows: Vec::new(),
-            series_window: None,
-            err_window: None,
         }
     }
 
@@ -244,11 +336,22 @@ impl RunSpec {
         self
     }
 
-    /// Sets the settled-statistics windows: ignore the first `settle_s`
-    /// seconds, then measure for `measure_s` seconds (`0.0` = to the end).
-    pub fn with_windows(mut self, settle_s: f64, measure_s: f64) -> Self {
-        self.settle_s = settle_s;
-        self.measure_s = measure_s;
+    /// Sets every reduction window of the run at once.
+    ///
+    /// Accepts anything convertible to [`Windows`]; the common
+    /// settle/measure pair converts from a tuple:
+    ///
+    /// ```
+    /// # use hotwire_rig::{RunSpec, Scenario, Windows};
+    /// # use hotwire_core::FlowMeterConfig;
+    /// # let spec = RunSpec::new("w", FlowMeterConfig::test_profile(),
+    /// #                         Scenario::steady(50.0, 4.0), 1);
+    /// let spec = spec.with_windows(Windows::settled(2.0, 2.0).with_err(2.0, 4.0));
+    /// // shorthand for plain settled statistics:
+    /// let spec = spec.with_windows((2.0, 2.0));
+    /// ```
+    pub fn with_windows(mut self, windows: impl Into<Windows>) -> Self {
+        self.windows = windows.into();
         self
     }
 
@@ -276,55 +379,64 @@ impl RunSpec {
 
     /// Adds an extra `[t0, t1)` DUT Welford window to reduce during the
     /// run (read back via [`RunOutcome::window`], in insertion order).
+    #[deprecated(note = "use `with_windows` with `Windows::with_extra`")]
     pub fn with_extra_window(mut self, t0: f64, t1: f64) -> Self {
-        self.extra_windows.push((t0, t1));
+        self.windows.extra.push((t0, t1));
         self
     }
 
     /// Retains the `(t, dut)` series inside `[t0, t1)` during the run,
     /// for rise-time analysis without a stored trace.
+    #[deprecated(note = "use `with_windows` with `Windows::with_series`")]
     pub fn with_series_window(mut self, t0: f64, t1: f64) -> Self {
-        self.series_window = Some((t0, t1));
+        self.windows.series = Some((t0, t1));
         self
     }
 
     /// Accumulates DUT-vs-truth error statistics over `[t0, t1)` during
     /// the run ([`RunReductions::err_rms`], worst |err|).
+    #[deprecated(note = "use `with_windows` with `Windows::with_err`")]
     pub fn with_err_window(mut self, t0: f64, t1: f64) -> Self {
-        self.err_window = Some((t0, t1));
+        self.windows.err = Some((t0, t1));
         self
     }
 
     /// The settled window as a half-open `[t0, t1)` interval
     /// (`measure_s == 0.0` ⇒ unbounded).
     pub fn settled_window(&self) -> (f64, f64) {
-        let t1 = if self.measure_s > 0.0 {
-            self.settle_s + self.measure_s
-        } else {
-            f64::INFINITY
-        };
-        (self.settle_s, t1)
+        self.windows.settled_window()
     }
 
     /// The streaming-reduction plan this spec's windows describe.
     pub fn reduction_plan(&self) -> ReductionPlan {
-        ReductionPlan {
-            settle: self.settled_window(),
-            windows: self.extra_windows.clone(),
-            series: self.series_window,
-            err: self.err_window,
-        }
+        self.windows.reduction_plan()
     }
 
-    /// Executes this spec on the current thread: build the meter, apply the
-    /// calibration, optionally auto-zero, run the scenario.
+    /// The number of samples a run of this spec is expected to record —
+    /// the right capacity for a full-trace sink.
+    pub fn expected_samples(&self) -> usize {
+        crate::runner::expected_samples(self.scenario.duration_s, self.sample_period_s)
+    }
+
+    /// Executes this spec on the current thread, pushing every recorded
+    /// sample into the caller's `recorder` — **the** single execution
+    /// path: [`execute`](Self::execute), the campaign executor and the
+    /// fleet engine ([`crate::fleet`]) all come through here, exactly as
+    /// [`LineRunner::run`] is a thin wrapper over
+    /// [`LineRunner::run_with`].
+    ///
+    /// Returns the run tail (UART statistics, observability) and the meter
+    /// (fault latches, calibration, state intact).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError`] if the meter cannot be built or the
     /// calibration fit fails (e.g. a railed bridge at an unreachable
     /// overheat — experiment `a01` treats that as a data point).
-    pub fn execute(&self) -> Result<RunOutcome, CoreError> {
+    pub fn execute_with<R: Recorder + ?Sized>(
+        &self,
+        recorder: &mut R,
+    ) -> Result<(RunTail, FlowMeter), CoreError> {
         let mut meter = build_meter(self.config, self.params, self.meter_seed, &self.calibration)?;
         if let Some(seconds) = self.auto_zero_s {
             meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
@@ -338,9 +450,22 @@ impl RunSpec {
         if let Some(schedule) = &self.faults {
             runner.install_faults(schedule.clone());
         }
+        let tail = runner.run_with(self.sample_period_s, recorder);
+        Ok((tail, runner.into_meter()))
+    }
+
+    /// Executes this spec on the current thread: build the meter, apply the
+    /// calibration, optionally auto-zero, run the scenario. Thin wrapper
+    /// over [`execute_with`](Self::execute_with) with a policy-driven
+    /// [`PolicyRecorder`] sink.
+    ///
+    /// # Errors
+    ///
+    /// See [`execute_with`](Self::execute_with).
+    pub fn execute(&self) -> Result<RunOutcome, CoreError> {
         let mut recorder = PolicyRecorder::new(self.record, self.reduction_plan());
-        recorder.reserve(runner.expected_samples(self.sample_period_s));
-        let tail = runner.run_with(self.sample_period_s, &mut recorder);
+        recorder.reserve(self.expected_samples());
+        let (tail, meter) = self.execute_with(&mut recorder)?;
         let (samples, reduced) = recorder.finish();
         Ok(RunOutcome {
             label: self.label.clone(),
@@ -350,9 +475,9 @@ impl RunSpec {
                 obs: tail.obs,
             },
             reduced,
-            meter: runner.into_meter(),
-            settle_s: self.settle_s,
-            measure_s: self.measure_s,
+            meter,
+            settle_s: self.windows.settle_s,
+            measure_s: self.windows.measure_s,
         })
     }
 }
@@ -615,7 +740,7 @@ mod tests {
             Scenario::steady(60.0 + 30.0 * i as f64, 2.0),
             derive_seed(0xBEEF, i),
         )
-        .with_windows(1.0, 1.0)
+        .with_windows((1.0, 1.0))
     }
 
     #[test]
@@ -762,6 +887,59 @@ mod tests {
         assert_eq!(a.a.to_bits(), b.a.to_bits());
         assert_eq!(a.b.to_bits(), b.b.to_bits());
         assert_eq!(a.n.to_bits(), b.n.to_bits());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_window_shims_match_grouped_builder() {
+        // The legacy per-window builders are shims over the Windows field:
+        // a spec built through them is *equal* to one built through the
+        // grouped builder, so outcomes are bit-identical by construction.
+        let grouped = spec(0).with_windows(
+            Windows::settled(1.0, 1.0)
+                .with_extra(0.2, 0.6)
+                .with_extra(1.2, 1.6)
+                .with_series(0.0, 0.5)
+                .with_err(1.0, 2.0),
+        );
+        let shimmed = spec(0)
+            .with_windows((1.0, 1.0))
+            .with_extra_window(0.2, 0.6)
+            .with_extra_window(1.2, 1.6)
+            .with_series_window(0.0, 0.5)
+            .with_err_window(1.0, 2.0);
+        assert_eq!(grouped, shimmed);
+        assert_eq!(grouped.reduction_plan(), shimmed.reduction_plan());
+        // And the runs they describe reduce identically.
+        let a = grouped.execute().unwrap();
+        let b = shimmed.execute().unwrap();
+        assert_eq!(a.reduced, b.reduced);
+    }
+
+    #[test]
+    fn windows_tuple_shorthand_is_settled() {
+        let w: Windows = (2.0, 3.0).into();
+        assert_eq!(w, Windows::settled(2.0, 3.0));
+        assert_eq!(w.settled_window(), (2.0, 5.0));
+        assert_eq!(Windows::settled(2.0, 0.0).settled_window().1, f64::INFINITY);
+        assert_eq!(Windows::none(), Windows::default());
+    }
+
+    #[test]
+    fn execute_with_is_the_single_execution_path() {
+        // execute() is a thin wrapper over execute_with(): streaming the
+        // same spec into an explicit PolicyRecorder reproduces the outcome
+        // bit for bit.
+        let s = spec(1);
+        let via_execute = s.execute().unwrap();
+        let mut recorder = PolicyRecorder::new(s.record, s.reduction_plan());
+        recorder.reserve(s.expected_samples());
+        let (tail, _meter) = s.execute_with(&mut recorder).unwrap();
+        let (samples, reduced) = recorder.finish();
+        assert_eq!(via_execute.trace.samples, samples);
+        assert_eq!(via_execute.trace.uart, tail.uart);
+        assert_eq!(via_execute.trace.obs, tail.obs);
+        assert_eq!(via_execute.reduced, reduced);
     }
 
     #[test]

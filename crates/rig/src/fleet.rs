@@ -1,0 +1,704 @@
+//! The fleet engine: thousands of concurrent simulated lines behind one
+//! declarative spec.
+//!
+//! The paper's end game is not one water station but a *network* of them —
+//! "a smart water grid scenario" where every line carries the same MEMS
+//! probe and the operator asks population questions: what resolution does
+//! the 99th-percentile meter deliver, how much of the fleet's simulated
+//! time was spent degraded, which fault classes actually bite in the
+//! field? A [`Campaign`](crate::Campaign) answers per-run questions;
+//! [`FleetSpec`] scales the same machinery to populations.
+//!
+//! # Shape
+//!
+//! A [`FleetSpec`] is a *template*: one meter configuration, one scenario,
+//! one [`Windows`] plan — plus a line count and a [`LineVariation`]
+//! describing how individual lines differ (independent component
+//! tolerances and turbulence via derived seeds, optional flow-demand
+//! jitter, optional fault schedules on a strided subset). Calling
+//! [`FleetSpec::run`] stamps out one [`RunSpec`] per line, executes them
+//! in fixed-size batches over the deterministic scoped-thread pool
+//! ([`exec::parallel_map_indexed`]), and folds each finished line into a
+//! compact [`LineSummary`] **inside the worker** — the trace, meter and
+//! event log die with the run, so fleet memory is O(lines), never
+//! O(samples).
+//!
+//! Every line is forced to [`RecordPolicy::MetricsOnly`]: the streaming
+//! reductions (`rig::record`) carry everything the aggregates need, and
+//! the per-line trace heap is **zero bytes** by construction —
+//! [`FleetOutcome::trace_heap_bytes`] reports the measured total so tests
+//! can pin it.
+//!
+//! # Determinism
+//!
+//! Line `i`'s spec is a pure function of the fleet spec and `i` (seeds via
+//! [`derive_seed`], jitter from the same stream), each line runs
+//! single-threaded, batches merge in line order, and the aggregation fold
+//! visits summaries in line order. The whole [`FleetOutcome`] is therefore
+//! bit-for-bit identical at any `--jobs` count — the same guarantee the
+//! campaign layer makes, lifted to populations.
+//!
+//! ```no_run
+//! use hotwire_core::FlowMeterConfig;
+//! use hotwire_rig::fleet::{FleetSpec, LineVariation};
+//! use hotwire_rig::{Scenario, Windows};
+//!
+//! let fleet = FleetSpec::new(
+//!     "district-7",
+//!     FlowMeterConfig::test_profile(),
+//!     Scenario::steady(100.0, 4.0),
+//!     0xF1EE7,
+//! )
+//! .with_lines(1000)
+//! .with_windows(Windows::settled(2.0, 2.0).with_err(2.0, f64::INFINITY))
+//! .with_variation(LineVariation::new().with_flow_jitter(0.05));
+//! let outcome = fleet.run()?;
+//! println!("{}", outcome.aggregates);
+//! assert_eq!(outcome.trace_heap_bytes(), 0);
+//! # Ok::<(), hotwire_core::CoreError>(())
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::campaign::{derive_seed, Calibration, RunOutcome, RunSpec, Windows};
+use crate::exec;
+use crate::fault::FaultSchedule;
+use crate::metrics;
+use crate::record::{HealthCensus, RecordPolicy};
+use crate::scenario::Scenario;
+use hotwire_core::{CoreError, FlowMeterConfig};
+use hotwire_physics::MafParams;
+
+/// Fault schedules applied to a strided subset of a fleet's lines.
+///
+/// Every `stride`-th line (phase `offset`) receives a copy of `schedule`
+/// with a line-derived seed, so the *timing and kinds* repeat across the
+/// afflicted subset while the stochastic fault content (corrupted bytes,
+/// flipped bits) stays independent per line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultTemplate {
+    /// Apply the schedule to lines where `i % stride == offset`.
+    pub stride: usize,
+    /// Phase of the afflicted subset (`offset < stride`).
+    pub offset: usize,
+    /// The event timeline to copy onto each afflicted line (its `seed` is
+    /// replaced by a per-line derived seed).
+    pub schedule: FaultSchedule,
+}
+
+impl FaultTemplate {
+    /// Whether line `i` is in the afflicted subset.
+    pub fn applies_to(&self, line: usize) -> bool {
+        let stride = self.stride.max(1);
+        line % stride == self.offset % stride
+    }
+}
+
+/// How individual lines of a fleet differ from the template.
+///
+/// Component-tolerance and turbulence diversity is automatic — every line
+/// gets independent meter and line seeds derived from the fleet seed — so
+/// the default variation already models a population of distinct physical
+/// meters on distinct physical lines. The knobs here add *environmental*
+/// diversity on top.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LineVariation {
+    /// Per-line flow-demand jitter: line `i`'s flow schedule is the
+    /// template's scaled by a deterministic uniform factor in
+    /// `[1 − j, 1 + j]` ([`Schedule::scaled`](crate::Schedule::scaled)).
+    /// `0.0` (default) = every line sees the template demand.
+    pub flow_jitter: f64,
+    /// Optional fault schedules on a strided subset of lines.
+    pub faults: Option<FaultTemplate>,
+}
+
+impl LineVariation {
+    /// No variation beyond the automatic per-line seed diversity.
+    pub fn new() -> Self {
+        LineVariation::default()
+    }
+
+    /// Sets the per-line flow-demand jitter fraction (e.g. `0.05` = each
+    /// line's demand uniformly within ±5 % of the template).
+    #[must_use]
+    pub fn with_flow_jitter(mut self, fraction: f64) -> Self {
+        self.flow_jitter = fraction;
+        self
+    }
+
+    /// Applies `schedule` to every `stride`-th line (starting at line
+    /// `offset`), each copy reseeded per line.
+    #[must_use]
+    pub fn with_faults_every(
+        mut self,
+        stride: usize,
+        offset: usize,
+        schedule: FaultSchedule,
+    ) -> Self {
+        self.faults = Some(FaultTemplate {
+            stride,
+            offset,
+            schedule,
+        });
+        self
+    }
+}
+
+/// Seed-stream tags keeping the per-line derived seeds statistically
+/// independent of each other (same `derive_seed` base, disjoint index
+/// lanes).
+const LANE_METER: u64 = 0;
+const LANE_LINE: u64 = 1;
+const LANE_JITTER: u64 = 2;
+const LANE_FAULT: u64 = 3;
+const LANES: u64 = 4;
+
+/// A declarative description of a whole fleet of simulated lines.
+///
+/// See the [module docs](self) for the execution and determinism story.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Fleet label, carried into per-line labels and reports.
+    pub label: String,
+    /// Meter configuration shared by every line.
+    pub config: FlowMeterConfig,
+    /// Die parameters shared by every line (tolerances still vary per line
+    /// through the derived meter seeds).
+    pub params: MafParams,
+    /// Scenario template (per-line flow jitter applies on top).
+    pub scenario: Scenario,
+    /// Calibration applied to every line's meter.
+    pub calibration: Calibration,
+    /// Reduction windows shared by every line.
+    pub windows: Windows,
+    /// Trace cadence, seconds per sample.
+    pub sample_period_s: f64,
+    /// Number of lines in the fleet.
+    pub lines: usize,
+    /// Lines dispatched to the thread pool per batch (bounds peak
+    /// in-flight spec/outcome memory; result-invariant).
+    pub batch_size: usize,
+    /// Fleet-level seed; every per-line seed derives from it.
+    pub seed: u64,
+    /// How lines differ from the template.
+    pub variation: LineVariation,
+}
+
+impl FleetSpec {
+    /// A fleet of 100 healthy lines on the template scenario, factory
+    /// calibration, 20 ms cadence, batches of 256.
+    pub fn new(
+        label: impl Into<String>,
+        config: FlowMeterConfig,
+        scenario: Scenario,
+        seed: u64,
+    ) -> Self {
+        FleetSpec {
+            label: label.into(),
+            config,
+            params: MafParams::nominal(),
+            scenario,
+            calibration: Calibration::Factory,
+            windows: Windows::default(),
+            sample_period_s: 0.02,
+            lines: 100,
+            batch_size: 256,
+            seed,
+            variation: LineVariation::default(),
+        }
+    }
+
+    /// Sets the number of lines.
+    #[must_use]
+    pub fn with_lines(mut self, lines: usize) -> Self {
+        self.lines = lines;
+        self
+    }
+
+    /// Sets the dispatch batch size (memory knob only — results are
+    /// batch-size-invariant).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the reduction windows shared by every line (tuple shorthand
+    /// works exactly as on [`RunSpec::with_windows`]).
+    #[must_use]
+    pub fn with_windows(mut self, windows: impl Into<Windows>) -> Self {
+        self.windows = windows.into();
+        self
+    }
+
+    /// Sets the per-line calibration step.
+    #[must_use]
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Sets the die parameters shared by every line.
+    #[must_use]
+    pub fn with_params(mut self, params: MafParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the trace cadence.
+    #[must_use]
+    pub fn with_sample_period(mut self, seconds: f64) -> Self {
+        self.sample_period_s = seconds;
+        self
+    }
+
+    /// Sets how lines differ from the template.
+    #[must_use]
+    pub fn with_variation(mut self, variation: LineVariation) -> Self {
+        self.variation = variation;
+        self
+    }
+
+    /// Line `i`'s deterministic flow-jitter factor in
+    /// `[1 − j, 1 + j]`.
+    fn jitter_factor(&self, line: usize) -> f64 {
+        let j = self.variation.flow_jitter;
+        if j == 0.0 {
+            return 1.0;
+        }
+        // Uniform in [0, 1) from the line's jitter-lane seed; exact for
+        // the 53-bit mantissa (top 53 bits of the 64-bit stream).
+        let u = (derive_seed(self.seed, LANES * line as u64 + LANE_JITTER) >> 11) as f64
+            / (1u64 << 53) as f64;
+        1.0 + j * (2.0 * u - 1.0)
+    }
+
+    /// The [`RunSpec`] for line `i` — a pure function of the fleet spec
+    /// and the index, which is the whole determinism story: any thread may
+    /// execute it at any time and produce the same bits.
+    ///
+    /// Lines always record at [`RecordPolicy::MetricsOnly`] (fleet memory
+    /// stays O(lines)) and run without the observability hot-loop hooks
+    /// (at thousands of lines the event logs would dominate the cost of
+    /// the simulation itself).
+    pub fn line_spec(&self, line: usize) -> RunSpec {
+        let i = line as u64;
+        let scenario = if self.variation.flow_jitter == 0.0 {
+            self.scenario.clone()
+        } else {
+            self.scenario.with_flow_scaled(self.jitter_factor(line))
+        };
+        let mut spec = RunSpec::new(
+            format!("{}/line-{line:04}", self.label),
+            self.config,
+            scenario,
+            self.seed,
+        )
+        .with_params(self.params)
+        .with_meter_seed(derive_seed(self.seed, LANES * i + LANE_METER))
+        .with_line_seed(derive_seed(self.seed, LANES * i + LANE_LINE))
+        .with_calibration(self.calibration.clone())
+        .with_sample_period(self.sample_period_s)
+        .with_windows(self.windows.clone())
+        .with_record(RecordPolicy::MetricsOnly)
+        .without_obs();
+        if let Some(template) = &self.variation.faults {
+            if template.applies_to(line) {
+                let mut schedule = template.schedule.clone();
+                schedule.seed = derive_seed(self.seed, LANES * i + LANE_FAULT);
+                spec = spec.with_faults(schedule);
+            }
+        }
+        spec
+    }
+
+    /// Executes the fleet with the process-wide default job count
+    /// ([`exec::default_jobs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first line's [`CoreError`] in line order, if any.
+    pub fn run(&self) -> Result<FleetOutcome, CoreError> {
+        self.run_jobs(exec::default_jobs())
+    }
+
+    /// Executes the fleet with an explicit job count. The outcome is
+    /// bit-for-bit identical for any `jobs`, including `1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first line's [`CoreError`] in line order, if any.
+    pub fn run_jobs(&self, jobs: usize) -> Result<FleetOutcome, CoreError> {
+        let mut summaries: Vec<LineSummary> = Vec::with_capacity(self.lines);
+        let mut batch_start = 0usize;
+        while batch_start < self.lines {
+            let batch_len = self.batch_size.min(self.lines - batch_start);
+            let indices: Vec<usize> = (batch_start..batch_start + batch_len).collect();
+            // Summarize inside the worker: the outcome (meter, empty
+            // trace, reductions) drops before the next line starts, so
+            // in-flight memory is O(batch), retained memory O(lines).
+            let batch = exec::parallel_map_indexed(&indices, jobs, |_, &line| {
+                let spec = self.line_spec(line);
+                let fault_kinds: Vec<&'static str> = spec
+                    .faults
+                    .as_ref()
+                    .map(|s| s.events.iter().map(|e| e.kind.name()).collect())
+                    .unwrap_or_default();
+                spec.execute()
+                    .map(|outcome| LineSummary::from_outcome(line, &outcome, fault_kinds))
+            });
+            for result in batch {
+                summaries.push(result?);
+            }
+            batch_start += batch_len;
+        }
+        let aggregates = FleetAggregates::from_summaries(
+            &summaries,
+            self.config.full_scale.to_cm_per_s(),
+            self.scenario.duration_s * self.lines as f64,
+        );
+        Ok(FleetOutcome {
+            label: self.label.clone(),
+            aggregates,
+            lines: summaries,
+        })
+    }
+}
+
+/// The compact per-line residue a fleet run keeps: what population
+/// statistics need, nothing a trace would hold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineSummary {
+    /// Line index in the fleet.
+    pub line: usize,
+    /// Samples recorded (streamed, not stored).
+    pub samples: u64,
+    /// Settled-window mean, cm/s.
+    pub settled_mean: f64,
+    /// Settled-window ±σ (the line's resolution), cm/s.
+    pub settled_std: f64,
+    /// DUT-vs-truth RMS error over the err window, cm/s (`NaN` when the
+    /// fleet declares no err window).
+    pub err_rms: f64,
+    /// Worst |DUT − truth| over the err window, cm/s.
+    pub err_max_abs: f64,
+    /// Samples recorded while a fault was active.
+    pub fault_samples: u64,
+    /// Health-state census over the line's simulated time.
+    pub health: HealthCensus,
+    /// Names of the fault kinds scheduled on this line (empty = healthy
+    /// template line).
+    pub fault_kinds: Vec<&'static str>,
+    /// Bytes of trace sample storage the run held — 0 under the forced
+    /// [`RecordPolicy::MetricsOnly`]; summed and pinned by tests.
+    pub trace_heap_bytes: usize,
+}
+
+impl LineSummary {
+    /// Folds one finished run into its summary (everything copied out;
+    /// the outcome can drop).
+    fn from_outcome(line: usize, outcome: &RunOutcome, fault_kinds: Vec<&'static str>) -> Self {
+        let red = &outcome.reduced;
+        LineSummary {
+            line,
+            samples: red.samples,
+            settled_mean: red.settled.mean(),
+            settled_std: red.settled.std_dev(),
+            err_rms: red.err_rms(),
+            err_max_abs: red.err_max_abs,
+            fault_samples: red.fault_samples,
+            health: red.health_census,
+            fault_kinds,
+            trace_heap_bytes: outcome.trace.samples.heap_bytes(),
+        }
+    }
+}
+
+/// Nearest-rank percentiles of a population statistic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    /// Smallest value.
+    pub min: f64,
+    /// 50th percentile (nearest-rank).
+    pub p50: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99: f64,
+    /// Largest value.
+    pub max: f64,
+}
+
+impl Percentiles {
+    /// Nearest-rank percentiles of `values` (NaNs sort last via
+    /// `total_cmp`, so a NaN min/max means the population had one).
+    /// Returns all-NaN for an empty population.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Percentiles {
+                min: f64::NAN,
+                p50: f64::NAN,
+                p90: f64::NAN,
+                p99: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let rank = |q: f64| -> f64 {
+            let n = sorted.len();
+            let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+            sorted[idx]
+        };
+        Percentiles {
+            min: sorted[0],
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Population-level aggregates of a fleet run, folded in line order
+/// (jobs- and batch-size-invariant).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetAggregates {
+    /// Lines aggregated.
+    pub lines: usize,
+    /// Total samples streamed across the fleet.
+    pub total_samples: u64,
+    /// Fleet simulated time, line-seconds.
+    pub simulated_s: f64,
+    /// Population percentiles of per-line resolution (settled ±σ), % of
+    /// full scale.
+    pub resolution_pct_fs: Percentiles,
+    /// Population percentiles of per-line RMS error, cm/s (all-NaN when
+    /// no err window was declared).
+    pub err_rms_cm_s: Percentiles,
+    /// Line-to-line repeatability: half-spread of the per-line settled
+    /// means, % of full scale ([`metrics::repeatability`]).
+    pub repeatability_pct_fs: f64,
+    /// Health-state census summed over every line's simulated time.
+    pub health: HealthCensus,
+    /// Lines per scheduled fault kind (a line with two kinds counts once
+    /// under each), keyed by [`FaultKind::name`](crate::FaultKind::name).
+    pub fault_incidence: BTreeMap<&'static str, u64>,
+    /// Lines that recorded at least one faulted sample.
+    pub lines_faulted: u64,
+    /// Total samples recorded under an active fault.
+    pub fault_samples: u64,
+    /// Summed per-line trace sample storage, bytes — 0 by construction
+    /// under the forced `MetricsOnly` policy.
+    pub trace_heap_bytes: usize,
+}
+
+impl FleetAggregates {
+    /// Folds per-line summaries (visited in slice order — callers pass
+    /// line order) into population aggregates.
+    pub fn from_summaries(
+        summaries: &[LineSummary],
+        full_scale_cm_s: f64,
+        simulated_s: f64,
+    ) -> Self {
+        let resolutions: Vec<f64> = summaries
+            .iter()
+            .map(|s| s.settled_std / full_scale_cm_s * 100.0)
+            .collect();
+        let err_rms: Vec<f64> = summaries.iter().map(|s| s.err_rms).collect();
+        let means: Vec<f64> = summaries.iter().map(|s| s.settled_mean).collect();
+        let mut health = HealthCensus::default();
+        let mut fault_incidence: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut lines_faulted = 0u64;
+        let mut fault_samples = 0u64;
+        let mut total_samples = 0u64;
+        let mut trace_heap_bytes = 0usize;
+        for s in summaries {
+            health.merge(&s.health);
+            total_samples += s.samples;
+            fault_samples += s.fault_samples;
+            trace_heap_bytes += s.trace_heap_bytes;
+            if s.fault_samples > 0 {
+                lines_faulted += 1;
+            }
+            let mut seen: Vec<&'static str> = Vec::new();
+            for &kind in &s.fault_kinds {
+                if !seen.contains(&kind) {
+                    seen.push(kind);
+                    *fault_incidence.entry(kind).or_insert(0) += 1;
+                }
+            }
+        }
+        FleetAggregates {
+            lines: summaries.len(),
+            total_samples,
+            simulated_s,
+            resolution_pct_fs: Percentiles::of(&resolutions),
+            err_rms_cm_s: Percentiles::of(&err_rms),
+            repeatability_pct_fs: metrics::repeatability(&means, full_scale_cm_s) * 100.0,
+            health,
+            fault_incidence,
+            lines_faulted,
+            fault_samples,
+            trace_heap_bytes,
+        }
+    }
+}
+
+impl core::fmt::Display for FleetAggregates {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{} lines, {} samples, {:.0} line-s simulated",
+            self.lines, self.total_samples, self.simulated_s
+        )?;
+        let r = &self.resolution_pct_fs;
+        writeln!(
+            f,
+            "resolution ±% FS: p50 {:.3}  p90 {:.3}  p99 {:.3}  worst {:.3}",
+            r.p50, r.p90, r.p99, r.max
+        )?;
+        writeln!(
+            f,
+            "line-to-line repeatability: ±{:.2} % FS",
+            self.repeatability_pct_fs
+        )?;
+        let h = &self.health;
+        writeln!(
+            f,
+            "health census: healthy {:.4}  degraded {:.4}  faulted {:.4}  recovering {:.4}",
+            h.counts[0] as f64 / h.total().max(1) as f64,
+            h.counts[1] as f64 / h.total().max(1) as f64,
+            h.counts[2] as f64 / h.total().max(1) as f64,
+            h.counts[3] as f64 / h.total().max(1) as f64,
+        )?;
+        if self.fault_incidence.is_empty() {
+            writeln!(f, "faults: none scheduled")?;
+        } else {
+            write!(f, "fault incidence (lines):")?;
+            for (kind, count) in &self.fault_incidence {
+                write!(f, " {kind}={count}")?;
+            }
+            writeln!(
+                f,
+                "  ({} lines saw an active fault, {} faulted samples)",
+                self.lines_faulted, self.fault_samples
+            )?;
+        }
+        write!(f, "trace heap: {} bytes", self.trace_heap_bytes)
+    }
+}
+
+/// The result of a fleet run: population aggregates plus the per-line
+/// summaries they were folded from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOutcome {
+    /// The fleet's label.
+    pub label: String,
+    /// Population aggregates (line-order fold; jobs-invariant).
+    pub aggregates: FleetAggregates,
+    /// Per-line summaries, in line order.
+    pub lines: Vec<LineSummary>,
+}
+
+impl FleetOutcome {
+    /// Summed trace sample storage across the fleet, bytes — must be 0
+    /// under the forced `MetricsOnly` policy.
+    pub fn trace_heap_bytes(&self) -> usize {
+        self.aggregates.trace_heap_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultKind;
+
+    fn small_fleet() -> FleetSpec {
+        FleetSpec::new(
+            "test-fleet",
+            FlowMeterConfig::test_profile(),
+            Scenario::steady(100.0, 1.5),
+            0xF1EE7,
+        )
+        .with_lines(12)
+        .with_sample_period(0.05)
+        .with_windows(Windows::settled(0.5, 1.0).with_err(0.5, f64::INFINITY))
+    }
+
+    #[test]
+    fn line_specs_are_pure_and_distinct() {
+        let fleet = small_fleet().with_variation(LineVariation::new().with_flow_jitter(0.05));
+        let a = fleet.line_spec(3);
+        let b = fleet.line_spec(3);
+        assert_eq!(a, b, "line_spec must be a pure function of the index");
+        let c = fleet.line_spec(4);
+        assert_ne!(a.meter_seed, c.meter_seed);
+        assert_ne!(a.line_seed, c.line_seed);
+        assert_ne!(
+            a.scenario, c.scenario,
+            "flow jitter must differentiate line scenarios"
+        );
+        assert_eq!(a.record, RecordPolicy::MetricsOnly);
+        assert!(!a.obs.enabled);
+    }
+
+    #[test]
+    fn jitter_factor_stays_in_band() {
+        let fleet = small_fleet().with_variation(LineVariation::new().with_flow_jitter(0.1));
+        for line in 0..200 {
+            let f = fleet.jitter_factor(line);
+            assert!((0.9..=1.1).contains(&f), "line {line}: factor {f}");
+        }
+        // And it actually spreads: not all lines identical.
+        let f0 = fleet.jitter_factor(0);
+        assert!((1..200).any(|i| fleet.jitter_factor(i) != f0));
+    }
+
+    #[test]
+    fn fault_template_strides() {
+        let schedule =
+            FaultSchedule::new(1).with_event(0.5, 0.3, FaultKind::AdcStuck { code: 1000 });
+        let fleet =
+            small_fleet().with_variation(LineVariation::new().with_faults_every(3, 1, schedule));
+        for line in 0..12 {
+            let spec = fleet.line_spec(line);
+            assert_eq!(spec.faults.is_some(), line % 3 == 1, "line {line}");
+        }
+        // Afflicted lines share the timeline but not the seed.
+        let a = fleet.line_spec(1).faults.unwrap();
+        let b = fleet.line_spec(4).faults.unwrap();
+        assert_eq!(a.events, b.events);
+        assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn aggregates_are_batch_size_invariant() {
+        let outcome_small = small_fleet().with_batch_size(5).run_jobs(2).unwrap();
+        let outcome_big = small_fleet().with_batch_size(64).run_jobs(2).unwrap();
+        assert_eq!(outcome_small, outcome_big);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let p = Percentiles::of(&[4.0, 1.0, 3.0, 2.0, 5.0]);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p50, 3.0);
+        assert_eq!(p.p90, 5.0);
+        assert_eq!(p.max, 5.0);
+        assert!(Percentiles::of(&[]).p50.is_nan());
+    }
+
+    #[test]
+    fn fleet_memory_is_metrics_only() {
+        let outcome = small_fleet().run_jobs(2).unwrap();
+        assert_eq!(outcome.trace_heap_bytes(), 0);
+        assert_eq!(outcome.lines.len(), 12);
+        assert!(outcome.aggregates.total_samples > 0);
+        // Healthy fleet: the census saw every sample, all healthy.
+        assert_eq!(
+            outcome.aggregates.health.total(),
+            outcome.aggregates.total_samples
+        );
+    }
+}

@@ -23,6 +23,10 @@
 //! * [`runner`] — co-simulation of the device under test and both reference
 //!   meters on shared true flow, plus the field-calibration procedure
 //! * [`campaign`] — declarative [`RunSpec`]s and the [`Campaign`] executor
+//! * [`fleet`] — populations of lines behind one [`FleetSpec`] template:
+//!   thousands of seed-diverse lines batched over the same thread pool at
+//!   [`RecordPolicy::MetricsOnly`], folded into jobs-invariant population
+//!   aggregates (resolution percentiles, health census, fault incidence)
 //! * [`fault`] — seeded, time-triggered fault schedules ([`FaultSchedule`])
 //!   injectable into any run: ADC/DAC/supply/EEPROM/UART faults plus abrupt
 //!   physics events, executed deterministically by the campaign layer
@@ -54,7 +58,7 @@
 //!             Scenario::steady(cm_s, 6.0),
 //!             hotwire_rig::campaign::derive_seed(42, i as u64),
 //!         )
-//!         .with_windows(3.0, 3.0)
+//!         .with_windows((3.0, 3.0))
 //!     })
 //!     .collect();
 //!
@@ -82,6 +86,7 @@
 pub mod campaign;
 pub mod exec;
 pub mod fault;
+pub mod fleet;
 pub mod line;
 pub mod metrics;
 pub mod obs;
@@ -92,9 +97,10 @@ pub mod scenario;
 pub mod turbine;
 
 pub use campaign::{
-    Calibration, Campaign, FieldCalibration, RunOutcome, RunSpec, PAPER_SETPOINTS_CM_S,
+    Calibration, Campaign, FieldCalibration, RunOutcome, RunSpec, Windows, PAPER_SETPOINTS_CM_S,
 };
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, UartStats};
+pub use fleet::{FleetAggregates, FleetOutcome, FleetSpec, LineSummary, LineVariation};
 pub use line::WaterLine;
 pub use metrics::Welford;
 pub use obs::{EventLog, Histogram, ObsConfig, ObsSnapshot, RunObs};

@@ -436,6 +436,48 @@ impl Default for ReductionPlan {
     }
 }
 
+/// Per-[`HealthState`] sample counts — the streaming census of how much
+/// simulated line-time the firmware supervisor spent in each state.
+///
+/// Indexed by [`HealthState::code`], so the census merges across runs (and
+/// across fleet lines) with plain integer addition — deterministic in any
+/// merge order that is itself deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthCensus {
+    /// Sample counts per state, indexed by [`HealthState::code`].
+    pub counts: [u64; 4],
+}
+
+impl HealthCensus {
+    /// Counts one sample observed in `state`.
+    pub fn record(&mut self, state: HealthState) {
+        self.counts[state.code() as usize] += 1;
+    }
+
+    /// Adds another census's counts into this one.
+    pub fn merge(&mut self, other: &HealthCensus) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Samples observed in `state`.
+    pub fn count(&self, state: HealthState) -> u64 {
+        self.counts[state.code() as usize]
+    }
+
+    /// Total samples observed across all states.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Fraction of observed samples spent in `state` (`NaN` when the
+    /// census is empty).
+    pub fn fraction(&self, state: HealthState) -> f64 {
+        self.count(state) as f64 / self.total() as f64
+    }
+}
+
 /// A bounded `(t, y)` series retained over one window — the streaming
 /// input to [`rise_time_split`](crate::metrics::rise_time_split) and
 /// friends. Memory is O(window samples), independent of the run length.
@@ -483,6 +525,8 @@ pub struct RunReductions {
     pub fouling_peak: f64,
     /// Number of samples with any fault flag raised.
     pub fault_samples: u64,
+    /// Per-[`HealthState`] sample census over the whole run.
+    pub health_census: HealthCensus,
     /// `(t, dut)` series retained over the plan's series window.
     pub series: SeriesReducer,
     /// Worst |dut − truth| over the plan's error window.
@@ -508,6 +552,7 @@ impl RunReductions {
             bubble_peak: 0.0,
             fouling_peak: 0.0,
             fault_samples: 0,
+            health_census: HealthCensus::default(),
             series: SeriesReducer::default(),
             err_max_abs: 0.0,
             err_sq_sum: 0.0,
@@ -560,6 +605,7 @@ impl Recorder for RunReductions {
         self.bubble_peak = self.bubble_peak.max(s.bubble_coverage);
         self.fouling_peak = self.fouling_peak.max(s.fouling_um);
         self.fault_samples += u64::from(s.fault);
+        self.health_census.record(s.health);
         if let Some((t0, t1)) = self.plan.series {
             if s.t >= t0 && s.t < t1 {
                 self.series.ts.push(s.t);
@@ -773,6 +819,36 @@ mod tests {
         // by zero.
         let (d0, _) = run(RecordPolicy::Decimated(0));
         assert_eq!(d0.len(), 100);
+    }
+
+    #[test]
+    fn health_census_counts_every_sample() {
+        let mut red = RunReductions::default();
+        let states = [
+            HealthState::Healthy,
+            HealthState::Healthy,
+            HealthState::Degraded,
+            HealthState::Faulted,
+            HealthState::Recovering,
+            HealthState::Healthy,
+        ];
+        for (i, &h) in states.iter().enumerate() {
+            let mut s = sample(i as f64, 100.0);
+            s.health = h;
+            red.record(&s);
+        }
+        let census = red.health_census;
+        assert_eq!(census.total(), states.len() as u64);
+        assert_eq!(census.count(HealthState::Healthy), 3);
+        assert_eq!(census.count(HealthState::Degraded), 1);
+        assert_eq!(census.count(HealthState::Faulted), 1);
+        assert_eq!(census.count(HealthState::Recovering), 1);
+        assert!((census.fraction(HealthState::Healthy) - 0.5).abs() < 1e-12);
+        // Merging is plain addition.
+        let mut merged = census;
+        merged.merge(&census);
+        assert_eq!(merged.total(), 2 * census.total());
+        assert_eq!(merged.count(HealthState::Degraded), 2);
     }
 
     #[test]

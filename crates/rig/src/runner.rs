@@ -171,9 +171,11 @@ impl LineRunner {
     /// Runs the scenario to completion, recording one sample every
     /// `sample_period_s` of scenario time into a full [`Trace`].
     ///
-    /// Convenience over [`run_with`](Self::run_with) with a pre-sized
-    /// [`TraceStore`] sink — use `run_with` directly to stream into
-    /// reducers instead of materializing.
+    /// This is a **thin delegating wrapper** over
+    /// [`run_with`](Self::run_with) with a pre-sized [`TraceStore`] sink —
+    /// `run_with` is the one generic entry point every execution path
+    /// (campaign, fleet, direct callers) shares; use it directly to stream
+    /// into reducers instead of materializing.
     ///
     /// # Panics
     ///
@@ -293,8 +295,10 @@ impl LineRunner {
     }
 }
 
-/// Expected sample count for a `duration_s` scenario at `sample_period_s`.
-fn expected_samples(duration_s: f64, sample_period_s: f64) -> usize {
+/// Expected sample count for a `duration_s` scenario at `sample_period_s`
+/// (+1 covers the t=0 sample, +1 the final edge) — the right capacity for
+/// a full-trace sink.
+pub fn expected_samples(duration_s: f64, sample_period_s: f64) -> usize {
     if sample_period_s > 0.0 {
         (duration_s / sample_period_s).ceil() as usize + 2
     } else {

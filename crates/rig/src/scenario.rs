@@ -103,6 +103,32 @@ impl Schedule {
         s
     }
 
+    /// The same schedule with every value multiplied by `factor` (segment
+    /// timing untouched). This is how the fleet layer jitters a scenario
+    /// template per line without reaching into the segment list.
+    ///
+    /// ```
+    /// use hotwire_rig::Schedule;
+    ///
+    /// let s = Schedule::staircase(&[100.0, 200.0], 5.0).scaled(1.1);
+    /// assert!((s.value_at(1.0) - 110.0).abs() < 1e-12);
+    /// assert!((s.value_at(6.0) - 220.0).abs() < 1e-12);
+    /// ```
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Schedule {
+            segments: self
+                .segments
+                .iter()
+                .map(|s| Segment {
+                    start: s.start * factor,
+                    end: s.end * factor,
+                    duration: s.duration,
+                })
+                .collect(),
+        }
+    }
+
     /// Total scheduled duration (infinite for `constant`).
     pub fn duration(&self) -> Seconds {
         Seconds::new(self.segments.iter().map(|s| s.duration).sum())
@@ -202,6 +228,17 @@ impl Scenario {
                 .then_ramp(to_c, duration_s * 0.6)
                 .then_hold(to_c, duration_s * 0.2),
             duration_s,
+        }
+    }
+
+    /// The same scenario with the flow schedule scaled by `factor`
+    /// (pressure, temperature and duration untouched). See
+    /// [`Schedule::scaled`].
+    #[must_use]
+    pub fn with_flow_scaled(&self, factor: f64) -> Self {
+        Scenario {
+            flow_cm_s: self.flow_cm_s.scaled(factor),
+            ..self.clone()
         }
     }
 

@@ -7,10 +7,8 @@
 //! cargo run --release --example bubble_mitigation
 //! ```
 
-use hotwire::core::{FlowMeter, FlowMeterConfig};
 use hotwire::physics::sensor::HeaterId;
-use hotwire::physics::{MafParams, SensorEnvironment};
-use hotwire::units::MetersPerSecond;
+use hotwire::prelude::*;
 
 fn run_case(name: &str, config: FlowMeterConfig) -> Result<(), Box<dyn std::error::Error>> {
     let mut meter = FlowMeter::new(config, MafParams::nominal(), 5)?;

@@ -7,10 +7,7 @@
 //! ```
 
 use hotwire::core::calibration::KingCalibration;
-use hotwire::core::{FlowMeter, FlowMeterConfig};
-use hotwire::physics::{MafParams, SensorEnvironment};
-use hotwire::rig::runner::field_calibrate;
-use hotwire::units::MetersPerSecond;
+use hotwire::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A worst-case-tolerance die: ±1 % heater spread, ±1.5 % reference —

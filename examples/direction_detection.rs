@@ -7,9 +7,7 @@
 //! ```
 
 use hotwire::core::direction::FlowDirection;
-use hotwire::core::{FlowMeter, FlowMeterConfig};
-use hotwire::physics::{MafParams, SensorEnvironment};
-use hotwire::units::MetersPerSecond;
+use hotwire::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut meter = FlowMeter::new(FlowMeterConfig::water_station(), MafParams::nominal(), 7)?;

@@ -15,9 +15,7 @@
 //! ```
 
 use hotwire::core::burst::{BurstConfig, BurstController};
-use hotwire::core::{FlowMeter, FlowMeterConfig};
-use hotwire::physics::{MafParams, SensorEnvironment};
-use hotwire::units::MetersPerSecond;
+use hotwire::prelude::*;
 
 /// Legitimate demand over the day (cm/s): high daytime draw, ~12 cm/s
 /// night floor between 02:00 and 05:00.

@@ -12,7 +12,7 @@ use hotwire::isif::sched::IpTask;
 use hotwire::isif::spi::{SpiEeprom, SpiMaster};
 use hotwire::isif::uart::{encode_frame, FrameDecoder};
 use hotwire::isif::{CalibrationStore, IsifPlatform, Scheduler};
-use hotwire::units::Hertz;
+use hotwire::prelude::*;
 
 /// A toy software IP: an integrator with a declared LEON cycle cost.
 struct SoftIntegrator {

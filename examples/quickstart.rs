@@ -4,9 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hotwire::core::{FlowMeter, FlowMeterConfig};
-use hotwire::physics::{MafParams, SensorEnvironment};
-use hotwire::units::MetersPerSecond;
+use hotwire::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's water-station configuration: constant-temperature mode,

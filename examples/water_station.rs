@@ -6,10 +6,7 @@
 //! cargo run --release --example water_station
 //! ```
 
-use hotwire::core::{FlowMeter, FlowMeterConfig};
-use hotwire::physics::MafParams;
-use hotwire::rig::runner::field_calibrate;
-use hotwire::rig::{metrics, LineRunner, Scenario};
+use hotwire::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut meter = FlowMeter::new(FlowMeterConfig::water_station(), MafParams::nominal(), 2008)?;

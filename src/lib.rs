@@ -24,3 +24,44 @@ pub use hotwire_isif as isif;
 pub use hotwire_physics as physics;
 pub use hotwire_rig as rig;
 pub use hotwire_units as units;
+
+/// The working set for driving simulations: one `use hotwire::prelude::*`
+/// brings in the meter, its configuration, the physics environment, the
+/// common unit newtypes and the whole declarative run machinery
+/// ([`RunSpec`](prelude::RunSpec) / [`Campaign`](prelude::Campaign) /
+/// [`FleetSpec`](prelude::FleetSpec)) without spelling out which layer
+/// each name lives in.
+///
+/// Layer-specific items (ISIF registers, DSP blocks, AFE internals,
+/// firmware submodules like `core::direction` or `core::burst`) stay
+/// behind their module paths on purpose — the prelude is for *running*
+/// the system, not for reaching into it.
+///
+/// ```no_run
+/// use hotwire::prelude::*;
+///
+/// let spec = RunSpec::new(
+///     "demo",
+///     FlowMeterConfig::water_station(),
+///     Scenario::steady(100.0, 10.0),
+///     42,
+/// )
+/// .with_windows((4.0, 6.0));
+/// let outcome = Campaign::new().run(&[spec])?;
+/// println!("{:.1} cm/s", outcome[0].settled_mean());
+/// # Ok::<(), hotwire::core::CoreError>(())
+/// ```
+pub mod prelude {
+    pub use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig, HealthState, Measurement};
+    pub use hotwire_physics::{MafParams, SensorEnvironment};
+    pub use hotwire_rig::campaign::{derive_seed, Calibration, FieldCalibration};
+    pub use hotwire_rig::fleet::{
+        FleetAggregates, FleetOutcome, FleetSpec, LineSummary, LineVariation,
+    };
+    pub use hotwire_rig::runner::field_calibrate;
+    pub use hotwire_rig::{
+        metrics, Campaign, FaultKind, FaultSchedule, LineRunner, ObsConfig, RecordPolicy, Recorder,
+        RunOutcome, RunReductions, RunSpec, Scenario, Schedule, TraceStore, Windows,
+    };
+    pub use hotwire_units::{Celsius, Hertz, KelvinDelta, MetersPerSecond, Seconds};
+}

@@ -1,0 +1,146 @@
+//! Fleet engine contracts.
+//!
+//! The fleet promises two things no matter how it is scheduled:
+//!
+//! * **determinism** — the same [`FleetSpec`] produces bit-identical
+//!   aggregates and per-line summaries at any `--jobs` count, fault
+//!   schedules on a subset of lines included;
+//! * **O(lines) memory** — every line is forced to `MetricsOnly`, so a
+//!   1000-line fleet holds zero trace bytes.
+
+use hotwire::prelude::*;
+
+/// A low-rate config so the 1000-line test stays cheap in debug builds
+/// (the contracts under test don't depend on silicon rates).
+fn cheap_config() -> FlowMeterConfig {
+    FlowMeterConfig {
+        modulator_rate: Hertz::new(1000.0),
+        decimation: 2,
+        ..FlowMeterConfig::test_profile()
+    }
+}
+
+/// A fleet with per-line demand jitter and a fault schedule striking
+/// every 4th line — the full variation surface in one template.
+fn faulted_fleet(lines: usize, duration_s: f64, onset_s: f64, window_s: f64) -> FleetSpec {
+    FleetSpec::new(
+        "fleet-test",
+        cheap_config(),
+        Scenario::steady(90.0, duration_s),
+        0xF1EE7,
+    )
+    .with_lines(lines)
+    .with_sample_period(0.05)
+    .with_windows(
+        Windows::settled(duration_s * 0.25, duration_s * 0.25)
+            .with_err(duration_s * 0.25, f64::INFINITY),
+    )
+    .with_variation(
+        LineVariation::new()
+            .with_flow_jitter(0.04)
+            .with_faults_every(
+                4,
+                1,
+                FaultSchedule::new(0).with_event(
+                    onset_s,
+                    window_s,
+                    FaultKind::AdcStuck { code: 900 },
+                ),
+            ),
+    )
+}
+
+/// Debug formatting of f64 round-trips, so Debug-string equality over the
+/// whole outcome is bit-level equality of every number in it.
+#[track_caller]
+fn assert_outcomes_identical(a: &FleetOutcome, b: &FleetOutcome, what: &str) {
+    assert_eq!(
+        format!("{:?}", a.aggregates),
+        format!("{:?}", b.aggregates),
+        "{what}: aggregates diverge"
+    );
+    assert_eq!(a.lines.len(), b.lines.len(), "{what}: line counts diverge");
+    for (la, lb) in a.lines.iter().zip(&b.lines) {
+        assert_eq!(
+            format!("{la:?}"),
+            format!("{lb:?}"),
+            "{what}: line {} diverges",
+            la.line
+        );
+    }
+    // Belt and braces on the floats Debug could theoretically smooth over.
+    assert_eq!(
+        a.aggregates.repeatability_pct_fs.to_bits(),
+        b.aggregates.repeatability_pct_fs.to_bits(),
+        "{what}: repeatability bits"
+    );
+    assert_eq!(
+        a.aggregates.resolution_pct_fs.p99.to_bits(),
+        b.aggregates.resolution_pct_fs.p99.to_bits(),
+        "{what}: resolution p99 bits"
+    );
+    assert_eq!(
+        a.aggregates.err_rms_cm_s.max.to_bits(),
+        b.aggregates.err_rms_cm_s.max.to_bits(),
+        "{what}: err rms max bits"
+    );
+}
+
+/// Same faulted fleet at `--jobs` 1, 2 and 3: bit-identical everything.
+/// 13 lines over batches of 5 so batch boundaries and job counts misalign
+/// every way they can.
+#[test]
+fn fleet_aggregates_bit_identical_across_jobs() {
+    let spec = || faulted_fleet(13, 3.0, 1.0, 0.6).with_batch_size(5);
+    let j1 = spec().run_jobs(1).unwrap();
+    let j2 = spec().run_jobs(2).unwrap();
+    let j3 = spec().run_jobs(3).unwrap();
+
+    assert_outcomes_identical(&j1, &j2, "jobs 1 vs 2");
+    assert_outcomes_identical(&j1, &j3, "jobs 1 vs 3");
+
+    // The fault template fired on lines 1, 5 and 9 — and only there.
+    let a = &j1.aggregates;
+    assert_eq!(a.lines_faulted, 3);
+    assert_eq!(a.fault_incidence.get("adc_stuck"), Some(&3));
+    for line in &j1.lines {
+        let expected = line.line % 4 == 1;
+        assert_eq!(
+            line.fault_samples > 0,
+            expected,
+            "line {} fault exposure",
+            line.line
+        );
+    }
+}
+
+/// The headline acceptance: a 1000-line fleet completes under forced
+/// `MetricsOnly` with zero trace bytes, and its aggregates are
+/// bit-identical at `--jobs` 1, 2 and 3.
+#[test]
+fn thousand_line_fleet_is_metrics_only_and_jobs_invariant() {
+    // 0.6 s per line keeps 3 × 1000 runs cheap; a 0.2 s stuck-ADC window
+    // is the shortest the meter's fault flags reliably rise on.
+    let spec = || faulted_fleet(1000, 0.6, 0.2, 0.2);
+    let j1 = spec().run_jobs(1).unwrap();
+    let j2 = spec().run_jobs(2).unwrap();
+    let j3 = spec().run_jobs(3).unwrap();
+
+    assert_outcomes_identical(&j1, &j2, "1000 lines, jobs 1 vs 2");
+    assert_outcomes_identical(&j1, &j3, "1000 lines, jobs 1 vs 3");
+
+    let a = &j1.aggregates;
+    assert_eq!(a.lines, 1000);
+    assert_eq!(j1.trace_heap_bytes(), 0, "fleet must hold zero trace bytes");
+    assert!(
+        j1.lines.iter().all(|l| l.trace_heap_bytes == 0),
+        "every line must stream MetricsOnly"
+    );
+    assert_eq!(a.health.total(), a.total_samples);
+    assert!(a.total_samples > 0);
+
+    // Every 4th line (offset 1) carried the schedule and the stuck ADC bit.
+    assert_eq!(a.lines_faulted, 250);
+    assert_eq!(a.fault_incidence.get("adc_stuck"), Some(&250));
+    assert!(a.fault_samples > 0);
+}

@@ -17,7 +17,7 @@ fn base_spec(label: &str, seed_index: u64) -> RunSpec {
         Scenario::steady(100.0, 2.5),
         derive_seed(0x0B5E, seed_index),
     )
-    .with_windows(1.0, 1.0)
+    .with_windows((1.0, 1.0))
 }
 
 #[test]

@@ -14,7 +14,7 @@ use hotwire::rig::campaign::derive_seed;
 use hotwire::rig::fault::{FaultKind, FaultSchedule};
 use hotwire::rig::metrics;
 use hotwire::rig::scenario::{Scenario, Schedule};
-use hotwire::rig::{Campaign, RecordPolicy, RunOutcome, RunSpec, TraceStore};
+use hotwire::rig::{Campaign, RecordPolicy, RunOutcome, RunSpec, TraceStore, Windows};
 
 /// Bit-level f64 equality (same-NaN counts as equal, unlike `==`).
 #[track_caller]
@@ -37,11 +37,13 @@ fn step_spec(policy: RecordPolicy) -> RunSpec {
         0x0EC0,
     )
     .with_sample_period(0.02)
-    .with_windows(2.0, 3.0)
-    .with_extra_window(1.0, 2.0)
-    .with_extra_window(7.0, 9.0)
-    .with_series_window(5.5, 12.0)
-    .with_err_window(2.0, 6.0)
+    .with_windows(
+        Windows::settled(2.0, 3.0)
+            .with_extra(1.0, 2.0)
+            .with_extra(7.0, 9.0)
+            .with_series(5.5, 12.0)
+            .with_err(2.0, 6.0),
+    )
     .with_record(policy)
 }
 
@@ -55,10 +57,12 @@ fn faulted_spec(policy: RecordPolicy) -> RunSpec {
         derive_seed(0x0EC1, 0),
     )
     .with_sample_period(0.01)
-    .with_windows(1.0, 2.0)
-    .with_extra_window(0.5, 1.0)
-    .with_series_window(3.5, 8.0)
-    .with_err_window(4.0, 7.0)
+    .with_windows(
+        Windows::settled(1.0, 2.0)
+            .with_extra(0.5, 1.0)
+            .with_series(3.5, 8.0)
+            .with_err(4.0, 7.0),
+    )
     .with_faults(FaultSchedule::new(derive_seed(0x0EC1, 1)).with_event(
         4.0,
         2.0,
@@ -88,15 +92,15 @@ fn assert_reductions_match_post_hoc(full: &RunOutcome, metrics_only: &RunOutcome
     );
 
     // Extra windows (e03 repeatability visits, e12 mode windows).
-    assert_eq!(red.windows.len(), spec.extra_windows.len());
-    for (w, &(t0, t1)) in red.windows.iter().zip(&spec.extra_windows) {
+    assert_eq!(red.windows.len(), spec.windows.extra.len());
+    for (w, &(t0, t1)) in red.windows.iter().zip(&spec.windows.extra) {
         assert_eq!(*w, store.window_stats(t0, t1), "extra window [{t0},{t1})");
     }
 
     // Series window (e10 / a01 rise-time input): the retained series is
     // exactly the stored columns sliced to the window, and the rise-time
     // computed from it is bit-identical.
-    let (w0, w1) = spec.series_window.expect("spec declares a series window");
+    let (w0, w1) = spec.windows.series.expect("spec declares a series window");
     assert_eq!(red.series.ts, store.ts_in(w0, w1), "series times");
     assert_eq!(red.series.ys, store.dut_in(w0, w1), "series values");
     let streaming_rise = metrics::rise_time_split(&red.series.ts, &red.series.ys, 60.0, 150.0);
@@ -108,7 +112,7 @@ fn assert_reductions_match_post_hoc(full: &RunOutcome, metrics_only: &RunOutcome
     }
 
     // Error window (e05): worst |dut − truth| and RMS, same fold order.
-    let (e0, e1) = spec.err_window.expect("spec declares an error window");
+    let (e0, e1) = spec.windows.err.expect("spec declares an error window");
     let err_range = store.window(e0, e1);
     let pairs: Vec<(f64, f64)> = err_range
         .clone()
