@@ -28,9 +28,9 @@ use hotwire_units::Volts;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SigmaDeltaModulator {
-    vref: f64,
-    i1: f64,
-    i2: f64,
+    pub(crate) vref: f64,
+    pub(crate) i1: f64,
+    pub(crate) i2: f64,
 }
 
 impl SigmaDeltaModulator {
@@ -67,6 +67,33 @@ impl SigmaDeltaModulator {
         self.i1 += 0.5 * (u - y);
         self.i2 += 0.5 * (self.i1 - y);
         y as i32
+    }
+
+    /// Converts a block of input samples (volts) to ±1 bits, advancing one
+    /// modulator tick per element. Bit-identical to calling
+    /// [`push`](Self::push) per element — the loop integrators are hoisted
+    /// into locals so the inner loop runs over registers with no
+    /// pointer-chased state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` and `bits` differ in length.
+    pub fn step_block(&mut self, inputs: &[f64], bits: &mut [i32]) {
+        assert_eq!(inputs.len(), bits.len());
+        // `v / vref` must stay a division (not a reciprocal multiply) to
+        // keep the block path bit-identical to `push`.
+        let vref = self.vref;
+        let mut i1 = self.i1;
+        let mut i2 = self.i2;
+        for (&v, b) in inputs.iter().zip(bits.iter_mut()) {
+            let u = (v / vref).clamp(-0.9, 0.9);
+            let y = if i2 >= 0.0 { 1.0 } else { -1.0 };
+            i1 += 0.5 * (u - y);
+            i2 += 0.5 * (i1 - y);
+            *b = y as i32;
+        }
+        self.i1 = i1;
+        self.i2 = i2;
     }
 
     /// Clears the loop integrators.
@@ -170,5 +197,37 @@ mod tests {
     fn rejects_bad_vref() {
         assert!(SigmaDeltaModulator::new(Volts::ZERO).is_err());
         assert!(SigmaDeltaModulator::new(Volts::new(-1.0)).is_err());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn step_block_is_bit_identical_to_scalar_push(
+                // ±30 V on a 2.5 V vref drives the loop deep into overload
+                // clipping as well as across the linear range.
+                xs in proptest::collection::vec(-30.0f64..30.0, 1..300),
+                split in 0usize..300
+            ) {
+                let mut scalar = SigmaDeltaModulator::new(Volts::new(2.5)).unwrap();
+                let mut block = scalar.clone();
+                let expected: Vec<i32> =
+                    xs.iter().map(|&v| scalar.push(Volts::new(v))).collect();
+                // Split the block at an arbitrary point: integrator state
+                // must carry across the seam exactly as per-sample calls
+                // would leave it.
+                let mut bits = vec![0i32; xs.len()];
+                let cut = split % xs.len();
+                let (lo, hi) = xs.split_at(cut);
+                let (bl, bh) = bits.split_at_mut(cut);
+                block.step_block(lo, bl);
+                block.step_block(hi, bh);
+                prop_assert_eq!(&bits, &expected);
+                prop_assert_eq!(block.i1.to_bits(), scalar.i1.to_bits());
+                prop_assert_eq!(block.i2.to_bits(), scalar.i2.to_bits());
+            }
+        }
     }
 }

@@ -1,0 +1,119 @@
+//! Fused analog-front-end block kernel.
+//!
+//! The per-stage block kernels ([`InstrumentationAmp::amplify_block`],
+//! [`AntiAliasFilter::push_block`], [`SigmaDeltaModulator::step_block`])
+//! each make one pass over the frame, so chaining them costs three array
+//! round trips through L1 per lane. This module fuses the three stages
+//! into a single per-element walk with every pole/integrator state hoisted
+//! into registers: one read pass over the inputs, one write pass over the
+//! bitstream.
+//!
+//! The fusion is bit-identical to the stage-by-stage passes (and therefore
+//! to the scalar per-sample chain): each stage is causal and its state
+//! depends only on its own prior state and its current input, so element
+//! `k` passing through all three stages before element `k+1` performs the
+//! exact same f64 operation sequence per stage as three whole-frame
+//! passes would.
+
+use crate::adc::SigmaDeltaModulator;
+use crate::filter::AntiAliasFilter;
+use crate::inamp::InstrumentationAmp;
+
+/// Runs `diffs` (differential volts) through in-amp → anti-alias → ΣΔ in
+/// one fused pass, writing the ±1 bitstream to `bits`. `noises` holds one
+/// pre-drawn [`InstrumentationAmp::draw_noise`] value per element.
+///
+/// Bit-identical to `amp.amplify_block` + `filter.push_block` +
+/// `adc.step_block` over the same data, and to the equivalent per-sample
+/// scalar chain.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree.
+pub fn amplify_filter_modulate_block(
+    amp: &mut InstrumentationAmp,
+    filter: &mut AntiAliasFilter,
+    adc: &mut SigmaDeltaModulator,
+    diffs: &[f64],
+    noises: &[f64],
+    chip_overtemp_k: f64,
+    bits: &mut [i32],
+) {
+    assert_eq!(diffs.len(), noises.len());
+    assert_eq!(diffs.len(), bits.len());
+    let offset = amp.config.input_offset.get() + amp.config.offset_drift_per_k * chip_overtemp_k;
+    let gain = amp.config.gain;
+    let gain_scale = 1.0 + amp.config.gain_error;
+    let alpha_amp = amp.alpha;
+    let rail = amp.config.rail.get();
+    let mut amp_state = amp.output_state;
+    let alpha_aa = filter.alpha;
+    let mut s1 = filter.s1;
+    let mut s2 = filter.s2;
+    // `v / vref` must stay a division (not a reciprocal multiply) to keep
+    // the fused path bit-identical to the scalar modulator.
+    let vref = adc.vref;
+    let mut i1 = adc.i1;
+    let mut i2 = adc.i2;
+    for ((&d, &n), b) in diffs.iter().zip(noises).zip(bits.iter_mut()) {
+        let ideal = (d + offset + n) * gain * gain_scale;
+        amp_state += alpha_amp * (ideal - amp_state);
+        let v = amp_state.clamp(-rail, rail);
+        s1 += alpha_aa * (v - s1);
+        s2 += alpha_aa * (s1 - s2);
+        let u = (s2 / vref).clamp(-0.9, 0.9);
+        let y = if i2 >= 0.0 { 1.0 } else { -1.0 };
+        i1 += 0.5 * (u - y);
+        i2 += 0.5 * (i1 - y);
+        *b = y as i32;
+    }
+    amp.output_state = amp_state;
+    filter.s1 = s1;
+    filter.s2 = s2;
+    adc.i1 = i1;
+    adc.i2 = i2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inamp::InAmpConfig;
+    use hotwire_units::{Hertz, Volts};
+
+    #[test]
+    fn fused_matches_stage_by_stage_passes() {
+        let fs = Hertz::from_kilohertz(256.0);
+        let mut amp_a = InstrumentationAmp::new(InAmpConfig::isif_default(), fs).unwrap();
+        let mut filt_a = AntiAliasFilter::new(Hertz::from_kilohertz(30.0), fs).unwrap();
+        let mut adc_a = SigmaDeltaModulator::new(Volts::new(2.5)).unwrap();
+        let mut amp_b = amp_a.clone();
+        let mut filt_b = filt_a.clone();
+        let mut adc_b = adc_a.clone();
+
+        // A few frames of a drifting input with synthetic "noise", crossing
+        // the rails and the modulator's overload clamp.
+        for frame in 0..4 {
+            let diffs: Vec<f64> = (0..256)
+                .map(|k| 0.08 * ((k as f64) * 0.13 + frame as f64).sin() - 0.01)
+                .collect();
+            let noises: Vec<f64> = (0..256).map(|k| 1e-6 * ((k % 7) as f64 - 3.0)).collect();
+            let mut staged = diffs.clone();
+            let mut bits_a = vec![0i32; 256];
+            amp_a.amplify_block(&mut staged, &noises, 2.0);
+            filt_a.push_block(&mut staged);
+            adc_a.step_block(&staged, &mut bits_a);
+
+            let mut bits_b = vec![0i32; 256];
+            amplify_filter_modulate_block(
+                &mut amp_b,
+                &mut filt_b,
+                &mut adc_b,
+                &diffs,
+                &noises,
+                2.0,
+                &mut bits_b,
+            );
+            assert_eq!(bits_a, bits_b, "frame {frame}");
+        }
+    }
+}

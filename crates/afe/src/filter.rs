@@ -12,9 +12,9 @@ use hotwire_units::{Hertz, Volts};
 /// A two-pole continuous-time anti-alias filter.
 #[derive(Debug, Clone)]
 pub struct AntiAliasFilter {
-    alpha: f64,
-    s1: f64,
-    s2: f64,
+    pub(crate) alpha: f64,
+    pub(crate) s1: f64,
+    pub(crate) s2: f64,
 }
 
 impl AntiAliasFilter {
@@ -49,6 +49,22 @@ impl AntiAliasFilter {
         self.s1 += self.alpha * (x.get() - self.s1);
         self.s2 += self.alpha * (self.s1 - self.s2);
         Volts::new(self.s2)
+    }
+
+    /// Filters a block of samples (volts) in place. Bit-identical to calling
+    /// [`push`](Self::push) per element — both pole states are hoisted into
+    /// locals so the loop runs over registers.
+    pub fn push_block(&mut self, samples: &mut [f64]) {
+        let alpha = self.alpha;
+        let mut s1 = self.s1;
+        let mut s2 = self.s2;
+        for x in samples.iter_mut() {
+            s1 += alpha * (*x - s1);
+            s2 += alpha * (s1 - s2);
+            *x = s2;
+        }
+        self.s1 = s1;
+        self.s2 = s2;
     }
 
     /// Clears both pole states.

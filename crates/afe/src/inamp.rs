@@ -74,11 +74,14 @@ impl Default for InAmpConfig {
 /// The stateful amplifier (bandwidth pole + flicker generator).
 #[derive(Debug, Clone)]
 pub struct InstrumentationAmp {
-    config: InAmpConfig,
+    pub(crate) config: InAmpConfig,
     /// Output-pole state.
-    output_state: f64,
+    pub(crate) output_state: f64,
     flicker: FlickerNoise,
-    sample_rate: Hertz,
+    /// Discrete pole coefficient `1 − exp(−2π·bw/fs)`, a pure function of
+    /// the configuration — precomputed once so the per-sample path carries
+    /// no `exp`.
+    pub(crate) alpha: f64,
     /// Per-sample white-noise rms at the configured sample rate.
     white_rms: Volts,
 }
@@ -96,11 +99,13 @@ impl InstrumentationAmp {
         ensure_positive("sample_rate", sample_rate.get())?;
         // White noise folded into the Nyquist band of the sampler.
         let white_rms = Volts::new(config.noise_density * (sample_rate.get() / 2.0).sqrt());
+        let alpha =
+            1.0 - (-core::f64::consts::TAU * config.bandwidth.get() / sample_rate.get()).exp();
         Ok(InstrumentationAmp {
             flicker: FlickerNoise::new(config.flicker_rms.get(), sample_rate.get()),
             config,
             output_state: 0.0,
-            sample_rate,
+            alpha,
             white_rms,
         })
     }
@@ -126,20 +131,70 @@ impl InstrumentationAmp {
         chip_overtemp_k: f64,
         rng: &mut R,
     ) -> Volts {
+        let noise = self.draw_noise(rng);
+        self.amplify_with_noise(v_diff, chip_overtemp_k, noise)
+    }
+
+    /// Draws the input-referred noise sample (white + flicker) for one tick
+    /// — exactly the draws [`amplify`](Self::amplify) makes internally,
+    /// split out so a block caller can pre-draw per-block noise sequences
+    /// in the scalar RNG order.
+    pub fn draw_noise<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        noise_sample(rng, self.white_rms).get() + self.flicker.next_sample(rng)
+    }
+
+    /// Amplifies one sample whose noise was already drawn with
+    /// [`draw_noise`](Self::draw_noise). Together the pair is bit-identical
+    /// to [`amplify`](Self::amplify).
+    pub fn amplify_with_noise(&mut self, v_diff: Volts, chip_overtemp_k: f64, noise: f64) -> Volts {
         let offset =
             self.config.input_offset.get() + self.config.offset_drift_per_k * chip_overtemp_k;
-        let noise = noise_sample(rng, self.white_rms).get() + self.flicker.next_sample(rng);
         let ideal =
             (v_diff.get() + offset + noise) * self.config.gain * (1.0 + self.config.gain_error);
         // Single-pole bandwidth limit at the sampler rate.
-        let alpha = 1.0
-            - (-core::f64::consts::TAU * self.config.bandwidth.get() / self.sample_rate.get())
-                .exp();
-        self.output_state += alpha * (ideal - self.output_state);
+        self.output_state += self.alpha * (ideal - self.output_state);
         Volts::new(
             self.output_state
                 .clamp(-self.config.rail.get(), self.config.rail.get()),
         )
+    }
+
+    /// Amplifies a block of differential samples in place, consuming a
+    /// pre-drawn `noises` slice ([`draw_noise`](Self::draw_noise), one per
+    /// sample). Bit-identical to calling
+    /// [`amplify_with_noise`](Self::amplify_with_noise) per element — the
+    /// pole state is hoisted into locals so the loop runs over registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` and `noises` differ in length.
+    pub fn amplify_block(&mut self, samples: &mut [f64], noises: &[f64], chip_overtemp_k: f64) {
+        assert_eq!(samples.len(), noises.len());
+        let offset =
+            self.config.input_offset.get() + self.config.offset_drift_per_k * chip_overtemp_k;
+        let gain = self.config.gain;
+        let gain_scale = 1.0 + self.config.gain_error;
+        let alpha = self.alpha;
+        let rail = self.config.rail.get();
+        let mut state = self.output_state;
+        for (s, &n) in samples.iter_mut().zip(noises) {
+            let ideal = (*s + offset + n) * gain * gain_scale;
+            state += alpha * (ideal - state);
+            *s = state.clamp(-rail, rail);
+        }
+        self.output_state = state;
+    }
+
+    /// The amplifier's DC transfer — offset, gain and rail clamp with no
+    /// pole dynamics. The fast AFE tier uses this to map a quasi-static
+    /// bridge voltage straight to the output level the full chain would
+    /// settle to.
+    pub fn dc_output(&self, v_diff: Volts, chip_overtemp_k: f64, noise: f64) -> Volts {
+        let offset =
+            self.config.input_offset.get() + self.config.offset_drift_per_k * chip_overtemp_k;
+        let ideal =
+            (v_diff.get() + offset + noise) * self.config.gain * (1.0 + self.config.gain_error);
+        Volts::new(ideal.clamp(-self.config.rail.get(), self.config.rail.get()))
     }
 
     /// Clears the internal pole state.

@@ -23,6 +23,7 @@
 
 pub mod adc;
 pub mod bridge;
+pub mod chain;
 pub mod dac;
 pub mod error;
 pub mod filter;

@@ -24,6 +24,23 @@ pub enum OperatingMode {
     ConstantPower,
 }
 
+/// Fidelity tier of the analog-front-end co-simulation.
+///
+/// The exact tier simulates every ΣΔ modulator tick (bridge solve, die
+/// thermal step, in-amp/anti-alias/modulator/CIC chain) and is bit-identical
+/// whether it runs through the scalar [`step`](crate::FlowMeter::step) path
+/// or the batched [`step_frame`](crate::FlowMeter::step_frame) path. The
+/// fast tier replaces the per-tick AFE with one quasi-static bridge solve and
+/// DC code per control frame plus a single coarse die step — a bounded-error
+/// approximation for fleet-scale studies, with the error pinned by tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AfeTier {
+    /// Every modulator tick simulated; bit-identical scalar/block paths.
+    Exact,
+    /// One quasi-static AFE evaluation per control frame (approximate).
+    Fast,
+}
+
 /// Pulsed-drive settings (paper §4: "a pulsed voltage driving technique
 /// instead of continuous sensor biasing").
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -101,6 +118,10 @@ pub struct FlowMeterConfig {
     pub temperature_compensation: bool,
     /// Direction-detector deadband in channel codes.
     pub direction_deadband: i32,
+    /// Analog-front-end fidelity tier used by the frame path
+    /// ([`FlowMeter::step_frame`](crate::FlowMeter::step_frame)); the scalar
+    /// [`step`](crate::FlowMeter::step) path is always exact.
+    pub afe_tier: AfeTier,
 }
 
 impl FlowMeterConfig {
@@ -127,6 +148,7 @@ impl FlowMeterConfig {
             // deadbands be used.
             direction_deadband: 250,
             temperature_compensation: true,
+            afe_tier: AfeTier::Exact,
         }
     }
 

@@ -11,9 +11,18 @@
 //! 4. every `decimation` ticks the channels emit 16-bit codes and the
 //!    control tick runs: pulse scheduling, the mode driver (CT/CC/CP),
 //!    output conditioning, King inversion, direction and fault detection.
+//!
+//! The simulation is two-rate: everything in item 4 happens once per
+//! decimation frame, while items 1–3 repeat every modulator tick with
+//! piecewise-constant analog inputs (the supply code only changes on control
+//! ticks). [`FlowMeter::step_frame`] exploits that structure — it batches a
+//! whole frame of the modulator-rate inner loop through flat per-channel
+//! block kernels, bit-identical to `decimation` scalar steps at the default
+//! [`AfeTier::Exact`], or through a quasi-static once-per-frame AFE
+//! evaluation at the opt-in approximate [`AfeTier::Fast`].
 
 use crate::calibration::{CalPoint, KingCalibration};
-use crate::config::{FlowMeterConfig, OperatingMode, PulsedConfig};
+use crate::config::{AfeTier, FlowMeterConfig, OperatingMode, PulsedConfig};
 use crate::cta::{ConductanceEstimator, CtaLoop, SUPPLY_CODE_MAX};
 use crate::direction::{DirectionDetector, FlowDirection};
 use crate::faults::{AdcFault, DriftMonitor, FaultFlags, SaturationMonitor, SpikeMonitor};
@@ -24,6 +33,7 @@ use crate::output::OutputPipeline;
 use crate::pulsed::{PulsePhase, PulsedScheduler};
 use crate::CoreError;
 use hotwire_afe::bridge::BridgeConfig;
+use hotwire_dsp::fix::SoaBlock;
 use hotwire_isif::channel::{AnalogInput, ChannelConfig};
 use hotwire_isif::IsifPlatform;
 use hotwire_physics::kings_law::KingsLaw;
@@ -76,6 +86,39 @@ pub struct Measurement {
     pub health: HealthState,
     /// Control-tick index since start.
     pub tick: u64,
+}
+
+/// Number of per-frame scratch lanes (one per acquisition channel, indexed
+/// by the channel constants above).
+const CHANNEL_LANES: usize = 3;
+
+/// Reusable scratch for the batched frame walk: a struct-of-arrays block
+/// with one lane per channel for the bridge differentials and the pre-drawn
+/// noise sequence, plus bitstream/code buffers for the block kernels.
+/// Allocated once per meter and reused so the hot loop never allocates.
+#[derive(Debug)]
+struct FrameScratch {
+    diffs: SoaBlock<f64>,
+    noises: SoaBlock<f64>,
+    bits: Vec<i32>,
+    codes: Vec<i32>,
+}
+
+impl FrameScratch {
+    fn new() -> Self {
+        FrameScratch {
+            diffs: SoaBlock::new(0, 0),
+            noises: SoaBlock::new(0, 0),
+            bits: Vec::new(),
+            codes: Vec::new(),
+        }
+    }
+
+    fn prepare(&mut self, depth: usize) {
+        self.diffs.reshape(CHANNEL_LANES, depth);
+        self.noises.reshape(CHANNEL_LANES, depth);
+        self.bits.resize(depth, 0);
+    }
 }
 
 /// Mode-specific driver state.
@@ -160,6 +203,11 @@ pub struct FlowMeter {
     observer: Option<Box<dyn Observer>>,
     /// Previous saturation-monitor verdict, for edge detection.
     was_saturated: bool,
+    /// Modulator ticks into the current decimation frame (0 = aligned with
+    /// the channels' CIC phase, so a whole frame may run batched).
+    mod_phase: u32,
+    /// Scratch buffers for the batched frame walk.
+    frame: FrameScratch,
 }
 
 impl FlowMeter {
@@ -302,6 +350,8 @@ impl FlowMeter {
             last_raw_ctrl_code: i32::MIN,
             observer: None,
             was_saturated: false,
+            mod_phase: 0,
+            frame: FrameScratch::new(),
             build_seed: seed,
             config,
             die,
@@ -395,6 +445,10 @@ impl FlowMeter {
     /// One modulator tick of co-simulation; returns a measurement on control
     /// ticks.
     pub fn step(&mut self, env: SensorEnvironment) -> Option<Measurement> {
+        self.mod_phase += 1;
+        if self.mod_phase == self.config.decimation {
+            self.mod_phase = 0;
+        }
         // --- analog domain at the modulator rate ---
         let supply = self.platform.supply_voltage();
         let rh_a = self.die.heater_resistance(HeaterId::A);
@@ -464,6 +518,179 @@ impl FlowMeter {
 
         // --- digital domain at the control rate ---
         Some(self.control_step(code, supply))
+    }
+
+    /// Modulator ticks into the current decimation frame: 0 means the meter
+    /// is frame-aligned and [`step_frame`](Self::step_frame) may run.
+    #[inline]
+    pub fn frame_phase(&self) -> u32 {
+        self.mod_phase
+    }
+
+    /// Modulator ticks per control frame (the decimation ratio).
+    #[inline]
+    pub fn ticks_per_frame(&self) -> u32 {
+        self.config.decimation
+    }
+
+    /// Advances one full decimation frame — `decimation` modulator ticks —
+    /// and returns the control-tick measurement the frame ends on.
+    ///
+    /// At the default [`AfeTier::Exact`] the result is bit-identical to
+    /// calling [`step`](Self::step) `decimation` times with the same
+    /// environment: the frame walk pre-draws every RNG value in the scalar
+    /// draw order (die step, then one noise draw each for the direction,
+    /// temperature and control channels per tick) before running the
+    /// per-channel block kernels, whose floating-point chains are mutually
+    /// independent. At [`AfeTier::Fast`] the AFE is instead evaluated
+    /// quasi-statically once per frame — a bounded-error approximation for
+    /// fleet-scale studies.
+    ///
+    /// Analog inputs are held piecewise-constant across the frame, exactly
+    /// as the scalar path sees them: the supply code only changes on control
+    /// ticks, and the environment is whatever the caller passes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meter is not frame-aligned
+    /// ([`frame_phase`](Self::frame_phase) != 0).
+    pub fn step_frame(&mut self, env: SensorEnvironment) -> Measurement {
+        assert_eq!(
+            self.mod_phase, 0,
+            "step_frame requires frame alignment (frame_phase() == 0)"
+        );
+        match self.config.afe_tier {
+            AfeTier::Exact => self.step_frame_exact(env),
+            AfeTier::Fast => self.step_frame_fast(env),
+        }
+    }
+
+    /// The exact frame walk: phase 1 runs the physics and pre-draws the
+    /// noise lanes tick by tick (preserving the scalar RNG order), phase 2
+    /// runs each channel's flat block kernel over its lane.
+    fn step_frame_exact(&mut self, env: SensorEnvironment) -> Measurement {
+        let depth = self.config.decimation as usize;
+        self.frame.prepare(depth);
+        let supply = self.platform.supply_voltage();
+        let overtemp = env.fluid_temperature.get() - 25.0;
+
+        for k in 0..depth {
+            let rh_a = self.die.heater_resistance(HeaterId::A);
+            let rh_b = self.die.heater_resistance(HeaterId::B);
+            let rt = self.die.reference_resistance();
+            let out_a = self.bridge.solve(supply, rh_a, rt);
+            let out_b = self.bridge.solve(supply, rh_b, rt);
+            self.die.step(
+                self.dt,
+                out_a.heater_power,
+                out_b.heater_power,
+                env,
+                &mut self.rng,
+            );
+            self.frame.diffs.lane_mut(CTRL_CHANNEL)[k] =
+                ((out_a.differential + out_b.differential) * 0.5).get();
+            self.frame.diffs.lane_mut(DIR_CHANNEL)[k] =
+                (out_a.differential - out_b.differential).get();
+            self.frame.diffs.lane_mut(TEMP_CHANNEL)[k] =
+                (out_a.reference_mid - supply * self.ref_ratio_cal).get();
+            // Scalar noise draw order within a tick: direction, temperature,
+            // control. The draws interleave with the die's across ticks, but
+            // each channel's own f64 chain only sees its own sequence.
+            for lane in [DIR_CHANNEL, TEMP_CHANNEL, CTRL_CHANNEL] {
+                let chan = self
+                    .platform
+                    .channel_mut(lane)
+                    .expect("configured in new()");
+                self.frame.noises.lane_mut(lane)[k] = chan.draw_noise(&mut self.rng);
+            }
+        }
+
+        // Frame-aligned channels emit exactly one code per block.
+        let dir_code = self.sample_lane(DIR_CHANNEL, overtemp);
+        self.last_dir_code = dir_code;
+        let temp_code = self.sample_lane(TEMP_CHANNEL, overtemp);
+        self.last_temp_code = temp_code;
+        let code = self.sample_lane(CTRL_CHANNEL, overtemp);
+        let code = match self.adc_fault {
+            Some(fault) => fault.apply(code),
+            None => code,
+        };
+        self.control_step(code, supply)
+    }
+
+    /// Runs one channel's block kernel over its scratch lane and returns the
+    /// single decimated code a frame-aligned block produces.
+    fn sample_lane(&mut self, lane: usize, overtemp: f64) -> i32 {
+        self.frame.codes.clear();
+        let chan = self
+            .platform
+            .channel_mut(lane)
+            .expect("configured in new()");
+        chan.sample_block(
+            self.frame.diffs.lane(lane),
+            self.frame.noises.lane(lane),
+            &mut self.frame.bits,
+            overtemp,
+            &mut self.frame.codes,
+        );
+        debug_assert_eq!(self.frame.codes.len(), 1, "frame-aligned block");
+        self.frame.codes[0]
+    }
+
+    /// The fast-tier frame: one bridge solve pair, one coarse die step
+    /// spanning the frame (exponential Euler is exact for constant drive),
+    /// and one quasi-static DC code per channel. Each `dc_code` call draws
+    /// one noise sample, so codes stay dithered and the frozen-code watchdog
+    /// discriminator still sees a live front end.
+    fn step_frame_fast(&mut self, env: SensorEnvironment) -> Measurement {
+        let supply = self.platform.supply_voltage();
+        let rh_a = self.die.heater_resistance(HeaterId::A);
+        let rh_b = self.die.heater_resistance(HeaterId::B);
+        let rt = self.die.reference_resistance();
+        let out_a = self.bridge.solve(supply, rh_a, rt);
+        let out_b = self.bridge.solve(supply, rh_b, rt);
+        let frame_dt = Seconds::new(self.dt.get() * self.config.decimation as f64);
+        self.die.step(
+            frame_dt,
+            out_a.heater_power,
+            out_b.heater_power,
+            env,
+            &mut self.rng,
+        );
+
+        let ctrl_diff = (out_a.differential + out_b.differential) * 0.5;
+        let dir_diff = out_a.differential - out_b.differential;
+        let temp_diff = out_a.reference_mid - supply * self.ref_ratio_cal;
+        let overtemp = env.fluid_temperature.get() - 25.0;
+
+        let dir_code = {
+            let chan = self
+                .platform
+                .channel_mut(DIR_CHANNEL)
+                .expect("configured in new()");
+            chan.dc_code(dir_diff, overtemp, &mut self.rng)
+        };
+        self.last_dir_code = dir_code;
+        let temp_code = {
+            let chan = self
+                .platform
+                .channel_mut(TEMP_CHANNEL)
+                .expect("configured in new()");
+            chan.dc_code(temp_diff, overtemp, &mut self.rng)
+        };
+        self.last_temp_code = temp_code;
+        let code = {
+            let chan = self
+                .platform
+                .channel_mut(CTRL_CHANNEL)
+                .expect("configured in new()");
+            chan.dc_code(ctrl_diff, overtemp, &mut self.rng)
+        };
+        let code = match self.adc_fault {
+            Some(fault) => fault.apply(code),
+            None => code,
+        };
+        self.control_step(code, supply)
     }
 
     /// Decodes the fluid temperature from the temperature channel: the
@@ -745,16 +972,42 @@ impl FlowMeter {
         m
     }
 
+    /// Drives `steps` modulator ticks through the fastest available path —
+    /// scalar ticks until the frame boundary, whole batched frames, scalar
+    /// remainder — invoking `on_control` after every completed control tick.
+    /// Bit-identical to an all-scalar walk at the exact tier.
+    fn drive(
+        &mut self,
+        steps: u64,
+        env: SensorEnvironment,
+        mut on_control: impl FnMut(&mut Self, Measurement),
+    ) {
+        let mut remaining = steps;
+        while remaining > 0 && self.mod_phase != 0 {
+            if let Some(m) = self.step(env) {
+                on_control(self, m);
+            }
+            remaining -= 1;
+        }
+        let frame = self.config.decimation as u64;
+        while remaining >= frame {
+            let m = self.step_frame(env);
+            on_control(self, m);
+            remaining -= frame;
+        }
+        for _ in 0..remaining {
+            if let Some(m) = self.step(env) {
+                on_control(self, m);
+            }
+        }
+    }
+
     /// Runs `seconds` of simulated time at a constant environment and
     /// returns the final measurement (if at least one control tick ran).
     pub fn run(&mut self, seconds: f64, env: SensorEnvironment) -> Option<Measurement> {
         let steps = (seconds / self.dt.get()).round() as u64;
         let mut last = None;
-        for _ in 0..steps {
-            if let Some(m) = self.step(env) {
-                last = Some(m);
-            }
-        }
+        self.drive(steps, env, |_, m| last = Some(m));
         last
     }
 
@@ -819,12 +1072,10 @@ impl FlowMeter {
         let steps = (average_s / self.dt.get()).round() as u64;
         let mut sum = 0.0;
         let mut n = 0u64;
-        for _ in 0..steps {
-            if self.step(env).is_some() {
-                sum += self.instantaneous_conductance().get();
-                n += 1;
-            }
-        }
+        self.drive(steps, env, |meter, _| {
+            sum += meter.instantaneous_conductance().get();
+            n += 1;
+        });
         CalPoint {
             velocity: reference,
             conductance: ThermalConductance::new(sum / n.max(1) as f64),
@@ -918,13 +1169,11 @@ impl FlowMeter {
         let steps = (seconds / self.dt.get()).round() as u64;
         let mut sum = 0.0;
         let mut n: u64 = 0;
-        for _ in 0..steps {
-            if self.step(env).is_some() {
-                let u = self.platform.supply_voltage().get().max(0.2);
-                sum += self.last_dir_code as f64 / u;
-                n += 1;
-            }
-        }
+        self.drive(steps, env, |meter, _| {
+            let u = meter.platform.supply_voltage().get().max(0.2);
+            sum += meter.last_dir_code as f64 / u;
+            n += 1;
+        });
         if n > 0 {
             self.dir_offset_per_volt = sum / n as f64;
         }
@@ -1029,6 +1278,123 @@ mod tests {
         SensorEnvironment {
             velocity: MetersPerSecond::from_cm_per_s(v_cm_s),
             ..SensorEnvironment::still_water()
+        }
+    }
+
+    #[test]
+    fn step_frame_is_bit_identical_to_scalar_steps() {
+        let mut scalar = meter(7);
+        let mut framed = meter(7);
+        let e = env(80.0);
+        let frame = scalar.config().decimation;
+        for round in 0..30u32 {
+            if round % 3 == 0 {
+                // De-align with a few scalar ticks on both meters, then
+                // re-align — exercises the mixed scalar/frame cadence.
+                for _ in 0..17 {
+                    assert_eq!(scalar.step(e), framed.step(e));
+                }
+                while framed.frame_phase() != 0 {
+                    assert_eq!(scalar.step(e), framed.step(e));
+                }
+            }
+            let mut last = None;
+            for _ in 0..frame {
+                if let Some(m) = scalar.step(e) {
+                    last = Some(m);
+                }
+            }
+            let m = framed.step_frame(e);
+            assert_eq!(last, Some(m), "round {round}");
+        }
+        // The die state (physics + RNG consumption) must agree to the bit.
+        assert_eq!(
+            scalar.die().heater_temperature(HeaterId::A).get().to_bits(),
+            framed.die().heater_temperature(HeaterId::A).get().to_bits()
+        );
+        assert_eq!(
+            scalar.die().reference_resistance().get().to_bits(),
+            framed.die().reference_resistance().get().to_bits()
+        );
+    }
+
+    #[test]
+    fn step_frame_matches_scalar_under_adc_fault() {
+        use crate::faults::AdcFault;
+        for fault in [AdcFault::Stuck(1234), AdcFault::Offset(-250)] {
+            let mut scalar = meter(13);
+            let mut framed = meter(13);
+            let e = env(60.0);
+            scalar.run(0.2, e);
+            framed.run(0.2, e);
+            scalar.inject_adc_fault(Some(fault));
+            framed.inject_adc_fault(Some(fault));
+            let frame = scalar.config().decimation;
+            for _ in 0..20 {
+                let mut last = None;
+                for _ in 0..frame {
+                    if let Some(m) = scalar.step(e) {
+                        last = Some(m);
+                    }
+                }
+                assert_eq!(last, Some(framed.step_frame(e)), "fault {fault:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_is_bit_identical_regardless_of_entry_phase() {
+        // `run` batches internally; a meter de-aligned by a partial scalar
+        // prefix must produce the same stream as an all-scalar walk.
+        let mut all_scalar = meter(21);
+        let mut batched = meter(21);
+        let e = env(150.0);
+        // De-align both by 13 ticks.
+        for _ in 0..13 {
+            assert_eq!(all_scalar.step(e), batched.step(e));
+        }
+        let steps = (0.3 / all_scalar.dt.get()).round() as u64;
+        let mut last = None;
+        for _ in 0..steps {
+            if let Some(m) = all_scalar.step(e) {
+                last = Some(m);
+            }
+        }
+        let batched_last = batched.run(0.3, e);
+        assert_eq!(last, batched_last);
+        assert_eq!(all_scalar.frame_phase(), batched.frame_phase());
+    }
+
+    #[test]
+    fn fast_tier_tracks_exact_tier_within_bound() {
+        let fast_cfg = FlowMeterConfig {
+            afe_tier: crate::config::AfeTier::Fast,
+            ..FlowMeterConfig::test_profile()
+        };
+        let mut fast = FlowMeter::new(fast_cfg, MafParams::nominal(), 5).unwrap();
+        let mut exact = meter(5);
+        for v in [40.0, 120.0, 220.0] {
+            let me = exact.run(1.5, env(v)).unwrap();
+            let mf = fast.run(1.5, env(v)).unwrap();
+            let err = (me.speed.to_cm_per_s() - mf.speed.to_cm_per_s()).abs();
+            // Bounded steady-state error: within 2 % of full scale (250 cm/s)
+            // of the exact tier's decode.
+            assert!(err < 5.0, "fast-tier speed error {err:.2} cm/s at {v} cm/s");
+            // The quasi-static codes must stay dithered enough that the
+            // frozen-code discriminator never trips a false watchdog reset.
+            assert_eq!(mf.health, HealthState::Healthy, "at {v} cm/s");
+            assert!(!mf.faults.loop_saturated, "at {v} cm/s");
+        }
+    }
+
+    #[test]
+    fn frame_phase_tracks_scalar_ticks() {
+        let mut m = meter(9);
+        let e = env(0.0);
+        assert_eq!(m.frame_phase(), 0);
+        for i in 1..=m.ticks_per_frame() {
+            m.step(e);
+            assert_eq!(m.frame_phase(), i % m.ticks_per_frame());
         }
     }
 

@@ -96,6 +96,9 @@ pub struct InputChannel {
     charge_state: f64,
     /// Scale factor turning the CIC's raw output into a signed 16-bit word.
     norm_shift: u32,
+    /// Reusable buffer for the CIC's raw block outputs (no per-frame
+    /// allocation on the block path).
+    cic_scratch: Vec<i64>,
 }
 
 impl InputChannel {
@@ -121,6 +124,7 @@ impl InputChannel {
             cic,
             charge_state: 0.0,
             norm_shift,
+            cic_scratch: Vec::new(),
         })
     }
 
@@ -173,6 +177,85 @@ impl InputChannel {
         self.cic
             .push(bit)
             .map(|raw| ((raw >> self.norm_shift) as i32).clamp(-32768, 32767))
+    }
+
+    /// Draws the per-tick input-referred noise sample for this channel —
+    /// exactly the RNG draws [`sample`](Self::sample) makes internally
+    /// (white then flicker), split out so a frame caller can pre-draw noise
+    /// lanes in the scalar draw order before running the block kernels.
+    pub fn draw_noise<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        self.inamp.draw_noise(rng)
+    }
+
+    /// Pushes a block of instrumentation-mode differential samples through
+    /// the full chain (in-amp → anti-alias → ΣΔ → CIC), appending every
+    /// decimated 16-bit word produced to `out`.
+    ///
+    /// `diffs` holds the differential inputs in volts; `noises` holds one
+    /// pre-drawn [`draw_noise`](Self::draw_noise) value per tick; `bits` is
+    /// scratch for the modulator bitstream. The three analog stages run as
+    /// one fused register-hoisted pass
+    /// ([`hotwire_afe::chain::amplify_filter_modulate_block`]), then the
+    /// CIC walks the bitstream. Bit-identical to the equivalent sequence
+    /// of scalar `sample(AnalogInput::Differential(..))` calls whose noise
+    /// was drawn in the same RNG order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel is not in instrumentation mode or the slice
+    /// lengths disagree.
+    pub fn sample_block(
+        &mut self,
+        diffs: &[f64],
+        noises: &[f64],
+        bits: &mut [i32],
+        chip_overtemp_k: f64,
+        out: &mut Vec<i32>,
+    ) {
+        assert!(
+            matches!(self.config.mode, ReadoutMode::Instrumentation),
+            "sample_block supports instrumentation mode only"
+        );
+        hotwire_afe::chain::amplify_filter_modulate_block(
+            &mut self.inamp,
+            &mut self.antialias,
+            &mut self.modulator,
+            diffs,
+            noises,
+            chip_overtemp_k,
+            bits,
+        );
+        self.cic_scratch.clear();
+        self.cic.push_block(bits, &mut self.cic_scratch);
+        let shift = self.norm_shift;
+        out.extend(
+            self.cic_scratch
+                .iter()
+                .map(|&raw| ((raw >> shift) as i32).clamp(-32768, 32767)),
+        );
+    }
+
+    /// The signed 16-bit word the full chain settles to for a quasi-static
+    /// differential input — the fast-AFE tier's one-call-per-frame stand-in
+    /// for `decimation` scalar [`sample`](Self::sample) calls.
+    ///
+    /// Draws one noise sample (so consecutive codes stay dithered and the
+    /// frozen-code watchdog discriminator keeps seeing a live input) and
+    /// maps the in-amp's DC transfer through the modulator's stable input
+    /// range and the CIC's DC gain. Filter poles and integrators are not
+    /// advanced: this tier trades transient response for speed, with the
+    /// steady-state error pinned by tests.
+    pub fn dc_code<R: Rng + ?Sized>(
+        &mut self,
+        v_diff: Volts,
+        chip_overtemp_k: f64,
+        rng: &mut R,
+    ) -> i32 {
+        let noise = self.inamp.draw_noise(rng);
+        let v = self.inamp.dc_output(v_diff, chip_overtemp_k, noise);
+        let u = (v.get() / self.config.vref.get()).clamp(-0.9, 0.9);
+        let raw = ((u * self.cic.gain() as f64).round() as i64) >> self.norm_shift;
+        raw.clamp(-32768, 32767) as i32
     }
 
     /// Full-scale positive output code (≈ +2¹⁵).

@@ -97,6 +97,47 @@ impl SurfaceCondition {
     }
 }
 
+/// One-entry memo for the exponential-Euler decay factor `exp(−dt/τ)`.
+///
+/// Between control ticks the drive and surface state of a membrane node are
+/// bit-for-bit constant, so `dt` and `G_tot` — the only inputs to the decay —
+/// repeat exactly. Keying on their raw bit patterns lets the modulator-rate
+/// hot loop skip the `exp` on every repeated tick without changing a single
+/// result bit: a hit returns the very value a recomputation would produce.
+#[derive(Debug, Clone, Copy)]
+pub struct DecayCache {
+    key: (u64, u64),
+    value: f64,
+}
+
+impl DecayCache {
+    /// An empty cache (first lookup always misses).
+    pub const fn empty() -> Self {
+        // NaN bit patterns — never produced by a real (dt, G_tot) pair.
+        DecayCache {
+            key: (u64::MAX, u64::MAX),
+            value: 0.0,
+        }
+    }
+
+    #[inline]
+    fn decay(&mut self, dt: f64, g_tot: f64, heat_capacity: f64) -> f64 {
+        let key = (dt.to_bits(), g_tot.to_bits());
+        if self.key != key {
+            let tau = heat_capacity / g_tot;
+            self.key = key;
+            self.value = (-dt / tau).exp();
+        }
+        self.value
+    }
+}
+
+impl Default for DecayCache {
+    fn default() -> Self {
+        DecayCache::empty()
+    }
+}
+
 /// The evolving thermal state of one membrane node.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MembraneState {
@@ -141,14 +182,46 @@ impl MembraneState {
         t_fluid: Celsius,
         t_rim: Celsius,
     ) -> ThermalConductance {
-        let g_conv = surface.effective_conductance(king.conductance(v));
+        let mut cache = DecayCache::empty();
+        self.step_cached(
+            dt,
+            p_el,
+            params,
+            king.conductance(v),
+            surface,
+            t_fluid,
+            t_rim,
+            &mut cache,
+        )
+    }
+
+    /// [`step`](Self::step) with the ideal King's-law conductance precomputed
+    /// by the caller and the decay exponential memoized through `cache`.
+    ///
+    /// Bit-identical to `step` when `ideal == king.conductance(v)`: a cache
+    /// miss performs exactly the same `τ = C/G_tot`, `exp(−dt/τ)` sequence,
+    /// and a hit returns the bit-equal stored value. This is the die's
+    /// modulator-rate entry point — the caller hoists the (per-control-tick
+    /// constant) King evaluation and each node keeps its own cache.
+    #[allow(clippy::too_many_arguments)] // mirrors the physical heat-balance terms
+    pub fn step_cached(
+        &mut self,
+        dt: Seconds,
+        p_el: Watts,
+        params: &MembraneParams,
+        ideal: ThermalConductance,
+        surface: SurfaceCondition,
+        t_fluid: Celsius,
+        t_rim: Celsius,
+        cache: &mut DecayCache,
+    ) -> ThermalConductance {
+        let g_conv = surface.effective_conductance(ideal);
         let g_sub = params.substrate_conductance + params.backside_conductance;
         let g_tot = g_conv + g_sub;
         // T_inf = (P + G_sub·T_rim + G_conv·T_fluid) / G_tot
         let t_inf =
             (p_el.get() + g_sub.get() * t_rim.get() + g_conv.get() * t_fluid.get()) / g_tot.get();
-        let tau = params.heat_capacity.get() / g_tot.get();
-        let decay = (-dt.get() / tau).exp();
+        let decay = cache.decay(dt.get(), g_tot.get(), params.heat_capacity.get());
         self.temperature = Celsius::new(t_inf + (self.temperature.get() - t_inf) * decay);
         g_conv
     }
@@ -344,6 +417,41 @@ mod tests {
             fluid,
         );
         assert!((state.temperature() - expected).abs().get() < 1e-9);
+    }
+
+    #[test]
+    fn cached_step_is_bit_identical_to_step() {
+        let (params, king) = setup();
+        let fluid = Celsius::new(15.0);
+        let v = MetersPerSecond::new(0.7);
+        let mut plain = MembraneState::at_equilibrium(fluid);
+        let mut cached = MembraneState::at_equilibrium(fluid);
+        let mut cache = DecayCache::empty();
+        let surface = SurfaceCondition {
+            bubble_coverage: 0.2,
+            fouling_resistance: ThermalResistance::new(10.0),
+        };
+        let dt = Seconds::from_micros(4.0);
+        for i in 0..500 {
+            // Vary the drive so t_inf moves while (dt, G_tot) stays cached.
+            let p = Watts::new(0.01 + 1e-4 * (i % 7) as f64);
+            let g_plain = plain.step(dt, p, &params, &king, v, surface, fluid, fluid);
+            let g_cached = cached.step_cached(
+                dt,
+                p,
+                &params,
+                king.conductance(v),
+                surface,
+                fluid,
+                fluid,
+                &mut cache,
+            );
+            assert_eq!(g_plain.get().to_bits(), g_cached.get().to_bits());
+            assert_eq!(
+                plain.temperature().get().to_bits(),
+                cached.temperature().get().to_bits()
+            );
+        }
     }
 
     #[test]

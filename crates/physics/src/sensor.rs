@@ -16,7 +16,7 @@ use crate::bubbles::{BubbleLayer, BubbleParams};
 use crate::fluid::{Air, Fluid, FluidProperties, Water};
 use crate::fouling::{FoulingLayer, FoulingParams, Passivation};
 use crate::kings_law::{KingsLaw, WireGeometry};
-use crate::membrane::{MembraneParams, MembraneState, SurfaceCondition};
+use crate::membrane::{DecayCache, MembraneParams, MembraneState, SurfaceCondition};
 use crate::resistor::Rtd;
 use crate::PhysicsError;
 use hotwire_units::{Celsius, MetersPerSecond, Ohms, Pascals, Seconds, ThermalConductance, Watts};
@@ -207,6 +207,10 @@ struct HeaterChannel {
     bubbles: BubbleLayer,
     fouling: FoulingLayer,
     last_conductance: ThermalConductance,
+    /// Per-node memo for the exponential-Euler decay factor — the inputs
+    /// repeat bit-for-bit between control ticks, so the modulator-rate loop
+    /// skips the `exp` on hits without changing any result bit.
+    decay_cache: DecayCache,
 }
 
 impl HeaterChannel {
@@ -217,6 +221,7 @@ impl HeaterChannel {
             bubbles: BubbleLayer::new(params.bubbles),
             fouling: FoulingLayer::new(params.fouling, params.passivation),
             last_conductance: ThermalConductance::ZERO,
+            decay_cache: DecayCache::empty(),
         }
     }
 
@@ -254,6 +259,14 @@ pub struct MafDie {
     reference_temperature: Celsius,
     king: KingsLaw,
     king_film_temp: f64,
+    /// Memo of the last King's-law evaluation, keyed on the velocity's bit
+    /// pattern. The velocity only changes at the control/environment rate,
+    /// so the modulator-rate loop skips the `powf` on nearly every tick;
+    /// invalidated whenever the law is re-derived.
+    conductance_cache: Option<(u64, f64)>,
+    /// Memo of the reference-lag factor `exp(−dt/lag)`, keyed on the step's
+    /// bit pattern (the lag itself is a fixed parameter).
+    rho_cache: Option<(u64, f64)>,
 }
 
 impl MafDie {
@@ -271,6 +284,8 @@ impl MafDie {
             reference_temperature: initial_temperature,
             king,
             king_film_temp: initial_temperature.get(),
+            conductance_cache: None,
+            rho_cache: None,
             params,
             fluid,
         }
@@ -323,6 +338,15 @@ impl MafDie {
     /// The heater RTD law for the selected heater.
     pub fn heater_rtd(&self, id: HeaterId) -> &Rtd {
         &self.channel(id).rtd
+    }
+
+    /// Current temperature of the ambient-reference node — together with
+    /// [`heater_temperature`](Self::heater_temperature) and
+    /// [`kings_law`](Self::kings_law), the die state a bounded-error fast
+    /// AFE tier linearizes its once-per-frame bridge solve around.
+    #[inline]
+    pub fn reference_temperature(&self) -> Celsius {
+        self.reference_temperature
     }
 
     /// Film temperature of the selected heater.
@@ -396,6 +420,7 @@ impl MafDie {
             self.king =
                 KingsLaw::from_kramers(&self.fluid, Celsius::new(film), self.params.geometry);
             self.king_film_temp = film;
+            self.conductance_cache = None;
         }
 
         // Advective coupling: downstream heater sees pre-heated fluid.
@@ -417,27 +442,40 @@ impl MafDie {
         let t_eff_b = Celsius::new(t_fluid.get() + pre_b);
 
         let v = env.velocity;
+        // Both nodes share the same ideal King's-law conductance at `v` —
+        // evaluate it once, through the bit-keyed memo (the velocity only
+        // changes at the environment rate, so the `powf` almost always
+        // skips). A memo hit returns the exact value a recomputation would.
+        let v_bits = v.get().to_bits();
+        let ideal = match self.conductance_cache {
+            Some((bits, g)) if bits == v_bits => ThermalConductance::new(g),
+            _ => {
+                let g = self.king.conductance(v);
+                self.conductance_cache = Some((v_bits, g.get()));
+                g
+            }
+        };
         let surface_a = self.heater_a.surface();
         let surface_b = self.heater_b.surface();
-        self.heater_a.last_conductance = self.heater_a.membrane.step(
+        self.heater_a.last_conductance = self.heater_a.membrane.step_cached(
             dt,
             power_a,
             &self.params.membrane,
-            &self.king,
-            v,
+            ideal,
             surface_a,
             t_eff_a,
             t_fluid,
+            &mut self.heater_a.decay_cache,
         );
-        self.heater_b.last_conductance = self.heater_b.membrane.step(
+        self.heater_b.last_conductance = self.heater_b.membrane.step_cached(
             dt,
             power_b,
             &self.params.membrane,
-            &self.king,
-            v,
+            ideal,
             surface_b,
             t_eff_b,
             t_fluid,
+            &mut self.heater_b.decay_cache,
         );
 
         // Surface degradation follows wall temperature.
@@ -454,8 +492,18 @@ impl MafDie {
             .fouling
             .step(dt, wall_b, hardness, self.heater_b.bubbles.coverage());
 
-        // Reference resistor tracks the fluid with a first-order lag.
-        let rho = (-dt.get() / self.params.reference_lag.get()).exp();
+        // Reference resistor tracks the fluid with a first-order lag. The
+        // lag factor depends only on `dt` (the lag is a fixed parameter), so
+        // it memoizes on the step's bit pattern.
+        let dt_bits = dt.get().to_bits();
+        let rho = match self.rho_cache {
+            Some((bits, rho)) if bits == dt_bits => rho,
+            _ => {
+                let rho = (-dt.get() / self.params.reference_lag.get()).exp();
+                self.rho_cache = Some((dt_bits, rho));
+                rho
+            }
+        };
         self.reference_temperature =
             Celsius::new(t_fluid.get() + (self.reference_temperature.get() - t_fluid.get()) * rho);
     }

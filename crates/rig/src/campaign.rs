@@ -48,6 +48,7 @@ use crate::record::{PolicyRecorder, RecordPolicy, Recorder, ReductionPlan, RunRe
 use crate::runner::{LineRunner, RunTail, Trace};
 use crate::scenario::Scenario;
 use hotwire_core::calibration::CalPoint;
+use hotwire_core::config::AfeTier;
 use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig};
 use hotwire_physics::{MafParams, SensorEnvironment};
 use hotwire_units::{Celsius, MetersPerSecond, Seconds, ThermalConductance};
@@ -336,6 +337,15 @@ impl RunSpec {
         self
     }
 
+    /// Selects the AFE fidelity tier for this run's meter (default
+    /// [`AfeTier::Exact`]). [`AfeTier::Fast`] opts into the quasi-static
+    /// once-per-frame front end — orders of magnitude faster, with the
+    /// error bound pinned by the core tier tests.
+    pub fn with_afe_tier(mut self, tier: AfeTier) -> Self {
+        self.config.afe_tier = tier;
+        self
+    }
+
     /// Sets every reduction window of the run at once.
     ///
     /// Accepts anything convertible to [`Windows`]; the common
@@ -374,30 +384,6 @@ impl RunSpec {
     /// read the streaming [`RunOutcome::reduced`] instead of the trace.
     pub fn with_record(mut self, policy: RecordPolicy) -> Self {
         self.record = policy;
-        self
-    }
-
-    /// Adds an extra `[t0, t1)` DUT Welford window to reduce during the
-    /// run (read back via [`RunOutcome::window`], in insertion order).
-    #[deprecated(note = "use `with_windows` with `Windows::with_extra`")]
-    pub fn with_extra_window(mut self, t0: f64, t1: f64) -> Self {
-        self.windows.extra.push((t0, t1));
-        self
-    }
-
-    /// Retains the `(t, dut)` series inside `[t0, t1)` during the run,
-    /// for rise-time analysis without a stored trace.
-    #[deprecated(note = "use `with_windows` with `Windows::with_series`")]
-    pub fn with_series_window(mut self, t0: f64, t1: f64) -> Self {
-        self.windows.series = Some((t0, t1));
-        self
-    }
-
-    /// Accumulates DUT-vs-truth error statistics over `[t0, t1)` during
-    /// the run ([`RunReductions::err_rms`], worst |err|).
-    #[deprecated(note = "use `with_windows` with `Windows::with_err`")]
-    pub fn with_err_window(mut self, t0: f64, t1: f64) -> Self {
-        self.windows.err = Some((t0, t1));
         self
     }
 
@@ -510,8 +496,8 @@ impl RunOutcome {
         self.reduced.settled
     }
 
-    /// The spec's `i`-th extra window ([`RunSpec::with_extra_window`]),
-    /// reduced while the run streamed.
+    /// The spec's `i`-th extra window ([`Windows::with_extra`]), reduced
+    /// while the run streamed.
     ///
     /// # Panics
     ///
@@ -606,9 +592,10 @@ pub fn collect_calibration_points(
             let mut env = SensorEnvironment::still_water();
             let (mut g_sum, mut v_sum, mut n) = (0.0, 0.0, 0u64);
             while !line.finished() {
-                if meter.step(env).is_none() {
-                    continue;
-                }
+                // A fresh replica is frame-aligned and stays aligned: each
+                // control tick is one whole modulator frame, run as a SoA
+                // block walk (bit-identical to per-tick stepping).
+                let _ = meter.step_frame(env);
                 env = line.step(control_dt);
                 let promag_reading = promag.step(control_dt, line.bulk_velocity(), &mut ref_rng);
                 if line.time() >= recipe.settle_s {
@@ -887,33 +874,6 @@ mod tests {
         assert_eq!(a.a.to_bits(), b.a.to_bits());
         assert_eq!(a.b.to_bits(), b.b.to_bits());
         assert_eq!(a.n.to_bits(), b.n.to_bits());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_window_shims_match_grouped_builder() {
-        // The legacy per-window builders are shims over the Windows field:
-        // a spec built through them is *equal* to one built through the
-        // grouped builder, so outcomes are bit-identical by construction.
-        let grouped = spec(0).with_windows(
-            Windows::settled(1.0, 1.0)
-                .with_extra(0.2, 0.6)
-                .with_extra(1.2, 1.6)
-                .with_series(0.0, 0.5)
-                .with_err(1.0, 2.0),
-        );
-        let shimmed = spec(0)
-            .with_windows((1.0, 1.0))
-            .with_extra_window(0.2, 0.6)
-            .with_extra_window(1.2, 1.6)
-            .with_series_window(0.0, 0.5)
-            .with_err_window(1.0, 2.0);
-        assert_eq!(grouped, shimmed);
-        assert_eq!(grouped.reduction_plan(), shimmed.reduction_plan());
-        // And the runs they describe reduce identically.
-        let a = grouped.execute().unwrap();
-        let b = shimmed.execute().unwrap();
-        assert_eq!(a.reduced, b.reduced);
     }
 
     #[test]

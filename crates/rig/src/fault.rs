@@ -271,6 +271,23 @@ impl FaultInjector {
         }
     }
 
+    /// Whether a scheduled window would both engage *and* expire at
+    /// scenario time `t` — a window shorter than one control tick. The
+    /// per-tick step path gives such a window exactly one modulator tick
+    /// of engagement (engaged by the `apply` before the first tick at
+    /// `t`, reverted by the `apply` before the second); a whole-frame
+    /// block step cannot reproduce that single faulted tick, so the
+    /// runner drops to per-tick stepping while one is pending. Must be
+    /// consulted *before* the frame's `apply` call — afterwards the
+    /// window is already `Active` and no longer visible here.
+    pub fn has_subtick_window(&self, t: f64) -> bool {
+        self.schedule
+            .events
+            .iter()
+            .zip(&self.phases)
+            .any(|(e, p)| *p == Phase::Pending && t >= e.at_s && t >= e.end_s())
+    }
+
     /// Runs one recorded measurement through the telemetry wire simulation
     /// (no-op unless the schedule has a UART fault). `meter` is only used
     /// to report frame-error events into the run's observability log — the

@@ -66,6 +66,7 @@ use crate::fault::FaultSchedule;
 use crate::metrics;
 use crate::record::{HealthCensus, RecordPolicy};
 use crate::scenario::Scenario;
+use hotwire_core::config::AfeTier;
 use hotwire_core::{CoreError, FlowMeterConfig};
 use hotwire_physics::MafParams;
 
@@ -256,6 +257,16 @@ impl FleetSpec {
     #[must_use]
     pub fn with_variation(mut self, variation: LineVariation) -> Self {
         self.variation = variation;
+        self
+    }
+
+    /// Selects the AFE fidelity tier for every line's meter (default
+    /// [`AfeTier::Exact`]). [`AfeTier::Fast`] opts the whole fleet into
+    /// the quasi-static once-per-frame front end — orders of magnitude
+    /// faster, with the error bound pinned by the core tier tests.
+    #[must_use]
+    pub fn with_afe_tier(mut self, tier: AfeTier) -> Self {
+        self.config.afe_tier = tier;
         self
     }
 

@@ -222,18 +222,45 @@ impl LineRunner {
         let observing = self.meter.has_observer();
         let mut run_obs = observing.then(RunObs::default);
         let mut steps_since_control: u64 = 0;
+        let frame_ticks = u64::from(self.meter.ticks_per_frame());
         while !self.line.finished() {
+            // Sub-control-tick fault windows engage and expire at the same
+            // scenario time; only per-tick `apply` calls give them their
+            // single faulted tick, so the frame path stands down for them.
+            // Checked before `apply` — engaging hides the window.
+            let t_now = self.line.time();
+            let subtick_fault = self
+                .injector
+                .as_ref()
+                .is_some_and(|inj| inj.has_subtick_window(t_now));
             // Faults engage/revert on the scenario clock, before the tick
-            // they first affect.
+            // they first affect. The scenario clock is constant between
+            // control ticks, so for a frame-aligned meter one `apply`
+            // reaches the same phase fixed point the per-tick path does.
             if let Some(injector) = self.injector.as_mut() {
-                injector.apply(self.line.time(), &mut self.meter);
+                injector.apply(t_now, &mut self.meter);
             }
-            let measurement = self.meter.step(self.env);
-            if let Some(obs) = run_obs.as_mut() {
-                obs.counters.modulator_steps += 1;
-                steps_since_control += 1;
-            }
-            let Some(m) = measurement else { continue };
+            let m = if self.meter.frame_phase() == 0 && !subtick_fault {
+                // Hot path: the whole modulator-rate frame runs as one SoA
+                // block walk, bit-identical to the per-tick ticks below.
+                let m = self.meter.step_frame(self.env);
+                if let Some(obs) = run_obs.as_mut() {
+                    obs.counters.modulator_steps += frame_ticks;
+                    steps_since_control += frame_ticks;
+                }
+                m
+            } else {
+                // Per-tick path: a de-aligned meter (single-stepped before
+                // being handed to the runner) or a pending sub-tick fault
+                // window.
+                let measurement = self.meter.step(self.env);
+                if let Some(obs) = run_obs.as_mut() {
+                    obs.counters.modulator_steps += 1;
+                    steps_since_control += 1;
+                }
+                let Some(m) = measurement else { continue };
+                m
+            };
             if let Some(obs) = run_obs.as_mut() {
                 obs.counters.control_ticks += 1;
                 // Modulator ticks from the ADC samples entering the channel
