@@ -1,7 +1,7 @@
 //! `fleet_bench` — measures the fleet engine and guards it against
 //! regressions.
 //!
-//! Two measurements, written to `BENCH_fleet.json`:
+//! Measurements, written to `BENCH_fleet.json`:
 //!
 //! * **throughput** — the F2 fleet population (seed-diverse lines, ±5 %
 //!   demand jitter, faults on every 10th line) executed end to end:
@@ -9,10 +9,17 @@
 //!   headline, comparable across machines with ≥ 2 cores), again at the
 //!   process default, and once more on the opt-in fast AFE tier (both
 //!   informational);
-//! * **memory** — retained bytes per line: the fleet keeps one compact
+//! * **memory** — retained bytes per line: small fleets keep one compact
 //!   [`LineSummary`] per line and **zero** trace bytes (`MetricsOnly` is
 //!   forced by the engine); the run fails outright if the measured trace
-//!   heap is non-zero.
+//!   heap is non-zero;
+//! * **scale** — a large fast-tier fleet (100 k lines full, 2 k smoke)
+//!   run as independent shards on the sketch path: per-shard accumulator
+//!   heap stays fixed (gated below 64 KiB) and no per-line summaries are
+//!   retained, demonstrating O(shard) memory at any population size;
+//! * **sharded equivalence** — the headline population re-run as shards
+//!   and merged must reproduce the monolithic aggregates bit for bit
+//!   (hard gate, compared by digest).
 //!
 //! ```sh
 //! cargo run -p hotwire-bench --release --bin fleet_bench
@@ -23,20 +30,45 @@
 //! `--check BASELINE` compares the freshly measured pinned-jobs lines/s
 //! against the committed baseline and exits non-zero if it regressed by
 //! more than 30 %.
+//!
+//! # Kill-and-resume smoke
+//!
+//! `--checkpoint PATH` switches to the checkpoint exercise instead of the
+//! measurements: the smoke fleet runs with a checkpoint file at `PATH`.
+//! With `--kill-after-lines N` the process **hard-exits** (code 86, no
+//! cleanup) at the first batch boundary covering ≥ N lines — a real
+//! process death with a checkpoint left on disk. A second invocation
+//! without the kill flag resumes from that checkpoint, finishes, and
+//! verifies the resumed aggregates are bit-identical to a fresh
+//! uninterrupted run (hard gate):
+//!
+//! ```sh
+//! fleet_bench --smoke --checkpoint ck.txt --kill-after-lines 24; test $? -eq 86
+//! fleet_bench --smoke --checkpoint ck.txt --out resume.json
+//! ```
 
 use hotwire_bench::experiments::f2_fleet;
-use hotwire_core::config::AfeTier;
-use hotwire_rig::fleet::{FleetOutcome, LineSummary};
+use hotwire_core::config::{fnv1a64, AfeTier};
+use hotwire_rig::fleet::{FleetOutcome, FleetSpec, LineSummary};
+use std::ops::ControlFlow;
 use std::process::ExitCode;
 use std::time::Instant;
 
 const USAGE: &str = "usage: fleet_bench [--smoke] [--out PATH] [--check BASELINE]
+                   [--checkpoint PATH [--kill-after-lines N]]
 options:
-  --smoke          scaled-down fleet for CI (64 lines instead of 1000,
-                   same scenario seconds per line so lines/s is comparable)
-  --out PATH       where to write the JSON report (default: BENCH_fleet.json)
-  --check BASELINE compare against a committed BENCH_fleet.json; exit 1 if the
-                   pinned-jobs lines/s regressed more than 30 %";
+  --smoke            scaled-down fleets for CI (64-line headline, 2k-line
+                     sharded scale run; same scenario seconds per line so
+                     lines/s is comparable)
+  --out PATH         where to write the JSON report (default: BENCH_fleet.json)
+  --check BASELINE   compare against a committed BENCH_fleet.json; exit 1 if
+                     the pinned-jobs lines/s regressed more than 30 %
+  --checkpoint PATH  run the kill-and-resume exercise against PATH instead of
+                     the measurements (resumes if PATH already holds a
+                     checkpoint; verifies resumed == uninterrupted bits)
+  --kill-after-lines N
+                     with --checkpoint: hard-exit (code 86) at the first
+                     checkpointed batch boundary covering >= N lines";
 
 /// Fraction of the baseline's throughput the fresh measurement may lose
 /// before `--check` fails.  The committed baseline is a full 1000-line
@@ -52,6 +84,17 @@ const REGRESSION_TOLERANCE: f64 = 0.30;
 /// number is comparable across machines with different core counts.
 const HEADLINE_JOBS: usize = 2;
 
+/// Exit code of a deliberate `--kill-after-lines` process death, so the
+/// CI wrapper can tell "killed as requested" from a real failure.
+const KILL_EXIT: u8 = 86;
+
+/// Shards the large scale run splits into.
+const SCALE_SHARDS: usize = 8;
+
+/// Hard ceiling on one shard accumulator's heap (two bounded sketches
+/// plus the incidence map) — the O(shard) memory gate.
+const SHARD_HEAP_CEILING_BYTES: usize = 64 * 1024;
+
 /// One fleet execution's measurement.
 struct FleetRun {
     lines: usize,
@@ -59,6 +102,9 @@ struct FleetRun {
     wall_s: f64,
     trace_heap_bytes: usize,
     summary_bytes_per_line: usize,
+    /// FNV-1a over the outcome's `Debug` rendering — the bit-identity
+    /// witness the sharded-equivalence and kill-resume gates compare.
+    digest: u64,
 }
 
 impl FleetRun {
@@ -78,6 +124,13 @@ fn summary_bytes(s: &LineSummary) -> usize {
         + s.fault_kinds.capacity() * std::mem::size_of::<&'static str>()
 }
 
+/// The bit-identity witness: FNV-1a over the full `Debug` rendering
+/// (aggregates *and* any retained per-line summaries — floats render
+/// exactly, so equal digests mean equal bits).
+fn outcome_digest(outcome: &FleetOutcome) -> u64 {
+    fnv1a64(format!("{outcome:?}").as_bytes())
+}
+
 fn measure(lines: usize, duration_s: f64, jobs: usize, tier: AfeTier) -> Result<FleetRun, String> {
     let spec = f2_fleet::fleet_spec(lines, duration_s).with_afe_tier(tier);
     let start = Instant::now();
@@ -90,7 +143,125 @@ fn measure(lines: usize, duration_s: f64, jobs: usize, tier: AfeTier) -> Result<
         wall_s,
         trace_heap_bytes: outcome.trace_heap_bytes(),
         summary_bytes_per_line: retained / outcome.aggregates.lines.max(1),
+        digest: outcome_digest(&outcome),
     })
+}
+
+/// The large sketch-path fleet, run shard by shard: measures throughput
+/// and the *peak shard accumulator heap* — the number that stays fixed
+/// while the line count scales.
+struct ScaleRun {
+    lines: usize,
+    samples: u64,
+    wall_s: f64,
+    max_shard_heap_bytes: usize,
+    retained_summaries: usize,
+    digest: u64,
+}
+
+fn measure_sharded(spec: &FleetSpec, shards: usize, jobs: usize) -> Result<ScaleRun, String> {
+    let start = Instant::now();
+    let mut max_heap = 0usize;
+    let mut acc: Option<hotwire_rig::fleet::ShardAggregates> = None;
+    for shard in spec.shards(shards) {
+        let part = shard.run_jobs(jobs).map_err(|e| e.to_string())?;
+        max_heap = max_heap.max(part.heap_bytes());
+        match &mut acc {
+            None => acc = Some(part),
+            Some(acc) => acc.merge(&part).map_err(|e| e.to_string())?,
+        }
+    }
+    let acc = acc.ok_or("no shards ran")?;
+    let wall_s = start.elapsed().as_secs_f64();
+    let retained_summaries = acc.summaries.len();
+    let aggregates = acc.finalize(
+        spec.config.full_scale.to_cm_per_s(),
+        spec.scenario.duration_s * spec.lines as f64,
+    );
+    let digest = fnv1a64(format!("{aggregates:?}").as_bytes());
+    Ok(ScaleRun {
+        lines: aggregates.lines,
+        samples: aggregates.total_samples,
+        wall_s,
+        max_shard_heap_bytes: max_heap,
+        retained_summaries,
+        digest,
+    })
+}
+
+/// The `--checkpoint` exercise: run (or resume) the smoke-scale fleet
+/// with a checkpoint file, optionally hard-killing the process at a
+/// covered batch boundary, and on completion verify the resumed bits
+/// against a fresh uninterrupted run.
+fn checkpoint_exercise(
+    smoke: bool,
+    path: &str,
+    kill_after_lines: Option<usize>,
+    out_path: &str,
+) -> ExitCode {
+    let (lines, duration_s) = if smoke { (64, 2.0) } else { (256, 2.0) };
+    // Small batches so checkpoints land at several boundaries, fast tier
+    // so the exercise stays a smoke test.
+    let spec = f2_fleet::fleet_spec(lines, duration_s)
+        .with_afe_tier(AfeTier::Fast)
+        .with_batch_size(8);
+    let ck_path = std::path::Path::new(path);
+    eprintln!(
+        "checkpoint exercise: {lines} lines × {duration_s} s, checkpoint at {path} \
+         (interval: every batch)"
+    );
+    let outcome = spec.run_checkpointed_with(ck_path, 1, HEADLINE_JOBS, |progress| {
+        eprintln!(
+            "  checkpointed {}/{} lines",
+            progress.completed_lines, progress.total_lines
+        );
+        if let Some(kill) = kill_after_lines {
+            if progress.completed_lines >= kill {
+                // A real process death: no unwinding, no cleanup — the
+                // durable state is whatever the atomic checkpoint write
+                // left on disk.
+                eprintln!("  killing the process as requested (exit {KILL_EXIT})");
+                std::process::exit(KILL_EXIT as i32);
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("checkpointed fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The resumed (or fresh) checkpointed run must be bit-identical to an
+    // uninterrupted in-memory run of the same spec.
+    let fresh = match spec.run_jobs(HEADLINE_JOBS) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("uninterrupted reference run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let resumed_digest = outcome_digest(&outcome);
+    let fresh_digest = outcome_digest(&fresh);
+    if resumed_digest != fresh_digest {
+        eprintln!(
+            "kill-and-resume equivalence FAILED: resumed digest {resumed_digest:016x} != \
+             uninterrupted {fresh_digest:016x}"
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("kill-and-resume equivalence passed: digest {resumed_digest:016x}");
+    let json = format!(
+        "{{\n  \"checkpoint\": {{\n    \"lines\": {lines},\n    \"path\": {path:?},\n    \
+         \"aggregates_digest\": \"{resumed_digest:016x}\",\n    \"matches_uninterrupted\": true\n  }}\n}}\n"
+    );
+    if let Err(e) = std::fs::write(out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+    ExitCode::SUCCESS
 }
 
 fn json_number(x: f64) -> String {
@@ -104,14 +275,16 @@ fn json_number(x: f64) -> String {
 fn run_json(run: &FleetRun, jobs: usize) -> String {
     format!(
         "{{\"jobs\": {jobs}, \"lines\": {}, \"samples\": {}, \"wall_s\": {}, \"lines_per_s\": {}, \
-         \"samples_per_s\": {}, \"trace_heap_bytes\": {}, \"summary_bytes_per_line\": {}}}",
+         \"samples_per_s\": {}, \"trace_heap_bytes\": {}, \"summary_bytes_per_line\": {}, \
+         \"digest\": \"{:016x}\"}}",
         run.lines,
         run.samples,
         json_number(run.wall_s),
         json_number(run.lines_per_s()),
         json_number(run.samples_per_s()),
         run.trace_heap_bytes,
-        run.summary_bytes_per_line
+        run.summary_bytes_per_line,
+        run.digest
     )
 }
 
@@ -131,6 +304,8 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut out_path = "BENCH_fleet.json".to_string();
     let mut check_path: Option<String> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut kill_after_lines: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -149,6 +324,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--checkpoint" => match args.next() {
+                Some(path) => checkpoint_path = Some(path),
+                None => {
+                    eprintln!("--checkpoint needs a path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--kill-after-lines" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => kill_after_lines = Some(n),
+                None => {
+                    eprintln!("--kill-after-lines needs a line count\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -158,6 +347,14 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+
+    if kill_after_lines.is_some() && checkpoint_path.is_none() {
+        eprintln!("--kill-after-lines requires --checkpoint\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = checkpoint_path {
+        return checkpoint_exercise(smoke, &path, kill_after_lines, &out_path);
     }
 
     // Same scenario seconds per line in both modes so lines/s stays
@@ -179,6 +376,28 @@ fn main() -> ExitCode {
         pinned.trace_heap_bytes,
         pinned.summary_bytes_per_line
     );
+
+    // Hard gate: the same population run as shards and merged must be
+    // the monolithic run, bit for bit.
+    eprintln!("fleet: sharded-merge equivalence ({SCALE_SHARDS} shards)…");
+    let spec = f2_fleet::fleet_spec(lines, duration_s);
+    match spec.run_sharded(SCALE_SHARDS, HEADLINE_JOBS) {
+        Ok(sharded) => {
+            let digest = outcome_digest(&sharded);
+            if digest != pinned.digest {
+                eprintln!(
+                    "sharded merge DIVERGED from monolithic: {digest:016x} vs {:016x}",
+                    pinned.digest
+                );
+                return ExitCode::FAILURE;
+            }
+            eprintln!("  identical bits: digest {digest:016x}");
+        }
+        Err(e) => {
+            eprintln!("sharded fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
     let default_jobs = hotwire_rig::exec::default_jobs();
     eprintln!("fleet: same population at --jobs {default_jobs} (informational)…");
@@ -212,6 +431,46 @@ fn main() -> ExitCode {
         fast.lines_per_s() / pinned.lines_per_s()
     );
 
+    // The O(shard) scale run: a large fast-tier fleet on the sketch path,
+    // run shard by shard. Peak shard heap must stay under the fixed
+    // ceiling and nothing per-line may be retained.
+    let (scale_lines, scale_duration_s) = if smoke { (2000, 2.0) } else { (100_000, 2.0) };
+    eprintln!(
+        "fleet: scale run — {scale_lines} lines × {scale_duration_s} s fast tier, \
+         {SCALE_SHARDS} shards, sketch path…"
+    );
+    let scale_spec = f2_fleet::fleet_spec(scale_lines, scale_duration_s)
+        .with_afe_tier(AfeTier::Fast)
+        .with_exact_threshold(0);
+    let scale = match measure_sharded(&scale_spec, SCALE_SHARDS, HEADLINE_JOBS) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scale fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "  {:.1} lines/s, {:.0} samples/s, peak shard heap {} bytes, {} retained summaries",
+        scale.lines as f64 / scale.wall_s,
+        scale.samples as f64 / scale.wall_s,
+        scale.max_shard_heap_bytes,
+        scale.retained_summaries
+    );
+    if scale.retained_summaries != 0 {
+        eprintln!(
+            "scale fleet retained {} per-line summaries (sketch path must retain none)",
+            scale.retained_summaries
+        );
+        return ExitCode::FAILURE;
+    }
+    if scale.max_shard_heap_bytes > SHARD_HEAP_CEILING_BYTES {
+        eprintln!(
+            "scale fleet shard heap {} bytes exceeds the O(shard) ceiling {}",
+            scale.max_shard_heap_bytes, SHARD_HEAP_CEILING_BYTES
+        );
+        return ExitCode::FAILURE;
+    }
+
     // The memory contract is a hard gate, not a trend: MetricsOnly fleets
     // must hold zero trace bytes at any scale.
     if pinned.trace_heap_bytes != 0 || auto.trace_heap_bytes != 0 || fast.trace_heap_bytes != 0 {
@@ -230,12 +489,25 @@ fn main() -> ExitCode {
         "{{\n  \"smoke\": {smoke},\n  \"headline_lines_per_s\": {},\n  \
          \"headline_jobs\": {HEADLINE_JOBS},\n  \"fleet\": {{\n    \"sim_seconds_per_line\": {},\n    \
          \"pinned_jobs\": {},\n    \"default_jobs\": {},\n    \"fast_tier\": {}\n  }},\n  \
+         \"sharded_equivalence\": {{\"shards\": {SCALE_SHARDS}, \"digest\": \"{:016x}\"}},\n  \
+         \"large_fleet\": {{\"lines\": {}, \"shards\": {SCALE_SHARDS}, \"sim_seconds_per_line\": {}, \
+         \"wall_s\": {}, \"lines_per_s\": {}, \"samples_per_s\": {}, \"max_shard_heap_bytes\": {}, \
+         \"retained_summaries\": {}, \"aggregates_digest\": \"{:016x}\"}},\n  \
          \"fast_tier_speedup\": {},\n  \"default_jobs_resolved\": {default_jobs}\n}}\n",
         json_number(headline),
         json_number(duration_s),
         run_json(&pinned, HEADLINE_JOBS),
         run_json(&auto, default_jobs),
         run_json(&fast, HEADLINE_JOBS),
+        pinned.digest,
+        scale.lines,
+        json_number(scale_duration_s),
+        json_number(scale.wall_s),
+        json_number(scale.lines as f64 / scale.wall_s),
+        json_number(scale.samples as f64 / scale.wall_s),
+        scale.max_shard_heap_bytes,
+        scale.retained_summaries,
+        scale.digest,
         json_number(fast.lines_per_s() / pinned.lines_per_s()),
     );
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -225,7 +225,7 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
             }
         }
         "f2" => {
-            let r = experiments::f2_fleet::run(speed).map_err(err)?;
+            let r = experiments::f2_fleet::run(speed).map_err(|e| e.to_string())?;
             let a = &r.outcome.aggregates;
             Report {
                 metrics: vec![

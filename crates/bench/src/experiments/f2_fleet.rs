@@ -23,9 +23,8 @@
 use super::Speed;
 use crate::table::Table;
 use hotwire_core::config::FlowMeterConfig;
-use hotwire_core::CoreError;
 use hotwire_rig::fault::{FaultKind, FaultSchedule};
-use hotwire_rig::fleet::{FleetOutcome, FleetSpec, LineVariation};
+use hotwire_rig::fleet::{FleetError, FleetOutcome, FleetSpec, LineVariation};
 use hotwire_rig::{Scenario, Windows};
 
 /// Steady demand every line's jittered schedule is derived from, cm/s.
@@ -89,8 +88,9 @@ pub fn scale(speed: Speed) -> (usize, f64) {
 ///
 /// # Errors
 ///
-/// Returns [`CoreError`] if any line cannot be built or calibrated.
-pub fn run(speed: Speed) -> Result<FleetResult, CoreError> {
+/// Returns [`FleetError`] if the spec is degenerate or any line cannot be
+/// built or calibrated (the error carries the completed prefix).
+pub fn run(speed: Speed) -> Result<FleetResult, FleetError> {
     let (lines, duration_s) = scale(speed);
     let outcome = fleet_spec(lines, duration_s).run()?;
     Ok(FleetResult {

@@ -248,6 +248,26 @@ impl FlowMeterConfig {
     pub fn target_heater_resistance(&self, heater: &Rtd) -> Ohms {
         heater.resistance(self.calibration_temperature + self.overheat)
     }
+
+    /// A stable 64-bit fingerprint of the configuration (FNV-1a over the
+    /// canonical `Debug` rendering, whose `f64` formatting round-trips).
+    /// Two configs fingerprint equal iff they would build bit-identical
+    /// meters; fleet checkpoints use this to refuse resuming under a
+    /// different spec.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(format!("{self:?}").as_bytes())
+    }
+}
+
+/// FNV-1a over `bytes` — the workspace's stable, dependency-free hash for
+/// config fingerprints and meter state digests.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl Default for FlowMeterConfig {
@@ -325,6 +345,19 @@ mod tests {
             duty: 0.01,
         };
         assert_eq!(tiny.on_ticks(), 1, "duty rounds up to one tick");
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = FlowMeterConfig::water_station();
+        let b = FlowMeterConfig::water_station();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = FlowMeterConfig::water_station();
+        c.kp += 1e-9;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = FlowMeterConfig::water_station();
+        d.afe_tier = AfeTier::Fast;
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -1263,6 +1263,58 @@ impl FlowMeter {
     pub fn control_ticks(&self) -> u64 {
         self.control_tick
     }
+
+    /// A stable 64-bit digest (FNV-1a) of the meter's observable mutable
+    /// state: control phase, RNG lane state, firmware estimates and
+    /// latches, the health supervisor's verdict, and the die's slow
+    /// physical state. Two meters that walked bit-identical trajectories
+    /// digest equal; any divergence in the simulated state shows up here.
+    /// The fleet layer records this per line, which is how its
+    /// checkpoint/resume and jobs-invariance tests cover full end-state
+    /// equality without serializing whole meters.
+    pub fn state_digest(&self) -> u64 {
+        let flags = self.fault_latch;
+        let m = self.last_measurement.as_ref();
+        let words: [u64; 30] = [
+            self.control_tick,
+            self.mod_phase as u64,
+            self.rng.state()[0],
+            self.rng.state()[1],
+            self.rng.state()[2],
+            self.rng.state()[3],
+            self.last_dir_code as i64 as u64,
+            self.last_temp_code as i64 as u64,
+            self.last_raw_ctrl_code as i64 as u64,
+            self.last_on_code as u64,
+            self.frozen_code_streak as u64,
+            self.settled_streak as u64,
+            self.fault_warmup_ticks,
+            u64::from(self.was_saturated),
+            self.health.state() as u64,
+            u64::from(flags.bubble_activity)
+                | u64::from(flags.fouling_suspected) << 1
+                | u64::from(flags.loop_saturated) << 2,
+            self.dir_offset_per_volt.to_bits(),
+            self.fluid_temp_estimate.to_bits(),
+            self.temp_estimate_offset.to_bits(),
+            self.instant_conductance.get().to_bits(),
+            m.map_or(0, |m| m.velocity.get().to_bits()),
+            m.map_or(0, |m| m.supply_code as u64),
+            m.map_or(0, |m| m.conditioned_code as i64 as u64),
+            self.die.heater_temperature(HeaterId::A).get().to_bits(),
+            self.die.heater_temperature(HeaterId::B).get().to_bits(),
+            self.die.reference_resistance().get().to_bits(),
+            self.die.bubble_coverage(HeaterId::A).to_bits(),
+            self.die.bubble_coverage(HeaterId::B).to_bits(),
+            self.die.fouling_thickness_um(HeaterId::A).to_bits(),
+            self.die.fouling_thickness_um(HeaterId::B).to_bits(),
+        ];
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        crate::config::fnv1a64(&bytes)
+    }
 }
 
 #[cfg(test)]
@@ -1316,6 +1368,26 @@ mod tests {
             scalar.die().reference_resistance().get().to_bits(),
             framed.die().reference_resistance().get().to_bits()
         );
+    }
+
+    #[test]
+    fn state_digest_tracks_the_trajectory() {
+        let mut a = meter(11);
+        let mut b = meter(11);
+        assert_eq!(a.state_digest(), b.state_digest(), "cold replicas agree");
+        let initial = a.state_digest();
+        a.run(0.3, env(70.0));
+        b.run(0.3, env(70.0));
+        assert_ne!(a.state_digest(), initial, "stepping must move the digest");
+        assert_eq!(
+            a.state_digest(),
+            b.state_digest(),
+            "identical trajectories digest equal"
+        );
+        // A diverged environment must show up.
+        a.run(0.1, env(70.0));
+        b.run(0.1, env(75.0));
+        assert_ne!(a.state_digest(), b.state_digest());
     }
 
     #[test]

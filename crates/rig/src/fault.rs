@@ -107,6 +107,24 @@ impl FaultKind {
             FaultKind::SteppedFouling { .. } => "stepped_fouling",
         }
     }
+
+    /// Interns a [`FaultKind::name`] string back to its `&'static str`,
+    /// or `None` for an unknown label. The fleet checkpoint codec uses
+    /// this to rebuild `LineSummary::fault_kinds` (which hold static
+    /// names, not owned strings) from serialized text.
+    pub fn intern_name(name: &str) -> Option<&'static str> {
+        const NAMES: [&str; 8] = [
+            "adc_stuck",
+            "adc_offset",
+            "supply_brownout",
+            "dac_element_fail",
+            "eeprom_bit_flip",
+            "uart_corruption",
+            "bubble_burst",
+            "stepped_fouling",
+        ];
+        NAMES.iter().find(|&&n| n == name).copied()
+    }
 }
 
 /// One scheduled fault occurrence.

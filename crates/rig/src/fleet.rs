@@ -1,5 +1,5 @@
-//! The fleet engine: thousands of concurrent simulated lines behind one
-//! declarative spec.
+//! The fleet engine: thousands to millions of concurrent simulated lines
+//! behind one declarative spec.
 //!
 //! The paper's end game is not one water station but a *network* of them —
 //! "a smart water grid scenario" where every line carries the same MEMS
@@ -20,8 +20,7 @@
 //! in fixed-size batches over the deterministic scoped-thread pool
 //! ([`exec::parallel_map_indexed`]), and folds each finished line into a
 //! compact [`LineSummary`] **inside the worker** — the trace, meter and
-//! event log die with the run, so fleet memory is O(lines), never
-//! O(samples).
+//! event log die with the run.
 //!
 //! Every line is forced to [`RecordPolicy::MetricsOnly`]: the streaming
 //! reductions (`rig::record`) carry everything the aggregates need, and
@@ -29,14 +28,44 @@
 //! [`FleetOutcome::trace_heap_bytes`] reports the measured total so tests
 //! can pin it.
 //!
+//! # Bounded memory: sketches and shards
+//!
+//! Population percentiles fold through a fixed-size
+//! [`QuantileSketch`] accumulated in a
+//! [`ShardAggregates`], so the running state of a fleet is **O(shard)**,
+//! independent of the line count. Small fleets (up to
+//! [`FleetSpec::exact_threshold`] lines) additionally retain every
+//! [`LineSummary`] and report *exact* nearest-rank percentiles; above the
+//! threshold only the sketch survives (α ≈ 1 % relative error, pinned by
+//! proptest) and [`FleetOutcome::lines`] comes back empty.
+//!
+//! Disjoint line ranges run as independent [`FleetShard`]s whose
+//! [`ShardAggregates`] merge associatively ([`ShardAggregates::merge`])
+//! into the same bits the monolithic run produces — the building block
+//! for multi-process fan-out. [`FleetSpec::run_sharded`] demonstrates the
+//! split-run-merge cycle in process.
+//!
+//! # Checkpoint/resume
+//!
+//! [`FleetSpec::run_checkpointed`] persists the accumulated
+//! [`ShardAggregates`] (and retained summaries) every few batches via
+//! [`FleetCheckpoint`]; a killed run
+//! re-invoked with the same spec and path resumes from the last
+//! checkpoint and finishes with **bit-identical** aggregates. This works
+//! because line `i`'s spec — including its RNG lanes — is a pure function
+//! of the fleet spec and `i`: nothing mid-line ever needs serializing,
+//! only the index of the next line to run and the merged prefix.
+//!
 //! # Determinism
 //!
 //! Line `i`'s spec is a pure function of the fleet spec and `i` (seeds via
 //! [`derive_seed`], jitter from the same stream), each line runs
 //! single-threaded, batches merge in line order, and the aggregation fold
-//! visits summaries in line order. The whole [`FleetOutcome`] is therefore
-//! bit-for-bit identical at any `--jobs` count — the same guarantee the
-//! campaign layer makes, lifted to populations.
+//! visits summaries in line order; sketch merges are integer bucket
+//! additions, associative under any grouping. The whole [`FleetOutcome`]
+//! is therefore bit-for-bit identical at any `--jobs` count, batch size
+//! or shard split — the same guarantee the campaign layer makes, lifted
+//! to populations.
 //!
 //! ```no_run
 //! use hotwire_core::FlowMeterConfig;
@@ -55,18 +84,22 @@
 //! let outcome = fleet.run()?;
 //! println!("{}", outcome.aggregates);
 //! assert_eq!(outcome.trace_heap_bytes(), 0);
-//! # Ok::<(), hotwire_core::CoreError>(())
+//! # Ok::<(), hotwire_rig::fleet::FleetError>(())
 //! ```
 
 use std::collections::BTreeMap;
+use std::ops::ControlFlow;
+use std::path::Path;
 
 use crate::campaign::{derive_seed, Calibration, RunOutcome, RunSpec, Windows};
+use crate::checkpoint::{CheckpointError, FleetCheckpoint};
 use crate::exec;
 use crate::fault::FaultSchedule;
 use crate::metrics;
 use crate::record::{HealthCensus, RecordPolicy};
 use crate::scenario::Scenario;
-use hotwire_core::config::AfeTier;
+use crate::sketch::QuantileSketch;
+use hotwire_core::config::{fnv1a64, AfeTier};
 use hotwire_core::{CoreError, FlowMeterConfig};
 use hotwire_physics::MafParams;
 
@@ -79,6 +112,7 @@ use hotwire_physics::MafParams;
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultTemplate {
     /// Apply the schedule to lines where `i % stride == offset`.
+    /// [`FleetSpec::validate`] rejects `stride == 0`.
     pub stride: usize,
     /// Phase of the afflicted subset (`offset < stride`).
     pub offset: usize,
@@ -145,6 +179,162 @@ impl LineVariation {
     }
 }
 
+/// A degenerate [`FleetSpec`] caught by [`FleetSpec::validate`] before
+/// any line runs (previously these hung the batch loop or produced
+/// nonsense deep in the aggregation fold).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetSpecError {
+    /// The fleet has no lines.
+    NoLines,
+    /// `batch_size` is zero — the batch loop would never advance.
+    ZeroBatchSize,
+    /// The fault template's `stride` is zero.
+    ZeroFaultStride,
+    /// The fault template's `offset` does not lie below its `stride`.
+    FaultOffsetOutOfRange {
+        /// The out-of-range phase.
+        offset: usize,
+        /// The template's stride.
+        stride: usize,
+    },
+    /// `sample_period_s` is not a positive finite number.
+    BadSamplePeriod,
+    /// `flow_jitter` is not a finite fraction in `[0, 1)`.
+    BadFlowJitter,
+}
+
+impl core::fmt::Display for FleetSpecError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetSpecError::NoLines => write!(f, "fleet has zero lines"),
+            FleetSpecError::ZeroBatchSize => {
+                write!(f, "fleet batch size is zero (batch loop cannot advance)")
+            }
+            FleetSpecError::ZeroFaultStride => write!(f, "fault template stride is zero"),
+            FleetSpecError::FaultOffsetOutOfRange { offset, stride } => write!(
+                f,
+                "fault template offset {offset} must lie below its stride {stride}"
+            ),
+            FleetSpecError::BadSamplePeriod => write!(
+                f,
+                "sample period must be a positive finite number of seconds"
+            ),
+            FleetSpecError::BadFlowJitter => {
+                write!(f, "flow jitter must be a finite fraction in [0, 1)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetSpecError {}
+
+/// The work a failed or interrupted fleet run had already finished: the
+/// merged aggregates of the completed line prefix. Nothing is discarded —
+/// a caller can report it, merge it with a retry of the remaining range,
+/// or (for checkpointed runs) simply re-invoke and resume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialFleet {
+    /// Lines completed, in line order, before the run stopped.
+    pub completed_lines: usize,
+    /// The merged aggregates of exactly that prefix.
+    pub aggregates: ShardAggregates,
+}
+
+/// Why a fleet run did not produce a [`FleetOutcome`].
+#[derive(Debug)]
+pub enum FleetError {
+    /// The spec failed [`FleetSpec::validate`].
+    Spec(FleetSpecError),
+    /// A line failed. Unlike the old all-or-nothing fold, the completed
+    /// prefix's aggregates ride along instead of being dropped.
+    Line {
+        /// The first failing line, in line order.
+        line: usize,
+        /// The underlying failure.
+        source: CoreError,
+        /// Everything the run completed before that line.
+        partial: Box<PartialFleet>,
+    },
+    /// A [`FleetSpec::run_checkpointed_with`] observer requested a stop.
+    /// The last written checkpoint (if the interval elapsed) survives on
+    /// disk for resumption.
+    Interrupted(Box<PartialFleet>),
+    /// Two [`ShardAggregates`] were merged out of line order.
+    ShardMerge {
+        /// End (exclusive) of the left shard.
+        left_end: usize,
+        /// Start of the right shard — must equal `left_end`.
+        right_start: usize,
+    },
+    /// Reading or writing a [`FleetCheckpoint`] failed, or the checkpoint
+    /// on disk belongs to a different spec.
+    Checkpoint(CheckpointError),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Spec(e) => write!(f, "invalid fleet spec: {e}"),
+            FleetError::Line {
+                line,
+                source,
+                partial,
+            } => write!(
+                f,
+                "fleet line {line} failed after {} completed lines: {source}",
+                partial.completed_lines
+            ),
+            FleetError::Interrupted(partial) => write!(
+                f,
+                "fleet run interrupted after {} completed lines",
+                partial.completed_lines
+            ),
+            FleetError::ShardMerge {
+                left_end,
+                right_start,
+            } => write!(
+                f,
+                "shard merge out of line order: left shard ends at {left_end}, \
+                 right starts at {right_start}"
+            ),
+            FleetError::Checkpoint(e) => write!(f, "fleet checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Spec(e) => Some(e),
+            FleetError::Line { source, .. } => Some(source),
+            FleetError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FleetSpecError> for FleetError {
+    fn from(e: FleetSpecError) -> Self {
+        FleetError::Spec(e)
+    }
+}
+
+impl From<CheckpointError> for FleetError {
+    fn from(e: CheckpointError) -> Self {
+        FleetError::Checkpoint(e)
+    }
+}
+
+/// Progress report handed to a [`FleetSpec::run_checkpointed_with`]
+/// observer at every batch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetProgress {
+    /// Lines completed so far (including any resumed prefix).
+    pub completed_lines: usize,
+    /// Total lines in the fleet.
+    pub total_lines: usize,
+}
+
 /// Seed-stream tags keeping the per-line derived seeds statistically
 /// independent of each other (same `derive_seed` base, disjoint index
 /// lanes).
@@ -153,6 +343,10 @@ const LANE_LINE: u64 = 1;
 const LANE_JITTER: u64 = 2;
 const LANE_FAULT: u64 = 3;
 const LANES: u64 = 4;
+
+/// Lines at or below which a fleet retains per-line summaries and reports
+/// exact percentiles (see [`FleetSpec::with_exact_threshold`]).
+pub const DEFAULT_EXACT_THRESHOLD: usize = 10_000;
 
 /// A declarative description of a whole fleet of simulated lines.
 ///
@@ -183,6 +377,10 @@ pub struct FleetSpec {
     pub seed: u64,
     /// How lines differ from the template.
     pub variation: LineVariation,
+    /// Largest fleet (in lines) that retains per-line [`LineSummary`]s and
+    /// exact percentiles; above it, only the O(shard) sketch aggregates
+    /// survive. See [`FleetSpec::with_exact_threshold`].
+    pub exact_threshold: usize,
 }
 
 impl FleetSpec {
@@ -206,6 +404,7 @@ impl FleetSpec {
             batch_size: 256,
             seed,
             variation: LineVariation::default(),
+            exact_threshold: DEFAULT_EXACT_THRESHOLD,
         }
     }
 
@@ -270,6 +469,64 @@ impl FleetSpec {
         self
     }
 
+    /// Sets the exact/sketch crossover: fleets up to `lines` lines retain
+    /// every [`LineSummary`] and report exact nearest-rank percentiles;
+    /// larger fleets keep only the fixed-size sketch aggregates (α ≈ 1 %
+    /// percentile error, exact min/max/counts) and return an empty
+    /// [`FleetOutcome::lines`]. `0` forces the sketch path at any scale.
+    #[must_use]
+    pub fn with_exact_threshold(mut self, lines: usize) -> Self {
+        self.exact_threshold = lines;
+        self
+    }
+
+    /// Whether this fleet retains per-line summaries (exact path).
+    pub fn retains_summaries(&self) -> bool {
+        self.lines <= self.exact_threshold
+    }
+
+    /// Checks the spec for degenerate parameters that would hang or
+    /// corrupt a run. Every `run*` entry point calls this first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FleetSpecError`] found.
+    pub fn validate(&self) -> Result<(), FleetSpecError> {
+        if self.lines == 0 {
+            return Err(FleetSpecError::NoLines);
+        }
+        if self.batch_size == 0 {
+            return Err(FleetSpecError::ZeroBatchSize);
+        }
+        if !(self.sample_period_s.is_finite() && self.sample_period_s > 0.0) {
+            return Err(FleetSpecError::BadSamplePeriod);
+        }
+        let j = self.variation.flow_jitter;
+        if !(j.is_finite() && (0.0..1.0).contains(&j)) {
+            return Err(FleetSpecError::BadFlowJitter);
+        }
+        if let Some(t) = &self.variation.faults {
+            if t.stride == 0 {
+                return Err(FleetSpecError::ZeroFaultStride);
+            }
+            if t.offset >= t.stride {
+                return Err(FleetSpecError::FaultOffsetOutOfRange {
+                    offset: t.offset,
+                    stride: t.stride,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// A stable 64-bit fingerprint of the whole spec (FNV-1a over the
+    /// canonical `Debug` rendering mixed with the config's own
+    /// fingerprint). Checkpoints store it so a resume under a different
+    /// spec is refused instead of silently producing a franken-fleet.
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a64(format!("{:?}|config={:016x}", self, self.config.fingerprint()).as_bytes())
+    }
+
     /// Line `i`'s deterministic flow-jitter factor in
     /// `[1 − j, 1 + j]`.
     fn jitter_factor(&self, line: usize) -> f64 {
@@ -286,10 +543,13 @@ impl FleetSpec {
 
     /// The [`RunSpec`] for line `i` — a pure function of the fleet spec
     /// and the index, which is the whole determinism story: any thread may
-    /// execute it at any time and produce the same bits.
+    /// execute it at any time and produce the same bits. It is also the
+    /// whole *checkpoint* story: an interrupted line costs nothing to
+    /// re-run from scratch, so checkpoints only record which lines
+    /// finished, never mid-line meter state.
     ///
     /// Lines always record at [`RecordPolicy::MetricsOnly`] (fleet memory
-    /// stays O(lines)) and run without the observability hot-loop hooks
+    /// stays bounded) and run without the observability hot-loop hooks
     /// (at thousands of lines the event logs would dominate the cost of
     /// the simulation itself).
     pub fn line_spec(&self, line: usize) -> RunSpec {
@@ -323,13 +583,48 @@ impl FleetSpec {
         spec
     }
 
+    /// The shard covering lines `[start, end)`. Panics if the range is
+    /// not within the fleet.
+    pub fn shard(&self, start: usize, end: usize) -> FleetShard<'_> {
+        assert!(
+            start <= end && end <= self.lines,
+            "shard [{start}, {end}) outside fleet of {} lines",
+            self.lines
+        );
+        FleetShard {
+            spec: self,
+            start,
+            end,
+        }
+    }
+
+    /// Splits the fleet into `count` contiguous, near-equal shards (the
+    /// last shards are one line shorter when the split is uneven; empty
+    /// shards are dropped when `count > lines`).
+    pub fn shards(&self, count: usize) -> Vec<FleetShard<'_>> {
+        let count = count.max(1);
+        let base = self.lines / count;
+        let rem = self.lines % count;
+        let mut shards = Vec::with_capacity(count);
+        let mut start = 0usize;
+        for i in 0..count {
+            let len = base + usize::from(i < rem);
+            if len == 0 {
+                break;
+            }
+            shards.push(self.shard(start, start + len));
+            start += len;
+        }
+        shards
+    }
+
     /// Executes the fleet with the process-wide default job count
     /// ([`exec::default_jobs`]).
     ///
     /// # Errors
     ///
-    /// Returns the first line's [`CoreError`] in line order, if any.
-    pub fn run(&self) -> Result<FleetOutcome, CoreError> {
+    /// See [`FleetSpec::run_jobs`].
+    pub fn run(&self) -> Result<FleetOutcome, FleetError> {
         self.run_jobs(exec::default_jobs())
     }
 
@@ -338,16 +633,142 @@ impl FleetSpec {
     ///
     /// # Errors
     ///
-    /// Returns the first line's [`CoreError`] in line order, if any.
-    pub fn run_jobs(&self, jobs: usize) -> Result<FleetOutcome, CoreError> {
-        let mut summaries: Vec<LineSummary> = Vec::with_capacity(self.lines);
-        let mut batch_start = 0usize;
-        while batch_start < self.lines {
-            let batch_len = self.batch_size.min(self.lines - batch_start);
-            let indices: Vec<usize> = (batch_start..batch_start + batch_len).collect();
+    /// [`FleetError::Spec`] for a degenerate spec; [`FleetError::Line`]
+    /// carrying the first failing line (in line order) *and* the
+    /// completed prefix's aggregates.
+    pub fn run_jobs(&self, jobs: usize) -> Result<FleetOutcome, FleetError> {
+        self.validate()?;
+        let mut acc = ShardAggregates::empty(0);
+        self.run_batches(&mut acc, self.lines, jobs, |_| {
+            Ok(ControlFlow::Continue(()))
+        })?;
+        Ok(self.finalize(acc))
+    }
+
+    /// Runs the fleet as `shards` sequential [`FleetShard`]s and merges
+    /// their [`ShardAggregates`] in line order — bit-identical to
+    /// [`FleetSpec::run_jobs`] by construction (the monolithic run *is*
+    /// one shard). In a multi-process deployment each shard would run
+    /// elsewhere and ship its serialized aggregates home; this entry
+    /// point exercises the same split-run-merge cycle in process.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetSpec::run_jobs`]; shard-local failures carry the
+    /// merged prefix of all earlier shards plus the failing shard's own
+    /// completed lines.
+    pub fn run_sharded(&self, shards: usize, jobs: usize) -> Result<FleetOutcome, FleetError> {
+        self.validate()?;
+        let mut acc = ShardAggregates::empty(0);
+        for shard in self.shards(shards) {
+            let part = match shard.run_jobs(jobs) {
+                Ok(part) => part,
+                Err(FleetError::Line {
+                    line,
+                    source,
+                    partial,
+                }) => {
+                    acc.merge(&partial.aggregates)?;
+                    let completed_lines = acc.lines();
+                    return Err(FleetError::Line {
+                        line,
+                        source,
+                        partial: Box::new(PartialFleet {
+                            completed_lines,
+                            aggregates: acc,
+                        }),
+                    });
+                }
+                Err(e) => return Err(e),
+            };
+            acc.merge(&part)?;
+        }
+        Ok(self.finalize(acc))
+    }
+
+    /// Executes the fleet with a checkpoint file at `path`, written every
+    /// `interval_lines` completed lines (rounded up to the next batch
+    /// boundary). If `path` already holds a checkpoint of **this** spec,
+    /// the run resumes after its completed prefix instead of starting
+    /// over; the final outcome is bit-identical to an uninterrupted run.
+    /// On success the finished checkpoint is left on disk (a further
+    /// resume is a no-op that just finalizes it).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`FleetSpec::run_jobs`] returns, plus
+    /// [`FleetError::Checkpoint`] for unreadable/unwritable checkpoint
+    /// files or a checkpoint written by a different spec
+    /// ([`CheckpointError::SpecMismatch`]).
+    pub fn run_checkpointed(
+        &self,
+        path: &Path,
+        interval_lines: usize,
+        jobs: usize,
+    ) -> Result<FleetOutcome, FleetError> {
+        self.run_checkpointed_with(path, interval_lines, jobs, |_| ControlFlow::Continue(()))
+    }
+
+    /// [`FleetSpec::run_checkpointed`] with a progress observer invoked at
+    /// every batch boundary. Returning [`ControlFlow::Break`] stops the
+    /// run with [`FleetError::Interrupted`] — the deterministic stand-in
+    /// for a kill, used by the resume tests and `fleet_bench
+    /// --kill-after-lines`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetSpec::run_checkpointed`].
+    pub fn run_checkpointed_with(
+        &self,
+        path: &Path,
+        interval_lines: usize,
+        jobs: usize,
+        mut observer: impl FnMut(FleetProgress) -> ControlFlow<()>,
+    ) -> Result<FleetOutcome, FleetError> {
+        self.validate()?;
+        let fingerprint = self.fingerprint();
+        let interval = interval_lines.max(1);
+        let mut acc = match FleetCheckpoint::load_if_present(path)? {
+            Some(ck) => ck.into_verified_shard(fingerprint, self.lines)?,
+            None => ShardAggregates::empty(0),
+        };
+        let mut last_written = acc.lines();
+        let total_lines = self.lines;
+        self.run_batches(&mut acc, self.lines, jobs, |acc| {
+            if acc.lines() - last_written >= interval {
+                FleetCheckpoint::new(fingerprint, total_lines, acc.clone()).write(path)?;
+                last_written = acc.lines();
+            }
+            Ok(observer(FleetProgress {
+                completed_lines: acc.lines(),
+                total_lines,
+            }))
+        })?;
+        if last_written != acc.lines() {
+            FleetCheckpoint::new(fingerprint, total_lines, acc.clone()).write(path)?;
+        }
+        Ok(self.finalize(acc))
+    }
+
+    /// The batch loop shared by every entry point: runs lines
+    /// `[acc.end, end)` in batches over the thread pool, folding each
+    /// completed batch into `acc` in line order. `on_batch` fires at each
+    /// batch boundary; `Break` aborts with [`FleetError::Interrupted`].
+    fn run_batches(
+        &self,
+        acc: &mut ShardAggregates,
+        end: usize,
+        jobs: usize,
+        mut on_batch: impl FnMut(&mut ShardAggregates) -> Result<ControlFlow<()>, FleetError>,
+    ) -> Result<(), FleetError> {
+        let full_scale = self.config.full_scale.to_cm_per_s();
+        let retain = self.retains_summaries();
+        while acc.end < end {
+            let batch_len = self.batch_size.min(end - acc.end);
+            let indices: Vec<usize> = (acc.end..acc.end + batch_len).collect();
             // Summarize inside the worker: the outcome (meter, empty
             // trace, reductions) drops before the next line starts, so
-            // in-flight memory is O(batch), retained memory O(lines).
+            // in-flight memory is O(batch), retained memory O(shard).
             let batch = exec::parallel_map_indexed(&indices, jobs, |_, &line| {
                 let spec = self.line_spec(line);
                 let fault_kinds: Vec<&'static str> = spec
@@ -357,22 +778,83 @@ impl FleetSpec {
                     .unwrap_or_default();
                 spec.execute()
                     .map(|outcome| LineSummary::from_outcome(line, &outcome, fault_kinds))
+                    .map_err(|source| (line, source))
             });
             for result in batch {
-                summaries.push(result?);
+                match result {
+                    Ok(summary) => acc.push(summary, full_scale, retain),
+                    Err((line, source)) => {
+                        // The completed prefix (earlier batches plus this
+                        // batch's lines before the failure) rides along
+                        // instead of being dropped on the floor.
+                        return Err(FleetError::Line {
+                            line,
+                            source,
+                            partial: Box::new(PartialFleet {
+                                completed_lines: acc.lines(),
+                                aggregates: acc.clone(),
+                            }),
+                        });
+                    }
+                }
             }
-            batch_start += batch_len;
+            if let ControlFlow::Break(()) = on_batch(acc)? {
+                return Err(FleetError::Interrupted(Box::new(PartialFleet {
+                    completed_lines: acc.lines(),
+                    aggregates: acc.clone(),
+                })));
+            }
         }
-        let aggregates = FleetAggregates::from_summaries(
-            &summaries,
+        Ok(())
+    }
+
+    /// Folds a completed full-fleet [`ShardAggregates`] into the final
+    /// outcome.
+    fn finalize(&self, acc: ShardAggregates) -> FleetOutcome {
+        let aggregates = acc.finalize(
             self.config.full_scale.to_cm_per_s(),
             self.scenario.duration_s * self.lines as f64,
         );
-        Ok(FleetOutcome {
+        FleetOutcome {
             label: self.label.clone(),
             aggregates,
-            lines: summaries,
-        })
+            lines: acc.summaries,
+        }
+    }
+}
+
+/// A contiguous range of a fleet's lines, runnable independently of the
+/// other ranges — the unit of multi-process fan-out. Shards of the same
+/// spec produce [`ShardAggregates`] that [`merge`](ShardAggregates::merge)
+/// in line order into exactly the monolithic run's aggregates.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetShard<'a> {
+    /// The fleet this shard belongs to.
+    pub spec: &'a FleetSpec,
+    /// First line of the shard.
+    pub start: usize,
+    /// One past the last line of the shard.
+    pub end: usize,
+}
+
+impl FleetShard<'_> {
+    /// Lines in the shard.
+    pub fn lines(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Runs the shard's lines with an explicit job count.
+    ///
+    /// # Errors
+    ///
+    /// See [`FleetSpec::run_jobs`]; the partial aggregates cover the
+    /// shard's completed prefix.
+    pub fn run_jobs(&self, jobs: usize) -> Result<ShardAggregates, FleetError> {
+        self.spec.validate()?;
+        let mut acc = ShardAggregates::empty(self.start);
+        self.spec
+            .run_batches(&mut acc, self.end, jobs, |_| Ok(ControlFlow::Continue(())))?;
+        Ok(acc)
     }
 }
 
@@ -403,6 +885,12 @@ pub struct LineSummary {
     /// Bytes of trace sample storage the run held — 0 under the forced
     /// [`RecordPolicy::MetricsOnly`]; summed and pinned by tests.
     pub trace_heap_bytes: usize,
+    /// [`FlowMeter::state_digest`](hotwire_core::FlowMeter::state_digest)
+    /// of the line's meter at the end of the run — a 64-bit witness of
+    /// the full simulated end state, which lets the jobs-invariance and
+    /// checkpoint round-trip tests cover meter-state equality without
+    /// serializing meters.
+    pub meter_digest: u64,
 }
 
 impl LineSummary {
@@ -421,6 +909,7 @@ impl LineSummary {
             health: red.health_census,
             fault_kinds,
             trace_heap_bytes: outcome.trace.samples.heap_bytes(),
+            meter_digest: outcome.meter.state_digest(),
         }
     }
 }
@@ -441,11 +930,14 @@ pub struct Percentiles {
 }
 
 impl Percentiles {
-    /// Nearest-rank percentiles of `values` (NaNs sort last via
-    /// `total_cmp`, so a NaN min/max means the population had one).
-    /// Returns all-NaN for an empty population.
+    /// Nearest-rank percentiles of `values`. NaNs are **excluded from the
+    /// ranks** (they used to sort last via `total_cmp` and silently
+    /// poison `p99`/`max`); the caller learns how many there were from
+    /// [`FleetAggregates::nan_lines`]. Returns all-NaN for an empty (or
+    /// all-NaN) population.
     pub fn of(values: &[f64]) -> Self {
-        if values.is_empty() {
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        if sorted.is_empty() {
             return Percentiles {
                 min: f64::NAN,
                 p50: f64::NAN,
@@ -454,7 +946,6 @@ impl Percentiles {
                 max: f64::NAN,
             };
         }
-        let mut sorted = values.to_vec();
         sorted.sort_by(f64::total_cmp);
         let rank = |q: f64| -> f64 {
             let n = sorted.len();
@@ -471,8 +962,232 @@ impl Percentiles {
     }
 }
 
+/// Per-statistic counts of lines whose value was NaN and therefore
+/// excluded from the percentile ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NanLines {
+    /// Lines whose settled-window resolution was NaN (e.g. an empty
+    /// settled window).
+    pub resolution: u64,
+    /// Lines whose RMS error was NaN. When the fleet declares no err
+    /// window this equals the line count by design (every line reports
+    /// `NaN` there).
+    pub err_rms: u64,
+}
+
+/// The mergeable, serializable accumulator of one contiguous line range —
+/// the fleet's unit of aggregation, checkpointing and multi-process
+/// fan-out.
+///
+/// Everything in here merges associatively: integer counts add, the
+/// [`QuantileSketch`]es add bucket-wise, the settled-mean extrema combine
+/// through exact `f64::min`/`max`. Merging shards in line order therefore
+/// reproduces the monolithic run's accumulator bit for bit — the
+/// invariance the fleet tests pin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardAggregates {
+    /// First line of the covered range.
+    pub start: usize,
+    /// One past the last covered line.
+    pub end: usize,
+    /// Total samples streamed across the range.
+    pub total_samples: u64,
+    /// Samples recorded under an active fault.
+    pub fault_samples: u64,
+    /// Lines that recorded at least one faulted sample.
+    pub lines_faulted: u64,
+    /// Summed per-line trace storage, bytes (0 under `MetricsOnly`).
+    pub trace_heap_bytes: usize,
+    /// Health-state census summed over the range's simulated time.
+    pub health: HealthCensus,
+    /// Lines per scheduled fault kind, keyed by
+    /// [`FaultKind::name`](crate::FaultKind::name) (owned strings so the
+    /// accumulator serializes).
+    pub fault_incidence: BTreeMap<String, u64>,
+    /// Sketch of per-line resolution (settled ±σ), % of full scale.
+    pub resolution_pct_fs: QuantileSketch,
+    /// Sketch of per-line RMS error, cm/s.
+    pub err_rms_cm_s: QuantileSketch,
+    /// Smallest per-line settled mean, cm/s (`+∞` until a line lands;
+    /// NaN means never enter — mirrors [`metrics::repeatability`]).
+    pub settled_mean_min: f64,
+    /// Largest per-line settled mean, cm/s (`−∞` until a line lands).
+    pub settled_mean_max: f64,
+    /// Retained per-line summaries, in line order — populated only when
+    /// the owning spec [`retains_summaries`](FleetSpec::retains_summaries)
+    /// (small fleets); empty above the exact threshold, keeping the
+    /// accumulator O(shard).
+    pub summaries: Vec<LineSummary>,
+}
+
+impl ShardAggregates {
+    /// An empty accumulator whose range starts (and ends) at `start`.
+    pub fn empty(start: usize) -> Self {
+        ShardAggregates {
+            start,
+            end: start,
+            total_samples: 0,
+            fault_samples: 0,
+            lines_faulted: 0,
+            trace_heap_bytes: 0,
+            health: HealthCensus::default(),
+            fault_incidence: BTreeMap::new(),
+            resolution_pct_fs: QuantileSketch::new(),
+            err_rms_cm_s: QuantileSketch::new(),
+            settled_mean_min: f64::INFINITY,
+            settled_mean_max: f64::NEG_INFINITY,
+            summaries: Vec::new(),
+        }
+    }
+
+    /// Lines covered.
+    pub fn lines(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Folds one finished line (the next in line order) into the
+    /// accumulator. `retain` keeps the summary for the exact path.
+    pub fn push(&mut self, summary: LineSummary, full_scale_cm_s: f64, retain: bool) {
+        debug_assert_eq!(
+            summary.line, self.end,
+            "summaries must arrive in line order"
+        );
+        self.end = summary.line + 1;
+        self.total_samples += summary.samples;
+        self.fault_samples += summary.fault_samples;
+        self.trace_heap_bytes += summary.trace_heap_bytes;
+        if summary.fault_samples > 0 {
+            self.lines_faulted += 1;
+        }
+        self.health.merge(&summary.health);
+        let mut seen: Vec<&'static str> = Vec::new();
+        for &kind in &summary.fault_kinds {
+            if !seen.contains(&kind) {
+                seen.push(kind);
+                *self.fault_incidence.entry(kind.to_string()).or_insert(0) += 1;
+            }
+        }
+        self.resolution_pct_fs
+            .push(summary.settled_std / full_scale_cm_s * 100.0);
+        self.err_rms_cm_s.push(summary.err_rms);
+        // min/max ignore a NaN operand, exactly like the folds inside
+        // `metrics::repeatability` — so the merged extrema match the
+        // exact fold's bit for bit.
+        self.settled_mean_min = self.settled_mean_min.min(summary.settled_mean);
+        self.settled_mean_max = self.settled_mean_max.max(summary.settled_mean);
+        if retain {
+            self.summaries.push(summary);
+        }
+    }
+
+    /// Merges the adjacent shard `other` (covering the range starting
+    /// exactly where `self` ends) into `self`. Associative: any grouping
+    /// of in-order merges produces identical bits.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::ShardMerge`] when the ranges are not contiguous in
+    /// line order.
+    pub fn merge(&mut self, other: &ShardAggregates) -> Result<(), FleetError> {
+        if self.end != other.start {
+            return Err(FleetError::ShardMerge {
+                left_end: self.end,
+                right_start: other.start,
+            });
+        }
+        self.end = other.end;
+        self.total_samples += other.total_samples;
+        self.fault_samples += other.fault_samples;
+        self.lines_faulted += other.lines_faulted;
+        self.trace_heap_bytes += other.trace_heap_bytes;
+        self.health.merge(&other.health);
+        for (kind, count) in &other.fault_incidence {
+            *self.fault_incidence.entry(kind.clone()).or_insert(0) += count;
+        }
+        self.resolution_pct_fs.merge(&other.resolution_pct_fs);
+        self.err_rms_cm_s.merge(&other.err_rms_cm_s);
+        self.settled_mean_min = self.settled_mean_min.min(other.settled_mean_min);
+        self.settled_mean_max = self.settled_mean_max.max(other.settled_mean_max);
+        self.summaries.extend(other.summaries.iter().cloned());
+        Ok(())
+    }
+
+    /// Approximate retained heap of the accumulator, bytes — what
+    /// `fleet_bench` reports to demonstrate O(shard) memory. Sketch
+    /// buckets plus incidence keys plus any retained summaries.
+    pub fn heap_bytes(&self) -> usize {
+        let incidence: usize = self
+            .fault_incidence
+            .keys()
+            .map(|k| k.capacity() + std::mem::size_of::<(String, u64)>())
+            .sum();
+        let summaries: usize = self.summaries.capacity() * std::mem::size_of::<LineSummary>()
+            + self
+                .summaries
+                .iter()
+                .map(|s| s.fault_kinds.capacity() * std::mem::size_of::<&'static str>())
+                .sum::<usize>();
+        self.resolution_pct_fs.heap_bytes() + self.err_rms_cm_s.heap_bytes() + incidence + summaries
+    }
+
+    /// Line-to-line repeatability over the covered range, % of full scale
+    /// — `(max − min) / 2 / full_scale`, NaN below two lines, matching
+    /// [`metrics::repeatability`] bit for bit.
+    fn repeatability_pct_fs(&self, full_scale_cm_s: f64) -> f64 {
+        if self.lines() < 2 || full_scale_cm_s <= 0.0 {
+            return f64::NAN;
+        }
+        (self.settled_mean_max - self.settled_mean_min) / 2.0 / full_scale_cm_s * 100.0
+    }
+
+    /// Folds the accumulator into the population-level
+    /// [`FleetAggregates`]. With every summary retained (small fleets)
+    /// the percentiles are the exact nearest-rank fold; otherwise they
+    /// come from the sketches (α-bounded mid-ranks, exact min/max).
+    pub fn finalize(&self, full_scale_cm_s: f64, simulated_s: f64) -> FleetAggregates {
+        let exact = !self.summaries.is_empty() && self.summaries.len() == self.lines();
+        let (resolution_pct_fs, err_rms_cm_s, repeatability) = if exact {
+            let resolutions: Vec<f64> = self
+                .summaries
+                .iter()
+                .map(|s| s.settled_std / full_scale_cm_s * 100.0)
+                .collect();
+            let err_rms: Vec<f64> = self.summaries.iter().map(|s| s.err_rms).collect();
+            let means: Vec<f64> = self.summaries.iter().map(|s| s.settled_mean).collect();
+            (
+                Percentiles::of(&resolutions),
+                Percentiles::of(&err_rms),
+                metrics::repeatability(&means, full_scale_cm_s) * 100.0,
+            )
+        } else {
+            (
+                self.resolution_pct_fs.percentiles(),
+                self.err_rms_cm_s.percentiles(),
+                self.repeatability_pct_fs(full_scale_cm_s),
+            )
+        };
+        FleetAggregates {
+            lines: self.lines(),
+            total_samples: self.total_samples,
+            simulated_s,
+            resolution_pct_fs,
+            err_rms_cm_s,
+            repeatability_pct_fs: repeatability,
+            nan_lines: NanLines {
+                resolution: self.resolution_pct_fs.nan_count(),
+                err_rms: self.err_rms_cm_s.nan_count(),
+            },
+            health: self.health,
+            fault_incidence: self.fault_incidence.clone(),
+            lines_faulted: self.lines_faulted,
+            fault_samples: self.fault_samples,
+            trace_heap_bytes: self.trace_heap_bytes,
+        }
+    }
+}
+
 /// Population-level aggregates of a fleet run, folded in line order
-/// (jobs- and batch-size-invariant).
+/// (jobs-, batch-size- and shard-invariant).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetAggregates {
     /// Lines aggregated.
@@ -482,7 +1197,9 @@ pub struct FleetAggregates {
     /// Fleet simulated time, line-seconds.
     pub simulated_s: f64,
     /// Population percentiles of per-line resolution (settled ±σ), % of
-    /// full scale.
+    /// full scale. Exact below the spec's
+    /// [`exact_threshold`](FleetSpec::exact_threshold), sketch-derived
+    /// (α ≈ 1 %) above it.
     pub resolution_pct_fs: Percentiles,
     /// Population percentiles of per-line RMS error, cm/s (all-NaN when
     /// no err window was declared).
@@ -490,11 +1207,15 @@ pub struct FleetAggregates {
     /// Line-to-line repeatability: half-spread of the per-line settled
     /// means, % of full scale ([`metrics::repeatability`]).
     pub repeatability_pct_fs: f64,
+    /// Lines whose per-line statistics were NaN and therefore excluded
+    /// from the percentile ranks (instead of silently poisoning
+    /// `p99`/`max` as they used to).
+    pub nan_lines: NanLines,
     /// Health-state census summed over every line's simulated time.
     pub health: HealthCensus,
     /// Lines per scheduled fault kind (a line with two kinds counts once
     /// under each), keyed by [`FaultKind::name`](crate::FaultKind::name).
-    pub fault_incidence: BTreeMap<&'static str, u64>,
+    pub fault_incidence: BTreeMap<String, u64>,
     /// Lines that recorded at least one faulted sample.
     pub lines_faulted: u64,
     /// Total samples recorded under an active fault.
@@ -506,53 +1227,20 @@ pub struct FleetAggregates {
 
 impl FleetAggregates {
     /// Folds per-line summaries (visited in slice order — callers pass
-    /// line order) into population aggregates.
+    /// line order) into population aggregates through the exact
+    /// percentile path.
     pub fn from_summaries(
         summaries: &[LineSummary],
         full_scale_cm_s: f64,
         simulated_s: f64,
     ) -> Self {
-        let resolutions: Vec<f64> = summaries
-            .iter()
-            .map(|s| s.settled_std / full_scale_cm_s * 100.0)
-            .collect();
-        let err_rms: Vec<f64> = summaries.iter().map(|s| s.err_rms).collect();
-        let means: Vec<f64> = summaries.iter().map(|s| s.settled_mean).collect();
-        let mut health = HealthCensus::default();
-        let mut fault_incidence: BTreeMap<&'static str, u64> = BTreeMap::new();
-        let mut lines_faulted = 0u64;
-        let mut fault_samples = 0u64;
-        let mut total_samples = 0u64;
-        let mut trace_heap_bytes = 0usize;
+        let start = summaries.first().map_or(0, |s| s.line);
+        let mut acc = ShardAggregates::empty(start);
         for s in summaries {
-            health.merge(&s.health);
-            total_samples += s.samples;
-            fault_samples += s.fault_samples;
-            trace_heap_bytes += s.trace_heap_bytes;
-            if s.fault_samples > 0 {
-                lines_faulted += 1;
-            }
-            let mut seen: Vec<&'static str> = Vec::new();
-            for &kind in &s.fault_kinds {
-                if !seen.contains(&kind) {
-                    seen.push(kind);
-                    *fault_incidence.entry(kind).or_insert(0) += 1;
-                }
-            }
+            acc.end = s.line;
+            acc.push(s.clone(), full_scale_cm_s, true);
         }
-        FleetAggregates {
-            lines: summaries.len(),
-            total_samples,
-            simulated_s,
-            resolution_pct_fs: Percentiles::of(&resolutions),
-            err_rms_cm_s: Percentiles::of(&err_rms),
-            repeatability_pct_fs: metrics::repeatability(&means, full_scale_cm_s) * 100.0,
-            health,
-            fault_incidence,
-            lines_faulted,
-            fault_samples,
-            trace_heap_bytes,
-        }
+        acc.finalize(full_scale_cm_s, simulated_s)
     }
 }
 
@@ -574,6 +1262,13 @@ impl core::fmt::Display for FleetAggregates {
             "line-to-line repeatability: ±{:.2} % FS",
             self.repeatability_pct_fs
         )?;
+        if self.nan_lines.resolution > 0 {
+            writeln!(
+                f,
+                "({} lines reported NaN resolution — excluded from ranks)",
+                self.nan_lines.resolution
+            )?;
+        }
         let h = &self.health;
         writeln!(
             f,
@@ -601,14 +1296,17 @@ impl core::fmt::Display for FleetAggregates {
 }
 
 /// The result of a fleet run: population aggregates plus the per-line
-/// summaries they were folded from.
+/// summaries they were folded from (empty above the spec's
+/// [`exact_threshold`](FleetSpec::exact_threshold) — large fleets keep
+/// only the O(shard) aggregates).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetOutcome {
     /// The fleet's label.
     pub label: String,
     /// Population aggregates (line-order fold; jobs-invariant).
     pub aggregates: FleetAggregates,
-    /// Per-line summaries, in line order.
+    /// Per-line summaries, in line order; empty above the exact
+    /// threshold.
     pub lines: Vec<LineSummary>,
 }
 
@@ -684,6 +1382,75 @@ mod tests {
     }
 
     #[test]
+    fn validate_rejects_degenerate_specs() {
+        assert_eq!(
+            small_fleet().with_lines(0).validate(),
+            Err(FleetSpecError::NoLines)
+        );
+        // `with_batch_size` clamps, but the field is public — a zero set
+        // directly used to hang the batch loop forever.
+        let mut zero_batch = small_fleet();
+        zero_batch.batch_size = 0;
+        assert_eq!(zero_batch.validate(), Err(FleetSpecError::ZeroBatchSize));
+        assert!(matches!(
+            zero_batch.run_jobs(1),
+            Err(FleetError::Spec(FleetSpecError::ZeroBatchSize))
+        ));
+        let mut zero_stride = small_fleet().with_variation(LineVariation::new().with_faults_every(
+            3,
+            1,
+            FaultSchedule::new(0),
+        ));
+        zero_stride.variation.faults.as_mut().unwrap().stride = 0;
+        assert_eq!(zero_stride.validate(), Err(FleetSpecError::ZeroFaultStride));
+        let bad_offset = small_fleet().with_variation(LineVariation::new().with_faults_every(
+            3,
+            7,
+            FaultSchedule::new(0),
+        ));
+        assert_eq!(
+            bad_offset.validate(),
+            Err(FleetSpecError::FaultOffsetOutOfRange {
+                offset: 7,
+                stride: 3
+            })
+        );
+        assert_eq!(
+            small_fleet().with_sample_period(0.0).validate(),
+            Err(FleetSpecError::BadSamplePeriod)
+        );
+        assert_eq!(
+            small_fleet().with_sample_period(f64::NAN).validate(),
+            Err(FleetSpecError::BadSamplePeriod)
+        );
+        assert_eq!(
+            small_fleet()
+                .with_variation(LineVariation::new().with_flow_jitter(1.5))
+                .validate(),
+            Err(FleetSpecError::BadFlowJitter)
+        );
+        assert!(small_fleet().validate().is_ok());
+    }
+
+    #[test]
+    fn line_failure_returns_partial_not_nothing() {
+        // An invalid die parameter set fails every line at build time;
+        // the typed error must carry the failing index and the (empty)
+        // completed prefix instead of a bare CoreError.
+        let mut params = MafParams::nominal();
+        params.heater_a_tolerance = f64::NAN;
+        let fleet = small_fleet().with_params(params);
+        match fleet.run_jobs(2) {
+            Err(FleetError::Line { line, partial, .. }) => {
+                assert_eq!(line, 0, "first failing line in line order");
+                assert_eq!(partial.completed_lines, 0);
+                assert_eq!(partial.aggregates.lines(), 0);
+            }
+            other => panic!("expected FleetError::Line, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn aggregates_are_batch_size_invariant() {
         let outcome_small = small_fleet().with_batch_size(5).run_jobs(2).unwrap();
         let outcome_big = small_fleet().with_batch_size(64).run_jobs(2).unwrap();
@@ -701,6 +1468,95 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_exclude_nan_from_ranks() {
+        // Regression: NaNs used to sort last and report as p99/max.
+        let p = Percentiles::of(&[4.0, f64::NAN, 1.0, 3.0, f64::NAN, 2.0, 5.0]);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.p50, 3.0);
+        assert_eq!(p.p99, 5.0, "NaN must not be the p99");
+        assert_eq!(p.max, 5.0, "NaN must not be the max");
+        assert!(Percentiles::of(&[f64::NAN, f64::NAN]).max.is_nan());
+    }
+
+    #[test]
+    fn nan_lines_are_counted_not_poisoning() {
+        // A settled window past the end of the scenario leaves every
+        // line's resolution NaN — the aggregates must say so explicitly
+        // and keep the percentiles NaN-clean (all-NaN here).
+        let fleet = small_fleet().with_windows(Windows::settled(9.0, 5.0));
+        let outcome = fleet.run_jobs(2).unwrap();
+        let a = &outcome.aggregates;
+        assert_eq!(a.nan_lines.resolution, 12);
+        assert!(a.resolution_pct_fs.max.is_nan());
+        // No err window declared → every line's err_rms is NaN by design.
+        assert_eq!(a.nan_lines.err_rms, 12);
+    }
+
+    #[test]
+    fn sharded_merge_matches_monolithic() {
+        let spec = small_fleet().with_batch_size(5);
+        let mono = spec.run_jobs(2).unwrap();
+        for shards in [1, 2, 3, 5, 12] {
+            let sharded = spec.run_sharded(shards, 2).unwrap();
+            assert_eq!(mono, sharded, "{shards} shards");
+        }
+        // Out-of-order merges are refused, not silently wrong.
+        let parts = spec.shards(3);
+        let first = parts[0].run_jobs(1).unwrap();
+        let third = parts[2].run_jobs(1).unwrap();
+        let mut acc = first;
+        assert!(matches!(
+            acc.merge(&third),
+            Err(FleetError::ShardMerge { .. })
+        ));
+    }
+
+    #[test]
+    fn sketch_path_tracks_exact_path() {
+        let spec = small_fleet();
+        let exact = spec.run_jobs(2).unwrap();
+        let sketched = spec.clone().with_exact_threshold(0).run_jobs(2).unwrap();
+        // Sketch path drops the per-line summaries...
+        assert!(sketched.lines.is_empty());
+        assert_eq!(exact.lines.len(), 12);
+        // ...keeps the integer aggregates identical...
+        assert_eq!(
+            exact.aggregates.total_samples,
+            sketched.aggregates.total_samples
+        );
+        assert_eq!(exact.aggregates.health, sketched.aggregates.health);
+        // ...the extrema exact...
+        assert_eq!(
+            exact.aggregates.resolution_pct_fs.min.to_bits(),
+            sketched.aggregates.resolution_pct_fs.min.to_bits()
+        );
+        assert_eq!(
+            exact.aggregates.resolution_pct_fs.max.to_bits(),
+            sketched.aggregates.resolution_pct_fs.max.to_bits()
+        );
+        assert_eq!(
+            exact.aggregates.repeatability_pct_fs.to_bits(),
+            sketched.aggregates.repeatability_pct_fs.to_bits()
+        );
+        // ...and the mid-ranks within the sketch's α bound.
+        for (e, s) in [
+            (
+                exact.aggregates.resolution_pct_fs.p50,
+                sketched.aggregates.resolution_pct_fs.p50,
+            ),
+            (
+                exact.aggregates.resolution_pct_fs.p99,
+                sketched.aggregates.resolution_pct_fs.p99,
+            ),
+        ] {
+            assert!(
+                (e - s).abs() <= QuantileSketch::RELATIVE_ERROR * e.abs() + 1e-12,
+                "exact {e} vs sketch {s}"
+            );
+        }
+    }
+
+    #[test]
     fn fleet_memory_is_metrics_only() {
         let outcome = small_fleet().run_jobs(2).unwrap();
         assert_eq!(outcome.trace_heap_bytes(), 0);
@@ -711,5 +1567,7 @@ mod tests {
             outcome.aggregates.health.total(),
             outcome.aggregates.total_samples
         );
+        // No NaN lines in a healthy settled fleet.
+        assert_eq!(outcome.aggregates.nan_lines.resolution, 0);
     }
 }

@@ -24,9 +24,17 @@
 //!   meters on shared true flow, plus the field-calibration procedure
 //! * [`campaign`] — declarative [`RunSpec`]s and the [`Campaign`] executor
 //! * [`fleet`] — populations of lines behind one [`FleetSpec`] template:
-//!   thousands of seed-diverse lines batched over the same thread pool at
-//!   [`RecordPolicy::MetricsOnly`], folded into jobs-invariant population
-//!   aggregates (resolution percentiles, health census, fault incidence)
+//!   thousands to millions of seed-diverse lines batched over the same
+//!   thread pool at [`RecordPolicy::MetricsOnly`], folded into
+//!   jobs-invariant population aggregates (resolution percentiles, health
+//!   census, fault incidence) through mergeable O(shard)
+//!   [`ShardAggregates`] — the unit of shard fan-out and checkpointing
+//! * [`sketch`] — the fixed-size deterministic [`QuantileSketch`]
+//!   (log-bucketed, integer counts, associative merge) behind large-fleet
+//!   percentiles
+//! * [`checkpoint`] — durable fleet progress ([`FleetCheckpoint`]):
+//!   atomic bit-exact serialization of a shard accumulator so a killed
+//!   fleet run resumes bit-identically
 //! * [`fault`] — seeded, time-triggered fault schedules ([`FaultSchedule`])
 //!   injectable into any run: ADC/DAC/supply/EEPROM/UART faults plus abrupt
 //!   physics events, executed deterministically by the campaign layer
@@ -84,6 +92,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod exec;
 pub mod fault;
 pub mod fleet;
@@ -94,13 +103,18 @@ pub mod promag;
 pub mod record;
 pub mod runner;
 pub mod scenario;
+pub mod sketch;
 pub mod turbine;
 
 pub use campaign::{
     Calibration, Campaign, FieldCalibration, RunOutcome, RunSpec, Windows, PAPER_SETPOINTS_CM_S,
 };
+pub use checkpoint::{CheckpointError, FleetCheckpoint};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, UartStats};
-pub use fleet::{FleetAggregates, FleetOutcome, FleetSpec, LineSummary, LineVariation};
+pub use fleet::{
+    FleetAggregates, FleetError, FleetOutcome, FleetShard, FleetSpec, FleetSpecError, LineSummary,
+    LineVariation, PartialFleet, ShardAggregates,
+};
 pub use line::WaterLine;
 pub use metrics::Welford;
 pub use obs::{EventLog, Histogram, ObsConfig, ObsSnapshot, RunObs};
@@ -111,4 +125,5 @@ pub use record::{
 };
 pub use runner::{LineRunner, RunTail, Trace, TraceSample};
 pub use scenario::{Scenario, Schedule};
+pub use sketch::QuantileSketch;
 pub use turbine::TurbineMeter;

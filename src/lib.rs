@@ -55,10 +55,13 @@ pub mod prelude {
     pub use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig, HealthState, Measurement};
     pub use hotwire_physics::{MafParams, SensorEnvironment};
     pub use hotwire_rig::campaign::{derive_seed, Calibration, FieldCalibration};
+    pub use hotwire_rig::checkpoint::{CheckpointError, FleetCheckpoint};
     pub use hotwire_rig::fleet::{
-        FleetAggregates, FleetOutcome, FleetSpec, LineSummary, LineVariation,
+        FleetAggregates, FleetError, FleetOutcome, FleetShard, FleetSpec, FleetSpecError,
+        LineSummary, LineVariation, PartialFleet, ShardAggregates,
     };
     pub use hotwire_rig::runner::field_calibrate;
+    pub use hotwire_rig::sketch::QuantileSketch;
     pub use hotwire_rig::{
         metrics, Campaign, FaultKind, FaultSchedule, LineRunner, ObsConfig, RecordPolicy, Recorder,
         RunOutcome, RunReductions, RunSpec, Scenario, Schedule, TraceStore, Windows,

@@ -1,12 +1,17 @@
 //! Fleet engine contracts.
 //!
-//! The fleet promises two things no matter how it is scheduled:
+//! The fleet promises three things no matter how it is scheduled:
 //!
 //! * **determinism** — the same [`FleetSpec`] produces bit-identical
-//!   aggregates and per-line summaries at any `--jobs` count, fault
-//!   schedules on a subset of lines included;
-//! * **O(lines) memory** — every line is forced to `MetricsOnly`, so a
-//!   1000-line fleet holds zero trace bytes.
+//!   aggregates and per-line summaries at any `--jobs` count, batch size
+//!   or shard split, fault schedules on a subset of lines included;
+//! * **bounded memory** — every line is forced to `MetricsOnly`, so a
+//!   1000-line fleet holds zero trace bytes; above the exact threshold
+//!   the accumulator is a fixed-size sketch (O(shard), not O(lines));
+//! * **restartability** — a run killed between batches and resumed from
+//!   its checkpoint finishes with the uninterrupted run's exact bits.
+
+use std::ops::ControlFlow;
 
 use hotwire::prelude::*;
 
@@ -143,4 +148,206 @@ fn thousand_line_fleet_is_metrics_only_and_jobs_invariant() {
     assert_eq!(a.lines_faulted, 250);
     assert_eq!(a.fault_incidence.get("adc_stuck"), Some(&250));
     assert!(a.fault_samples > 0);
+}
+
+/// Shard fan-out is invisible in the bits: any shard count, merged in
+/// line order, reproduces the monolithic aggregates exactly — including
+/// across different job counts per run.
+#[test]
+fn sharded_merge_reproduces_monolithic_bits() {
+    let spec = faulted_fleet(26, 1.5, 0.4, 0.4).with_batch_size(7);
+    let mono = spec.run_jobs(1).unwrap();
+    for (shards, jobs) in [(2, 1), (3, 2), (5, 3), (26, 2)] {
+        let sharded = spec.run_sharded(shards, jobs).unwrap();
+        assert_outcomes_identical(&mono, &sharded, &format!("{shards} shards at jobs {jobs}"));
+    }
+    // Manual shard runs merge the same way (the multi-process shape).
+    let parts = spec.shards(3);
+    let mut acc = parts[0].run_jobs(2).unwrap();
+    for part in &parts[1..] {
+        acc.merge(&part.run_jobs(3).unwrap()).unwrap();
+    }
+    let merged = FleetAggregates::from_summaries(
+        &acc.summaries,
+        spec.config.full_scale.to_cm_per_s(),
+        spec.scenario.duration_s * spec.lines as f64,
+    );
+    assert_eq!(
+        format!("{:?}", mono.aggregates),
+        format!("{merged:?}"),
+        "hand-merged shards diverge from the monolithic aggregates"
+    );
+}
+
+/// The sketch path (exact_threshold 0) keeps integer aggregates, extrema
+/// and repeatability bit-identical to the exact path, and its mid-rank
+/// percentiles inside the sketch's guaranteed relative error.
+#[test]
+fn sketch_aggregates_track_exact_within_alpha() {
+    let spec = faulted_fleet(40, 1.0, 0.3, 0.3);
+    let exact = spec.run_jobs(2).unwrap();
+    let sketched = spec.clone().with_exact_threshold(0).run_jobs(2).unwrap();
+    assert!(
+        sketched.lines.is_empty(),
+        "sketch path must retain no lines"
+    );
+    let (ea, sa) = (&exact.aggregates, &sketched.aggregates);
+    assert_eq!(ea.total_samples, sa.total_samples);
+    assert_eq!(ea.health, sa.health);
+    assert_eq!(ea.fault_incidence, sa.fault_incidence);
+    assert_eq!(ea.nan_lines, sa.nan_lines);
+    assert_eq!(
+        ea.repeatability_pct_fs.to_bits(),
+        sa.repeatability_pct_fs.to_bits()
+    );
+    assert_eq!(
+        ea.resolution_pct_fs.min.to_bits(),
+        sa.resolution_pct_fs.min.to_bits()
+    );
+    assert_eq!(
+        ea.resolution_pct_fs.max.to_bits(),
+        sa.resolution_pct_fs.max.to_bits()
+    );
+    for (e, s) in [
+        (ea.resolution_pct_fs.p50, sa.resolution_pct_fs.p50),
+        (ea.resolution_pct_fs.p90, sa.resolution_pct_fs.p90),
+        (ea.resolution_pct_fs.p99, sa.resolution_pct_fs.p99),
+        (ea.err_rms_cm_s.p50, sa.err_rms_cm_s.p50),
+        (ea.err_rms_cm_s.p99, sa.err_rms_cm_s.p99),
+    ] {
+        assert!(
+            (e - s).abs() <= QuantileSketch::RELATIVE_ERROR * e.abs() + 1e-12,
+            "sketch percentile {s} strayed past α from exact {e}"
+        );
+    }
+}
+
+/// Checkpoint/resume bit-identity, the tentpole acceptance: a run
+/// interrupted between batches and resumed from its checkpoint file
+/// produces the uninterrupted run's exact bits — at jobs 1, 2 and 3, with
+/// faulted lines in the population, on both AFE tiers.
+#[test]
+fn interrupted_resume_is_bit_identical_at_any_jobs() {
+    let dir = std::env::temp_dir().join("hotwire-fleet-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (jobs, fast_tier) in [(1, false), (2, false), (3, false), (2, true)] {
+        let mut spec = faulted_fleet(13, 1.0, 0.3, 0.3).with_batch_size(4);
+        if fast_tier {
+            spec = spec.with_afe_tier(hotwire::core::config::AfeTier::Fast);
+        }
+        let uninterrupted = spec.run_jobs(jobs).unwrap();
+
+        let path = dir.join(format!("jobs{jobs}-fast{fast_tier}.ck"));
+        let _ = std::fs::remove_file(&path);
+        // First attempt: stop mid-run after the first batch boundary —
+        // the deterministic stand-in for a kill (fleet_bench exercises
+        // the real process death in CI).
+        let stopped = spec.run_checkpointed_with(&path, 1, jobs, |progress| {
+            if progress.completed_lines >= 4 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        match stopped {
+            Err(FleetError::Interrupted(partial)) => {
+                assert!(partial.completed_lines >= 4);
+                assert!(partial.completed_lines < 13);
+            }
+            other => panic!("expected an interrupted run, got {other:?}"),
+        }
+        // Second attempt: same spec, same path — resumes past the
+        // checkpointed prefix and must finish with identical bits.
+        let resumed = spec.run_checkpointed(&path, 1, jobs).unwrap();
+        assert_outcomes_identical(
+            &uninterrupted,
+            &resumed,
+            &format!("resume at jobs {jobs}, fast tier {fast_tier}"),
+        );
+        // Meter end states included, not just statistics.
+        for (a, b) in uninterrupted.lines.iter().zip(&resumed.lines) {
+            assert_eq!(a.meter_digest, b.meter_digest, "line {} meter", a.line);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// A checkpoint written by one spec refuses to seed a different spec's
+/// run instead of silently stitching two fleets together.
+#[test]
+fn resume_refuses_a_foreign_checkpoint() {
+    let dir = std::env::temp_dir().join("hotwire-fleet-foreign-ck-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("foreign.ck");
+    let _ = std::fs::remove_file(&path);
+    let spec = faulted_fleet(8, 1.0, 0.3, 0.3).with_batch_size(4);
+    spec.run_checkpointed(&path, 1, 2).unwrap();
+    // Different seed → different fingerprint → refused.
+    let mut other = faulted_fleet(8, 1.0, 0.3, 0.3).with_batch_size(4);
+    other.seed ^= 1;
+    match other.run_checkpointed(&path, 1, 2) {
+        Err(FleetError::Checkpoint(CheckpointError::SpecMismatch { .. })) => {}
+        other => panic!("expected a spec mismatch, got {other:?}"),
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Regression: lines with NaN statistics (no settled coverage, no err
+/// window) used to sort last under `total_cmp` and report as the
+/// population's p99/max. They are now excluded from the ranks and
+/// surfaced as an explicit count — identically on both aggregation paths.
+#[test]
+fn nan_lines_surface_instead_of_poisoning_percentiles() {
+    // No err window at all: every line's err_rms is NaN by construction.
+    let spec = FleetSpec::new("nan-fleet", cheap_config(), Scenario::steady(90.0, 1.0), 7)
+        .with_lines(9)
+        .with_sample_period(0.05)
+        .with_windows(Windows::settled(0.25, 0.25));
+    let exact = spec.run_jobs(2).unwrap();
+    let a = &exact.aggregates;
+    assert_eq!(a.nan_lines.err_rms, 9, "every line's err_rms is NaN");
+    assert!(a.err_rms_cm_s.p99.is_nan() && a.err_rms_cm_s.max.is_nan());
+    // Resolution is real on every line — NaN-free ranks, finite worst.
+    assert_eq!(a.nan_lines.resolution, 0);
+    assert!(a.resolution_pct_fs.max.is_finite(), "max must not be NaN");
+    assert!(a.resolution_pct_fs.p99.is_finite());
+    // Sketch path reports the same counts.
+    let sketched = spec.with_exact_threshold(0).run_jobs(2).unwrap();
+    assert_eq!(sketched.aggregates.nan_lines, a.nan_lines);
+}
+
+/// Degenerate specs fail fast with typed errors instead of hanging the
+/// batch loop or dividing by zero deep in the fold.
+#[test]
+fn degenerate_specs_are_rejected_up_front() {
+    let base = || faulted_fleet(8, 1.0, 0.3, 0.3);
+    assert!(matches!(
+        base().with_lines(0).run(),
+        Err(FleetError::Spec(FleetSpecError::NoLines))
+    ));
+    let mut zero_batch = base();
+    zero_batch.batch_size = 0;
+    assert!(matches!(
+        zero_batch.run_jobs(2),
+        Err(FleetError::Spec(FleetSpecError::ZeroBatchSize))
+    ));
+    let mut zero_stride = base();
+    zero_stride.variation.faults.as_mut().unwrap().stride = 0;
+    assert!(matches!(
+        zero_stride.run_jobs(2),
+        Err(FleetError::Spec(FleetSpecError::ZeroFaultStride))
+    ));
+    assert!(matches!(
+        base()
+            .with_variation(LineVariation::new().with_flow_jitter(f64::NAN))
+            .run_jobs(2),
+        Err(FleetError::Spec(FleetSpecError::BadFlowJitter))
+    ));
+    assert!(matches!(
+        base().with_sample_period(-1.0).run_jobs(2),
+        Err(FleetError::Spec(FleetSpecError::BadSamplePeriod))
+    ));
+    // And the errors render as readable diagnostics.
+    let msg = FleetError::from(FleetSpecError::ZeroBatchSize).to_string();
+    assert!(msg.contains("batch size"), "unhelpful message: {msg}");
 }
