@@ -43,7 +43,8 @@ experiments:
   a2   ablation — decimation-ratio sweep
   a3   ablation — probe insertion position
   f1   §6      — fault-injection matrix: detection / worst error / recovery
-  f2   §6      — fleet simulation: population percentiles / health census";
+  f2   §6      — fleet simulation: population percentiles / health census
+  f3   §6      — telemetry ingest: wire-derived census / detection fidelity";
 
 /// One experiment's rendered report plus its headline numbers for `--json`.
 struct Report {
@@ -239,13 +240,31 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
                 text: r.to_string(),
             }
         }
+        "f3" => {
+            let r = experiments::f3_ingest::run(speed).map_err(err)?;
+            let rep = &r.report;
+            Report {
+                metrics: vec![
+                    ("ingest_lines", rep.lines as f64),
+                    ("detection_fidelity", rep.fidelity.detection_accuracy()),
+                    ("delivery_ratio", rep.delivery_ratio()),
+                    ("frames_sent", rep.frames_sent as f64),
+                    ("records_decoded", rep.stats.records.records as f64),
+                    ("records_lost", rep.stats.records_lost as f64),
+                    ("crc_errors", rep.stats.link.crc_errors as f64),
+                    ("recovered_frames", rep.stats.link.recovered_frames as f64),
+                    ("alerts_raised", rep.stats.alerts_raised as f64),
+                ],
+                text: r.to_string(),
+            }
+        }
         other => return Err(format!("unknown experiment `{other}`")),
     })
 }
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
-    "f1", "f2",
+    "f1", "f2", "f3",
 ];
 
 /// Minimal JSON string escaping (we have no JSON dependency by design).

@@ -17,6 +17,7 @@ pub mod e11_power;
 pub mod e12_modes;
 pub mod f1_faults;
 pub mod f2_fleet;
+pub mod f3_ingest;
 
 use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::{CoreError, FlowMeter};

@@ -88,4 +88,4 @@ pub use error::CoreError;
 pub use flow_meter::{FlowMeter, Measurement};
 pub use health::{HealthMonitor, HealthState, RecoveryAction};
 pub use obs::{CalSlot, EventKind, ObsEvent, Observer};
-pub use telemetry::TelemetryRecord;
+pub use telemetry::{RecordDecodeStats, RecordError, TelemetryRecord};

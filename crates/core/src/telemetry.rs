@@ -17,6 +17,64 @@ pub const RECORD_VERSION: u8 = 1;
 /// Encoded record length in bytes.
 pub const RECORD_LEN: usize = 16;
 
+/// Why a CRC-valid frame payload failed to parse as a [`TelemetryRecord`].
+///
+/// The UART CRC guards against *transport* corruption; these are *content*
+/// errors — a well-framed payload that is not a valid record (foreign
+/// traffic on the link, a newer firmware's layout, or corruption that
+/// happened before framing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// Payload length differs from [`RECORD_LEN`].
+    WrongLength,
+    /// Version byte is not [`RECORD_VERSION`].
+    UnknownVersion,
+    /// Direction code is outside 0..=2.
+    BadDirection,
+}
+
+/// Tally of record-level decode outcomes from a frame stream.
+///
+/// [`TelemetryRecord::decode_stream`] historically dropped malformed (CRC-valid
+/// but unparseable) payloads with no trace; this counter set closes that hole
+/// so an ingest service can account for every frame the link layer delivered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecordDecodeStats {
+    /// Frames that parsed into valid records.
+    pub records: u64,
+    /// Frames whose payload length was not [`RECORD_LEN`].
+    pub wrong_length: u64,
+    /// Frames with an unknown version byte.
+    pub unknown_version: u64,
+    /// Frames with an invalid direction code.
+    pub bad_direction: u64,
+}
+
+impl RecordDecodeStats {
+    /// Records one parse outcome.
+    pub fn tally(&mut self, outcome: &Result<TelemetryRecord, RecordError>) {
+        match outcome {
+            Ok(_) => self.records += 1,
+            Err(RecordError::WrongLength) => self.wrong_length += 1,
+            Err(RecordError::UnknownVersion) => self.unknown_version += 1,
+            Err(RecordError::BadDirection) => self.bad_direction += 1,
+        }
+    }
+
+    /// Total CRC-valid frames that were not valid records.
+    pub fn malformed(&self) -> u64 {
+        self.wrong_length + self.unknown_version + self.bad_direction
+    }
+
+    /// Adds another tally into this one.
+    pub fn merge(&mut self, other: &RecordDecodeStats) {
+        self.records += other.records;
+        self.wrong_length += other.wrong_length;
+        self.unknown_version += other.unknown_version;
+        self.bad_direction += other.bad_direction;
+    }
+}
+
 /// The compact telemetry record sent per reporting interval.
 ///
 /// Layout (little-endian):
@@ -115,25 +173,33 @@ impl TelemetryRecord {
     /// Returns [`CoreError::Config`] for a wrong length, unknown version, or
     /// invalid direction code.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        Self::parse(bytes).map_err(|e| CoreError::Config {
+            reason: match e {
+                RecordError::WrongLength => "telemetry record has wrong length",
+                RecordError::UnknownVersion => "unknown telemetry record version",
+                RecordError::BadDirection => "invalid direction code in telemetry record",
+            },
+        })
+    }
+
+    /// Deserializes from the wire layout with a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RecordError`] naming which validation failed, suitable for
+    /// tallying into [`RecordDecodeStats`].
+    pub fn parse(bytes: &[u8]) -> Result<Self, RecordError> {
         if bytes.len() != RECORD_LEN {
-            return Err(CoreError::Config {
-                reason: "telemetry record has wrong length",
-            });
+            return Err(RecordError::WrongLength);
         }
         if bytes[0] != RECORD_VERSION {
-            return Err(CoreError::Config {
-                reason: "unknown telemetry record version",
-            });
+            return Err(RecordError::UnknownVersion);
         }
         let direction = match bytes[1] {
             0 => FlowDirection::Indeterminate,
             1 => FlowDirection::Forward,
             2 => FlowDirection::Reverse,
-            _ => {
-                return Err(CoreError::Config {
-                    reason: "invalid direction code in telemetry record",
-                })
-            }
+            _ => return Err(RecordError::BadDirection),
         };
         let flags = u16::from_le_bytes([bytes[2], bytes[3]]);
         Ok(TelemetryRecord {
@@ -160,11 +226,34 @@ impl TelemetryRecord {
     }
 
     /// Decodes all complete, CRC-valid records from a byte stream.
+    ///
+    /// Malformed payloads (CRC-valid frames that fail record validation) are
+    /// dropped; use [`TelemetryRecord::decode_stream_counted`] when the caller
+    /// must account for them.
     pub fn decode_stream(decoder: &mut FrameDecoder, bytes: &[u8]) -> Vec<TelemetryRecord> {
+        let mut stats = RecordDecodeStats::default();
+        Self::decode_stream_counted(decoder, bytes, &mut stats)
+    }
+
+    /// Decodes all complete, CRC-valid records from a byte stream, tallying
+    /// every frame's parse outcome into `stats`.
+    ///
+    /// Unlike the historical `decode_stream`, no frame is consumed invisibly:
+    /// each CRC-valid payload either becomes a returned record (`records`) or
+    /// increments one of the malformed counters.
+    pub fn decode_stream_counted(
+        decoder: &mut FrameDecoder,
+        bytes: &[u8],
+        stats: &mut RecordDecodeStats,
+    ) -> Vec<TelemetryRecord> {
         bytes
             .iter()
             .filter_map(|&b| decoder.push(b))
-            .filter_map(|payload| TelemetryRecord::from_bytes(&payload).ok())
+            .filter_map(|payload| {
+                let outcome = TelemetryRecord::parse(&payload);
+                stats.tally(&outcome);
+                outcome.ok()
+            })
             .collect()
     }
 }
@@ -260,6 +349,67 @@ mod tests {
         bytes[0] = RECORD_VERSION;
         bytes[1] = 9; // bad direction
         assert!(TelemetryRecord::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_stream_counts_malformed_records() {
+        let rec = TelemetryRecord::from_measurement(&sample_measurement());
+        // Four CRC-valid frames: one good record, one truncated payload, one
+        // future-version record, one with a bogus direction code.
+        let mut short = rec.to_bytes()[..RECORD_LEN - 2].to_vec();
+        short[0] = RECORD_VERSION;
+        let mut versioned = rec.to_bytes();
+        versioned[0] = RECORD_VERSION + 7;
+        let mut misdirected = rec.to_bytes();
+        misdirected[1] = 9;
+        let mut wire = rec.to_frame().unwrap();
+        wire.extend(encode_frame(&short).unwrap());
+        wire.extend(encode_frame(&versioned).unwrap());
+        wire.extend(encode_frame(&misdirected).unwrap());
+
+        let mut decoder = FrameDecoder::new();
+        let mut stats = RecordDecodeStats::default();
+        let records = TelemetryRecord::decode_stream_counted(&mut decoder, &wire, &mut stats);
+        assert_eq!(records, vec![rec]);
+        assert_eq!(
+            stats,
+            RecordDecodeStats {
+                records: 1,
+                wrong_length: 1,
+                unknown_version: 1,
+                bad_direction: 1,
+            }
+        );
+        assert_eq!(stats.malformed(), 3);
+        // Every CRC-valid frame is accounted for: none eaten invisibly.
+        assert_eq!(decoder.good_frames(), stats.records + stats.malformed());
+
+        let mut merged = RecordDecodeStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.records, 2);
+        assert_eq!(merged.malformed(), 6);
+    }
+
+    #[test]
+    fn parse_names_each_validation_failure() {
+        assert_eq!(
+            TelemetryRecord::parse(&[0u8; 4]),
+            Err(RecordError::WrongLength)
+        );
+        let mut bytes = [0u8; RECORD_LEN];
+        bytes[0] = 99;
+        assert_eq!(
+            TelemetryRecord::parse(&bytes),
+            Err(RecordError::UnknownVersion)
+        );
+        let mut bytes = [0u8; RECORD_LEN];
+        bytes[0] = RECORD_VERSION;
+        bytes[1] = 9;
+        assert_eq!(
+            TelemetryRecord::parse(&bytes),
+            Err(RecordError::BadDirection)
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 use crate::eeprom::crc16_ccitt;
 use crate::IsifError;
+use std::collections::VecDeque;
 
 /// Frame start-of-header byte.
 pub const SOH: u8 = 0xA5;
@@ -60,18 +61,85 @@ pub enum PushOutcome {
     /// The byte closed a frame with a valid CRC; here is its payload.
     Frame(Vec<u8>),
     /// The byte closed a frame whose CRC mismatched; the frame was dropped.
-    CrcError,
+    CrcError {
+        /// Genuine frames recovered by re-scanning the dropped frame's
+        /// bytes for an embedded start-of-header. A false `0xA5` in line
+        /// noise whose bogus length field spans a real frame used to
+        /// swallow that frame; the re-hunt decodes it instead. Usually
+        /// empty (a plain corrupt frame contains no embedded frame).
+        recovered: Vec<Vec<u8>>,
+    },
 }
 
 /// A snapshot of the decoder's cumulative link counters.
+///
+/// The first three counters keep their historical semantics exactly; the
+/// remaining three were added with the re-hunt/flush accounting fixes and
+/// together close the byte ledger: every byte pushed is either skipped
+/// while hunting (`resyncs`), part of a decoded frame, discarded
+/// (`discarded_bytes`), or still in flight inside the decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize)]
 pub struct LinkStats {
-    /// Frames decoded successfully.
+    /// Frames decoded successfully (including recovered ones).
     pub good_frames: u64,
     /// Frames dropped for CRC mismatch.
     pub crc_errors: u64,
     /// Bytes skipped while hunting for a start-of-header.
     pub resyncs: u64,
+    /// Frames recovered by re-scanning the bytes of a dropped or aborted
+    /// frame (also counted in `good_frames`).
+    pub recovered_frames: u64,
+    /// In-flight frames abandoned by an idle-line [`FrameDecoder::flush`]
+    /// (including partial frames re-adopted and re-abandoned within one
+    /// flush).
+    pub aborted_frames: u64,
+    /// Bytes consumed into a committed frame and ultimately thrown away
+    /// without decoding into any frame — counted when a CRC mismatch or a
+    /// flush discards the frame's bytes, net of any recovered frames.
+    pub discarded_bytes: u64,
+}
+
+impl LinkStats {
+    /// Adds another snapshot's counters into this one (service-side
+    /// aggregation across many line decoders).
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.good_frames += other.good_frames;
+        self.crc_errors += other.crc_errors;
+        self.resyncs += other.resyncs;
+        self.recovered_frames += other.recovered_frames;
+        self.aborted_frames += other.aborted_frames;
+        self.discarded_bytes += other.discarded_bytes;
+    }
+}
+
+/// What a candidate frame starting at a given span offset turned out to be
+/// during a re-hunt ([`FrameDecoder`] internal).
+enum FrameAt {
+    /// A complete, CRC-valid frame of this payload length.
+    Valid { payload_len: usize },
+    /// A complete frame shape whose CRC mismatched (noise alignment).
+    BadCrc,
+    /// The span ends before the candidate completes.
+    Incomplete,
+}
+
+/// Classifies the candidate frame at `span[i]` (which must be an SOH).
+fn frame_at(span: &[u8], i: usize) -> FrameAt {
+    let Some(&len) = span.get(i + 1) else {
+        return FrameAt::Incomplete;
+    };
+    let len = len as usize;
+    let end = i + 2 + len + 2;
+    if end > span.len() {
+        return FrameAt::Incomplete;
+    }
+    let payload = &span[i + 2..i + 2 + len];
+    let crc = u16::from_be_bytes([span[end - 2], span[end - 1]]);
+    if crc == crc16_ccitt(payload) {
+        FrameAt::Valid { payload_len: len }
+    } else {
+        FrameAt::BadCrc
+    }
 }
 
 /// A resynchronizing frame decoder.
@@ -93,10 +161,21 @@ pub struct LinkStats {
 #[derive(Debug, Clone, Default)]
 pub struct FrameDecoder {
     state: DecodeState,
+    /// Payload bytes of the in-flight frame.
     buf: Vec<u8>,
+    /// Every raw byte consumed since (not including) the committed SOH —
+    /// length byte, payload and CRC bytes. This is what gets re-hunted
+    /// when the frame is dropped (CRC mismatch) or aborted (flush).
+    raw: Vec<u8>,
+    /// Recovered frames queued for delivery through [`push`](Self::push)
+    /// (which can only return one frame per byte).
+    queued: VecDeque<Vec<u8>>,
     good_frames: u64,
     crc_errors: u64,
     resyncs: u64,
+    recovered_frames: u64,
+    aborted_frames: u64,
+    discarded_bytes: u64,
 }
 
 impl FrameDecoder {
@@ -107,11 +186,23 @@ impl FrameDecoder {
 
     /// Feeds one wire byte; returns a completed payload when a frame closes
     /// with a valid CRC.
+    ///
+    /// Frames recovered from the bytes of a dropped frame (see
+    /// [`PushOutcome::CrcError`]) are delivered too, one per call, in wire
+    /// order — drain the remainder with [`flush`](Self::flush) if the
+    /// stream ends.
     pub fn push(&mut self, byte: u8) -> Option<Vec<u8>> {
         match self.push_described(byte) {
-            PushOutcome::Frame(payload) => Some(payload),
-            PushOutcome::Pending | PushOutcome::CrcError => None,
+            PushOutcome::Frame(payload) => {
+                if self.queued.is_empty() {
+                    return Some(payload);
+                }
+                self.queued.push_back(payload);
+            }
+            PushOutcome::CrcError { recovered } => self.queued.extend(recovered),
+            PushOutcome::Pending => {}
         }
+        self.queued.pop_front()
     }
 
     /// Feeds one wire byte and reports what it concluded — like
@@ -122,6 +213,7 @@ impl FrameDecoder {
         match self.state {
             DecodeState::Hunt => {
                 if byte == SOH {
+                    self.raw.clear();
                     self.state = DecodeState::Length;
                 } else {
                     self.resyncs += 1;
@@ -129,6 +221,7 @@ impl FrameDecoder {
                 PushOutcome::Pending
             }
             DecodeState::Length => {
+                self.raw.push(byte);
                 self.buf.clear();
                 if byte == 0 {
                     self.state = DecodeState::Crc {
@@ -143,6 +236,7 @@ impl FrameDecoder {
                 PushOutcome::Pending
             }
             DecodeState::Payload { expected } => {
+                self.raw.push(byte);
                 self.buf.push(byte);
                 if self.buf.len() == expected {
                     self.state = DecodeState::Crc {
@@ -153,6 +247,7 @@ impl FrameDecoder {
                 PushOutcome::Pending
             }
             DecodeState::Crc { have_high, high } => {
+                self.raw.push(byte);
                 if !have_high {
                     self.state = DecodeState::Crc {
                         have_high: true,
@@ -164,11 +259,89 @@ impl FrameDecoder {
                     let wire_crc = u16::from_be_bytes([high, byte]);
                     if wire_crc == crc16_ccitt(&self.buf) {
                         self.good_frames += 1;
+                        self.raw.clear();
                         PushOutcome::Frame(std::mem::take(&mut self.buf))
                     } else {
                         self.crc_errors += 1;
-                        PushOutcome::CrcError
+                        self.buf.clear();
+                        let span = std::mem::take(&mut self.raw);
+                        let recovered = self.rescan(&span);
+                        PushOutcome::CrcError { recovered }
                     }
+                }
+            }
+        }
+    }
+
+    /// Re-hunts a discarded in-flight span (the bytes that followed a
+    /// committed SOH) for embedded genuine frames.
+    ///
+    /// Complete CRC-valid frames decode and are returned; a complete but
+    /// CRC-mismatched candidate is treated as a noise alignment (only its
+    /// SOH is skipped, so a real frame starting inside it is still found);
+    /// a trailing incomplete candidate is adopted as the new in-flight
+    /// frame so subsequent stream bytes can complete it. Bytes that end up
+    /// in none of those count into `discarded_bytes`, keeping the byte
+    /// ledger exact.
+    fn rescan(&mut self, span: &[u8]) -> Vec<Vec<u8>> {
+        let mut recovered = Vec::new();
+        // The SOH that committed the discarded frame is itself lost.
+        self.discarded_bytes += 1;
+        let mut i = 0;
+        while i < span.len() {
+            if span[i] != SOH {
+                self.discarded_bytes += 1;
+                i += 1;
+                continue;
+            }
+            match frame_at(span, i) {
+                FrameAt::Valid { payload_len } => {
+                    self.good_frames += 1;
+                    self.recovered_frames += 1;
+                    recovered.push(span[i + 2..i + 2 + payload_len].to_vec());
+                    i += payload_len + 4;
+                }
+                FrameAt::BadCrc => {
+                    self.discarded_bytes += 1;
+                    i += 1;
+                }
+                FrameAt::Incomplete => {
+                    self.adopt(&span[i + 1..]);
+                    return recovered;
+                }
+            }
+        }
+        recovered
+    }
+
+    /// Adopts a partial frame found at the tail of a re-hunted span as the
+    /// live in-flight frame. `rest` holds the bytes after the candidate's
+    /// SOH (length byte onward) and is strictly shorter than a complete
+    /// frame.
+    fn adopt(&mut self, rest: &[u8]) {
+        self.raw.clear();
+        self.raw.extend_from_slice(rest);
+        self.buf.clear();
+        match rest.split_first() {
+            None => self.state = DecodeState::Length,
+            Some((&len, body)) => {
+                let len = len as usize;
+                if body.len() < len {
+                    self.buf.extend_from_slice(body);
+                    self.state = DecodeState::Payload { expected: len };
+                } else {
+                    self.buf.extend_from_slice(&body[..len]);
+                    self.state = match body.len() - len {
+                        0 => DecodeState::Crc {
+                            have_high: false,
+                            high: 0,
+                        },
+                        1 => DecodeState::Crc {
+                            have_high: true,
+                            high: body[len],
+                        },
+                        _ => unreachable!("a complete candidate is never adopted"),
+                    };
                 }
             }
         }
@@ -192,6 +365,34 @@ impl FrameDecoder {
         self.resyncs
     }
 
+    /// Frames recovered by re-scanning dropped or aborted frame bytes.
+    #[inline]
+    pub fn recovered_frames(&self) -> u64 {
+        self.recovered_frames
+    }
+
+    /// In-flight frames abandoned by an idle-line flush.
+    #[inline]
+    pub fn aborted_frames(&self) -> u64 {
+        self.aborted_frames
+    }
+
+    /// Bytes discarded without decoding into any frame.
+    #[inline]
+    pub fn discarded_bytes(&self) -> u64 {
+        self.discarded_bytes
+    }
+
+    /// Bytes currently held inside the decoder (the committed SOH plus
+    /// everything consumed after it), zero when hunting.
+    #[inline]
+    pub fn in_flight_bytes(&self) -> u64 {
+        match self.state {
+            DecodeState::Hunt => 0,
+            _ => self.raw.len() as u64 + 1,
+        }
+    }
+
     /// Snapshot of all cumulative link counters.
     #[inline]
     pub fn stats(&self) -> LinkStats {
@@ -199,17 +400,37 @@ impl FrameDecoder {
             good_frames: self.good_frames,
             crc_errors: self.crc_errors,
             resyncs: self.resyncs,
+            recovered_frames: self.recovered_frames,
+            aborted_frames: self.aborted_frames,
+            discarded_bytes: self.discarded_bytes,
         }
     }
 
     /// Idle-line flush: a UART receiver detects inter-frame silence and
-    /// resets its framing. Without this, a spurious start-of-header in line
-    /// noise whose false length field is large can swallow genuine frames
+    /// resets its framing, so a spurious start-of-header in line noise
+    /// whose false length field is large cannot swallow genuine frames
     /// indefinitely (a classic length-prefixed-framing failure mode — found
     /// by the property tests).
-    pub fn flush(&mut self) {
-        self.state = DecodeState::Hunt;
-        self.buf.clear();
+    ///
+    /// The abandoned in-flight bytes are re-hunted exactly as on a CRC
+    /// mismatch, so a genuine frame buried inside a false frame still
+    /// decodes: it is returned here, after any frames recovered earlier
+    /// that [`push`](Self::push) has not delivered yet. Each abandoned
+    /// partial counts into `aborted_frames` and its unrecovered bytes into
+    /// `discarded_bytes`; the three historical counters are untouched.
+    pub fn flush(&mut self) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = self.queued.drain(..).collect();
+        while !matches!(self.state, DecodeState::Hunt) {
+            self.aborted_frames += 1;
+            self.buf.clear();
+            self.state = DecodeState::Hunt;
+            let span = std::mem::take(&mut self.raw);
+            // The re-hunt may adopt a shorter trailing partial; an idle
+            // line truncates that too, so the loop aborts it as well. Each
+            // pass strictly shrinks the span, so this terminates.
+            out.extend(self.rescan(&span));
+        }
+        out
     }
 }
 
@@ -297,7 +518,11 @@ mod tests {
         let n = wire.len();
         wire[n - 1] ^= 0x01; // corrupt the CRC low byte
         let mut outcomes: Vec<PushOutcome> = wire.iter().map(|&b| dec.push_described(b)).collect();
-        assert_eq!(outcomes.pop(), Some(PushOutcome::CrcError));
+        // The dropped span contains no embedded SOH, so nothing recovers.
+        assert_eq!(
+            outcomes.pop(),
+            Some(PushOutcome::CrcError { recovered: vec![] })
+        );
         assert!(outcomes.iter().all(|o| *o == PushOutcome::Pending));
 
         // A good frame closes with its payload on the final byte.
@@ -309,7 +534,100 @@ mod tests {
             LinkStats {
                 good_frames: 1,
                 crc_errors: 1,
-                resyncs: 0
+                resyncs: 0,
+                recovered_frames: 0,
+                aborted_frames: 0,
+                // The dropped frame's SOH + len + 7 payload + 2 CRC bytes.
+                discarded_bytes: 11,
+            }
+        );
+    }
+
+    #[test]
+    fn false_soh_spanning_a_genuine_frame_recovers_it() {
+        // Regression: a spurious 0xA5 whose bogus length field spans a
+        // genuine frame used to swallow that frame silently. The re-hunt
+        // inside the dropped span must decode it.
+        let mut dec = FrameDecoder::new();
+        let inner = encode_frame(b"hello").unwrap(); // 9 wire bytes
+        let mut wire = vec![SOH, 25]; // false header claiming 25 payload bytes
+        wire.extend([0x11; 16]); // bogus "payload" prefix
+        wire.extend(&inner); // the genuine frame, inside the false payload
+        wire.extend([0x00, 0x00]); // false CRC (mismatches)
+        let mut frames: Vec<Vec<u8>> = wire.iter().filter_map(|&b| dec.push(b)).collect();
+        frames.extend(dec.flush());
+        assert_eq!(frames, vec![b"hello".to_vec()]);
+        let stats = dec.stats();
+        assert_eq!(stats.crc_errors, 1);
+        assert_eq!(stats.good_frames, 1);
+        assert_eq!(stats.recovered_frames, 1);
+        // Ledger: 29 wire bytes = 9 recovered + 20 discarded, 0 resyncs.
+        assert_eq!(stats.resyncs, 0);
+        assert_eq!(stats.discarded_bytes, 20);
+    }
+
+    #[test]
+    fn unterminated_false_frame_yields_genuine_frame_on_flush() {
+        // A false SOH whose length field points past the end of the burst
+        // keeps the decoder mid-frame; the idle-line flush must re-hunt the
+        // in-flight bytes and hand back the genuine frame buried in them.
+        let mut dec = FrameDecoder::new();
+        let mut wire = vec![SOH, 0xFF]; // claims 255 payload bytes
+        wire.extend(encode_frame(b"hello").unwrap());
+        let mid: Vec<Vec<u8>> = wire.iter().filter_map(|&b| dec.push(b)).collect();
+        assert!(mid.is_empty(), "frame is still swallowed mid-burst");
+        let recovered = dec.flush();
+        assert_eq!(recovered, vec![b"hello".to_vec()]);
+        let stats = dec.stats();
+        assert_eq!(stats.aborted_frames, 1);
+        assert_eq!(stats.recovered_frames, 1);
+        // The false SOH and its length byte are all that is lost.
+        assert_eq!(stats.discarded_bytes, 2);
+        assert_eq!(dec.in_flight_bytes(), 0);
+    }
+
+    #[test]
+    fn flush_counts_aborted_partial_frames() {
+        let mut dec = FrameDecoder::new();
+        for b in [SOH, 0x05, 0x01, 0x02] {
+            assert_eq!(dec.push_described(b), PushOutcome::Pending);
+        }
+        assert_eq!(dec.in_flight_bytes(), 4);
+        assert!(dec.flush().is_empty());
+        let stats = dec.stats();
+        assert_eq!(stats.aborted_frames, 1);
+        assert_eq!(stats.discarded_bytes, 4);
+        // The historical counters are untouched by an abort.
+        assert_eq!(
+            (stats.good_frames, stats.crc_errors, stats.resyncs),
+            (0, 0, 0)
+        );
+        // Idempotent: flushing a hunting decoder counts nothing.
+        assert!(dec.flush().is_empty());
+        assert_eq!(dec.stats(), stats);
+    }
+
+    #[test]
+    fn link_stats_merge_adds_counters() {
+        let mut a = LinkStats {
+            good_frames: 1,
+            crc_errors: 2,
+            resyncs: 3,
+            recovered_frames: 4,
+            aborted_frames: 5,
+            discarded_bytes: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(
+            a,
+            LinkStats {
+                good_frames: 2,
+                crc_errors: 4,
+                resyncs: 6,
+                recovered_frames: 8,
+                aborted_frames: 10,
+                discarded_bytes: 12,
             }
         );
     }

@@ -74,6 +74,60 @@ proptest! {
     }
 
     #[test]
+    fn uart_embedded_frame_always_recovered(
+        prefix in prop::collection::vec(any::<u8>(), 0..48),
+        payload in prop::collection::vec(any::<u8>(), 0..48),
+        suffix in prop::collection::vec(any::<u8>(), 0..48),
+    ) {
+        // Any byte stream containing an intact encoded frame must yield
+        // that frame after at most one idle flush, no matter what corrupt
+        // prefix/suffix surrounds it — including prefixes ending in a
+        // spurious SOH whose false length field spans the genuine frame
+        // (the swallowing bug the re-hunt fix closes).
+        let frame = encode_frame(&payload).unwrap();
+        let mut wire = prefix.clone();
+        wire.extend(&frame);
+        wire.extend(&suffix);
+        let mut dec = FrameDecoder::new();
+        let mut frames: Vec<Vec<u8>> = wire.iter().filter_map(|&b| dec.push(b)).collect();
+        frames.extend(dec.flush()); // the single idle flush
+        prop_assert!(
+            frames.contains(&payload),
+            "intact frame lost: prefix {prefix:02x?}, payload {payload:02x?}, suffix {suffix:02x?}"
+        );
+    }
+
+    #[test]
+    fn uart_byte_ledger_is_exact(
+        chunks in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..40), 1..8),
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 0..4),
+    ) {
+        // Conservation law of the decode counters: after a final flush,
+        // every pushed byte was either skipped while hunting (resyncs),
+        // part of a decoded frame (payload + 4 framing bytes), or
+        // discarded — nothing vanishes from LinkStats, which is exactly
+        // the accounting hole the flush() fix closed.
+        let mut wire = Vec::new();
+        for (i, chunk) in chunks.iter().enumerate() {
+            wire.extend(chunk);
+            if let Some(p) = payloads.get(i) {
+                wire.extend(encode_frame(p).unwrap());
+            }
+        }
+        let mut dec = FrameDecoder::new();
+        let mut decoded: Vec<Vec<u8>> = wire.iter().filter_map(|&b| dec.push(b)).collect();
+        decoded.extend(dec.flush());
+        let stats = dec.stats();
+        let frame_bytes: u64 = decoded.iter().map(|p| p.len() as u64 + 4).sum();
+        prop_assert_eq!(
+            wire.len() as u64,
+            stats.resyncs + stats.discarded_bytes + frame_bytes,
+            "ledger mismatch: {:?} over wire {:02x?}", stats, wire
+        );
+        prop_assert_eq!(stats.good_frames, decoded.len() as u64);
+    }
+
+    #[test]
     fn crc16_detects_single_bit_flips(
         payload in prop::collection::vec(any::<u8>(), 1..64),
         bit in 0usize..512,

@@ -423,6 +423,35 @@ impl RunSpec {
         &self,
         recorder: &mut R,
     ) -> Result<(RunTail, FlowMeter), CoreError> {
+        let (tail, meter, _) = self.execute_runner(recorder, false)?;
+        Ok((tail, meter))
+    }
+
+    /// [`execute_with`](Self::execute_with) plus a telemetry wiretap: the
+    /// run's framed UART byte stream (post-corruption when the spec carries
+    /// a UART fault) is returned alongside the tail and meter. The wire
+    /// simulation is forced on even for clean specs, so every recorded
+    /// sample frames one telemetry record onto the tap; the capture itself
+    /// never perturbs the run (no extra RNG draws), so results stay
+    /// bit-identical to [`execute_with`](Self::execute_with).
+    ///
+    /// # Errors
+    ///
+    /// See [`execute_with`](Self::execute_with).
+    pub fn execute_wiretapped<R: Recorder + ?Sized>(
+        &self,
+        recorder: &mut R,
+    ) -> Result<(RunTail, FlowMeter, Vec<u8>), CoreError> {
+        self.execute_runner(recorder, true)
+    }
+
+    /// Shared body of [`execute_with`](Self::execute_with) and
+    /// [`execute_wiretapped`](Self::execute_wiretapped).
+    fn execute_runner<R: Recorder + ?Sized>(
+        &self,
+        recorder: &mut R,
+        wiretap: bool,
+    ) -> Result<(RunTail, FlowMeter, Vec<u8>), CoreError> {
         let mut meter = build_meter(self.config, self.params, self.meter_seed, &self.calibration)?;
         if let Some(seconds) = self.auto_zero_s {
             meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
@@ -436,8 +465,12 @@ impl RunSpec {
         if let Some(schedule) = &self.faults {
             runner.install_faults(schedule.clone());
         }
+        if wiretap {
+            runner.capture_wire();
+        }
         let tail = runner.run_with(self.sample_period_s, recorder);
-        Ok((tail, runner.into_meter()))
+        let wire = runner.take_wire();
+        Ok((tail, runner.into_meter(), wire))
     }
 
     /// Executes this spec on the current thread: build the meter, apply the

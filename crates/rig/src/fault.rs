@@ -237,6 +237,7 @@ pub struct FaultInjector {
     decoder: FrameDecoder,
     stats: UartStats,
     uart_enabled: bool,
+    wire: Option<Vec<u8>>,
 }
 
 impl FaultInjector {
@@ -251,6 +252,7 @@ impl FaultInjector {
             decoder: FrameDecoder::new(),
             stats: UartStats::default(),
             uart_enabled,
+            wire: None,
             schedule,
         }
     }
@@ -258,6 +260,25 @@ impl FaultInjector {
     /// The schedule this injector executes.
     pub fn schedule(&self) -> &FaultSchedule {
         &self.schedule
+    }
+
+    /// Enables wire capture: every post-corruption byte that reaches the
+    /// simulated receiver is also appended to an internal tap, retrievable
+    /// with [`take_wire`](Self::take_wire). Forces the wire simulation on
+    /// even when the schedule has no UART fault (a clean line still frames
+    /// its telemetry), without perturbing the noise RNG — with no active
+    /// corruption window no random draws are made, so captured clean runs
+    /// stay bit-identical to uncaptured ones.
+    pub fn capture_wire(&mut self) {
+        self.uart_enabled = true;
+        self.wire = Some(Vec::new());
+    }
+
+    /// Takes the captured wire bytes accumulated since
+    /// [`capture_wire`](Self::capture_wire); empty if capture was never
+    /// enabled.
+    pub fn take_wire(&mut self) -> Vec<u8> {
+        self.wire.take().unwrap_or_default()
     }
 
     /// Engages and reverts scheduled faults for scenario time `t`.
@@ -341,14 +362,24 @@ impl FaultInjector {
                 b ^= 1u8 << self.rng.gen_range(0u32..8);
                 self.stats.bytes_corrupted += 1;
             }
+            if let Some(wire) = &mut self.wire {
+                wire.push(b);
+            }
             match self.decoder.push_described(b) {
                 PushOutcome::Frame(payload) => {
                     if TelemetryRecord::from_bytes(&payload).is_ok() {
                         self.stats.frames_received += 1;
                     }
                 }
-                PushOutcome::CrcError => {
+                PushOutcome::CrcError { recovered } => {
                     meter.observe(EventKind::UartFrameError);
+                    // Frames the decoder re-hunted out of the discarded span
+                    // still arrived intact — count them as received.
+                    for payload in recovered {
+                        if TelemetryRecord::from_bytes(&payload).is_ok() {
+                            self.stats.frames_received += 1;
+                        }
+                    }
                 }
                 PushOutcome::Pending => {}
             }

@@ -35,6 +35,12 @@
 //! * [`checkpoint`] — durable fleet progress ([`FleetCheckpoint`]):
 //!   atomic bit-exact serialization of a shard accumulator so a killed
 //!   fleet run resumes bit-identically
+//! * [`ingest`] — the service side of §6's diffuse deployment: per-meter
+//!   [`MeterSession`]s reassemble framed telemetry from captured wires
+//!   (bounded queues, explicit [`DropPolicy`]), derive a fleet health
+//!   census + alert stream purely from the wire records, and score
+//!   detection fidelity against the simulator's ground truth —
+//!   bit-identical at any job count
 //! * [`fault`] — seeded, time-triggered fault schedules ([`FaultSchedule`])
 //!   injectable into any run: ADC/DAC/supply/EEPROM/UART faults plus abrupt
 //!   physics events, executed deterministically by the campaign layer
@@ -96,6 +102,7 @@ pub mod checkpoint;
 pub mod exec;
 pub mod fault;
 pub mod fleet;
+pub mod ingest;
 pub mod line;
 pub mod metrics;
 pub mod obs;
@@ -114,6 +121,10 @@ pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, UartStats};
 pub use fleet::{
     FleetAggregates, FleetError, FleetOutcome, FleetShard, FleetSpec, FleetSpecError, LineSummary,
     LineVariation, PartialFleet, ShardAggregates,
+};
+pub use ingest::{
+    ingest_fleet, Alert, AlertKind, DropPolicy, Fidelity, IngestConfig, IngestReport, IngestStats,
+    MeterSession,
 };
 pub use line::WaterLine;
 pub use metrics::Welford;

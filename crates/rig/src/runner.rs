@@ -144,6 +144,30 @@ impl LineRunner {
         self.injector = Some(FaultInjector::new(schedule));
     }
 
+    /// Enables telemetry wire capture for the next run: every byte that
+    /// reaches the simulated receiver (post-corruption) is also recorded,
+    /// retrievable with [`take_wire`](Self::take_wire). Installs an empty
+    /// [`FaultSchedule`] when none is present, so clean lines also frame
+    /// their telemetry onto the tap.
+    pub fn capture_wire(&mut self) {
+        if self.injector.is_none() {
+            self.injector = Some(FaultInjector::new(FaultSchedule::new(0)));
+        }
+        self.injector
+            .as_mut()
+            .expect("injector just installed")
+            .capture_wire();
+    }
+
+    /// Takes the wire bytes captured since [`capture_wire`](Self::capture_wire);
+    /// empty if capture was never enabled.
+    pub fn take_wire(&mut self) -> Vec<u8> {
+        self.injector
+            .as_mut()
+            .map(FaultInjector::take_wire)
+            .unwrap_or_default()
+    }
+
     /// The device under test.
     #[inline]
     pub fn meter(&self) -> &FlowMeter {

@@ -60,6 +60,7 @@ pub mod prelude {
         FleetAggregates, FleetError, FleetOutcome, FleetShard, FleetSpec, FleetSpecError,
         LineSummary, LineVariation, PartialFleet, ShardAggregates,
     };
+    pub use hotwire_rig::ingest::{ingest_fleet, IngestConfig, IngestReport, MeterSession};
     pub use hotwire_rig::runner::field_calibrate;
     pub use hotwire_rig::sketch::QuantileSketch;
     pub use hotwire_rig::{
