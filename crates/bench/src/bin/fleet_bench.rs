@@ -19,7 +19,11 @@
 //!   retained, demonstrating O(shard) memory at any population size;
 //! * **sharded equivalence** — the headline population re-run as shards
 //!   and merged must reproduce the monolithic aggregates bit for bit
-//!   (hard gate, compared by digest).
+//!   (hard gate, compared by digest);
+//! * **mixed-modality equivalence** — a fleet mixing heat-pulse DUT
+//!   lines with Promag reference comparators (every modality behind the
+//!   generic `Meter` engine) must be jobs-invariant and reproduce its
+//!   monolithic bits when run as shards and merged (hard gate).
 //!
 //! ```sh
 //! cargo run -p hotwire-bench --release --bin fleet_bench
@@ -48,8 +52,9 @@
 //! ```
 
 use hotwire_bench::experiments::f2_fleet;
-use hotwire_core::config::{fnv1a64, AfeTier};
-use hotwire_rig::fleet::{FleetOutcome, FleetSpec, LineSummary};
+use hotwire_core::config::{fnv1a64, AfeTier, FlowMeterConfig};
+use hotwire_rig::fleet::{FleetOutcome, FleetSpec, LineSummary, LineVariation};
+use hotwire_rig::{Modality, ReferenceKind, Scenario, Windows};
 use std::ops::ControlFlow;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -90,6 +95,10 @@ const KILL_EXIT: u8 = 86;
 
 /// Shards the large scale run splits into.
 const SCALE_SHARDS: usize = 8;
+
+/// Shards the mixed-modality gate splits into — small so the reference
+/// stride crosses shard boundaries.
+const MIXED_SHARDS: usize = 3;
 
 /// Hard ceiling on one shard accumulator's heap (two bounded sketches
 /// plus the incidence map) — the O(shard) memory gate.
@@ -145,6 +154,56 @@ fn measure(lines: usize, duration_s: f64, jobs: usize, tier: AfeTier) -> Result<
         summary_bytes_per_line: retained / outcome.aggregates.lines.max(1),
         digest: outcome_digest(&outcome),
     })
+}
+
+/// The mixed-modality population: heat-pulse DUT lines with every 4th
+/// line replaced by a Promag reference comparator — two sensing physics
+/// plus a truth channel through one generic `Meter` engine.
+fn mixed_modality_spec(lines: usize, duration_s: f64) -> FleetSpec {
+    FleetSpec::new(
+        "bench-mixed-modality",
+        FlowMeterConfig::test_profile(),
+        Scenario::steady(100.0, duration_s),
+        0x4D31_F1EE,
+    )
+    .with_modality(Modality::HeatPulse)
+    .with_lines(lines)
+    .with_sample_period(0.05)
+    .with_windows(Windows::settled(1.0, 2.0))
+    .with_variation(
+        LineVariation::new()
+            .with_flow_jitter(0.03)
+            .with_references_every(4, 3, ReferenceKind::Promag),
+    )
+}
+
+/// Hard gate: the mixed-modality fleet must be jobs-invariant and
+/// shard-merge to the monolithic bits — the generic engine owes every
+/// modality the same determinism contract the CTA fleet has. Returns the
+/// witnessed digest, or an error string for `main` to report.
+fn mixed_modality_gate(lines: usize, duration_s: f64) -> Result<u64, String> {
+    let spec = mixed_modality_spec(lines, duration_s);
+    let serial = spec.run_jobs(1).map_err(|e| e.to_string())?;
+    let digest = outcome_digest(&serial);
+    let parallel = spec.run_jobs(HEADLINE_JOBS).map_err(|e| e.to_string())?;
+    let parallel_digest = outcome_digest(&parallel);
+    if parallel_digest != digest {
+        return Err(format!(
+            "mixed-modality fleet diverged across jobs: \
+             {parallel_digest:016x} at --jobs {HEADLINE_JOBS} vs {digest:016x} serial"
+        ));
+    }
+    let sharded = spec
+        .run_sharded(MIXED_SHARDS, HEADLINE_JOBS)
+        .map_err(|e| e.to_string())?;
+    let sharded_digest = outcome_digest(&sharded);
+    if sharded_digest != digest {
+        return Err(format!(
+            "mixed-modality sharded merge diverged: {sharded_digest:016x} vs \
+             monolithic {digest:016x}"
+        ));
+    }
+    Ok(digest)
 }
 
 /// The large sketch-path fleet, run shard by shard: measures throughput
@@ -399,6 +458,25 @@ fn main() -> ExitCode {
         }
     }
 
+    // Hard gate: a fleet mixing heat-pulse DUTs with Promag reference
+    // lines owes the same bit-identity contract through the generic
+    // `Meter` engine — jobs-invariant and shard-mergeable.
+    let (mixed_lines, mixed_duration_s) = if smoke { (16, 2.0) } else { (48, 4.0) };
+    eprintln!(
+        "fleet: mixed-modality equivalence ({mixed_lines} heat-pulse/Promag lines, \
+         {MIXED_SHARDS} shards)…"
+    );
+    let mixed_digest = match mixed_modality_gate(mixed_lines, mixed_duration_s) {
+        Ok(digest) => {
+            eprintln!("  identical bits: digest {digest:016x}");
+            digest
+        }
+        Err(e) => {
+            eprintln!("mixed-modality equivalence FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     let default_jobs = hotwire_rig::exec::default_jobs();
     eprintln!("fleet: same population at --jobs {default_jobs} (informational)…");
     let auto = match measure(lines, duration_s, default_jobs, AfeTier::Exact) {
@@ -490,6 +568,8 @@ fn main() -> ExitCode {
          \"headline_jobs\": {HEADLINE_JOBS},\n  \"fleet\": {{\n    \"sim_seconds_per_line\": {},\n    \
          \"pinned_jobs\": {},\n    \"default_jobs\": {},\n    \"fast_tier\": {}\n  }},\n  \
          \"sharded_equivalence\": {{\"shards\": {SCALE_SHARDS}, \"digest\": \"{:016x}\"}},\n  \
+         \"mixed_modality\": {{\"lines\": {mixed_lines}, \"shards\": {MIXED_SHARDS}, \
+         \"sim_seconds_per_line\": {}, \"digest\": \"{mixed_digest:016x}\"}},\n  \
          \"large_fleet\": {{\"lines\": {}, \"shards\": {SCALE_SHARDS}, \"sim_seconds_per_line\": {}, \
          \"wall_s\": {}, \"lines_per_s\": {}, \"samples_per_s\": {}, \"max_shard_heap_bytes\": {}, \
          \"retained_summaries\": {}, \"aggregates_digest\": \"{:016x}\"}},\n  \
@@ -500,6 +580,7 @@ fn main() -> ExitCode {
         run_json(&auto, default_jobs),
         run_json(&fast, HEADLINE_JOBS),
         pinned.digest,
+        json_number(mixed_duration_s),
         scale.lines,
         json_number(scale_duration_s),
         json_number(scale.wall_s),

@@ -44,7 +44,8 @@ experiments:
   a3   ablation — probe insertion position
   f1   §6      — fault-injection matrix: detection / worst error / recovery
   f2   §6      — fleet simulation: population percentiles / health census
-  f3   §6      — telemetry ingest: wire-derived census / detection fidelity";
+  f3   §6      — telemetry ingest: wire-derived census / detection fidelity
+  m1   modality — CTA vs heat-pulse time-of-flight: resolution / power / fouling";
 
 /// One experiment's rendered report plus its headline numbers for `--json`.
 struct Report {
@@ -258,13 +259,29 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
                 text: r.to_string(),
             }
         }
+        "m1" => {
+            let r = experiments::m1_modality::run(speed)?;
+            let cta = r.case(hotwire_rig::Modality::Cta);
+            let hp = r.case(hotwire_rig::Modality::HeatPulse);
+            Report {
+                metrics: vec![
+                    ("m1_cta_resolution_p50_pct_fs", cta.resolution_p50_pct_fs),
+                    ("m1_hp_resolution_p50_pct_fs", hp.resolution_p50_pct_fs),
+                    ("m1_cta_power_mw", cta.power_mw),
+                    ("m1_hp_power_mw", hp.power_mw),
+                    ("m1_cta_fouling_shift_pct", cta.fouling_shift_pct),
+                    ("m1_hp_fouling_shift_pct", hp.fouling_shift_pct),
+                ],
+                text: r.to_string(),
+            }
+        }
         other => return Err(format!("unknown experiment `{other}`")),
     })
 }
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
-    "f1", "f2", "f3",
+    "f1", "f2", "f3", "m1",
 ];
 
 /// Minimal JSON string escaping (we have no JSON dependency by design).

@@ -45,7 +45,10 @@ pub struct BubbleResult {
 fn reduce_case(label: &'static str, outcome: &RunOutcome) -> BubbleCase {
     // Every trace-derived statistic streamed during the run (peak
     // coverage, second-half RMS error); the rest reads meter state.
-    let meter = &outcome.meter;
+    let meter = outcome
+        .meter
+        .as_cta()
+        .expect("e05 runs CTA specs exclusively");
     BubbleCase {
         label,
         peak_coverage: outcome.reduced.bubble_peak,

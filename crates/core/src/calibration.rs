@@ -223,6 +223,88 @@ impl KingCalibration {
     }
 }
 
+/// Hot-wire ambient-temperature correction (the classic `TempCorrect` of
+/// anemometry toolkits): a constant-temperature wire sits at a fixed wire
+/// temperature `Tw`, so when the water warms from the calibration
+/// reference `Tr` to an operating `Ta` the *overheat shrinks* and the
+/// bridge power drops even at identical flow. Referring the measurement
+/// back to calibration conditions multiplies the bridge voltage by
+///
+/// ```text
+/// f = √((Tw − Tr) / (Tw − Ta))
+/// ```
+///
+/// i.e. power and conductance by `f²`. This is the overheat-denominator
+/// correction; water *property* drift (conductivity, Prandtl) is handled
+/// separately by [`KingCalibration::compensated_for`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TempCorrect {
+    /// The servoed wire temperature.
+    pub wire_temperature: hotwire_units::Celsius,
+    /// The fluid temperature the calibration was taken at.
+    pub reference_temperature: hotwire_units::Celsius,
+}
+
+impl TempCorrect {
+    /// Builds a correction for a wire held at `wire_temperature`,
+    /// calibrated in water at `reference_temperature`.
+    pub fn new(
+        wire_temperature: hotwire_units::Celsius,
+        reference_temperature: hotwire_units::Celsius,
+    ) -> Self {
+        TempCorrect {
+            wire_temperature,
+            reference_temperature,
+        }
+    }
+
+    /// The voltage correction factor `√((Tw − Tr)/(Tw − Ta))` at an
+    /// operating fluid temperature. Clamped to a sane range so a fluid
+    /// estimate at or above the wire temperature (sensor fault) cannot
+    /// produce an infinite or imaginary factor.
+    pub fn factor(&self, operating: hotwire_units::Celsius) -> f64 {
+        let tw = self.wire_temperature.get();
+        let cal_overheat = tw - self.reference_temperature.get();
+        let op_overheat = (tw - operating.get()).max(1e-3);
+        (cal_overheat / op_overheat)
+            .max(0.0)
+            .sqrt()
+            .clamp(0.1, 10.0)
+    }
+
+    /// Refers a measured conductance back to calibration conditions
+    /// (multiplies by `factor²`), ready for the King inversion.
+    pub fn corrected_conductance(
+        &self,
+        apparent: ThermalConductance,
+        operating: hotwire_units::Celsius,
+    ) -> ThermalConductance {
+        let f = self.factor(operating);
+        ThermalConductance::new(apparent.get() * f * f)
+    }
+
+    /// Refers a measured bridge power back to calibration conditions.
+    pub fn corrected_power(&self, apparent: Watts, operating: hotwire_units::Celsius) -> Watts {
+        let f = self.factor(operating);
+        Watts::new(apparent.get() * f * f)
+    }
+}
+
+impl KingCalibration {
+    /// King inversion with the [`TempCorrect`] overheat correction applied
+    /// first: decodes an apparent conductance measured in water at
+    /// `operating` °C through constants fitted at the correction's
+    /// reference temperature.
+    pub fn velocity_temp_corrected(
+        &self,
+        apparent: ThermalConductance,
+        correct: &TempCorrect,
+        operating: hotwire_units::Celsius,
+    ) -> MetersPerSecond {
+        self.velocity_from_conductance(correct.corrected_conductance(apparent, operating))
+    }
+}
+
 /// Least-squares solve of `g = a + b·v^n` for fixed `n`; returns
 /// `(a, b, sse)` or `None` if the normal equations are singular.
 fn least_squares_ab(points: &[CalPoint], n: f64) -> Option<(f64, f64, f64)> {
@@ -390,6 +472,60 @@ mod tests {
                 conductance: king.conductance(MetersPerSecond::new(v)),
             })
             .collect()
+    }
+
+    #[test]
+    fn temp_correct_regression_at_two_water_temperatures() {
+        use hotwire_units::Celsius;
+        // A wire servoed at 45 °C, calibrated in 15 °C water. When the
+        // season moves the water to 5 °C or 30 °C the overheat changes by
+        // ±50 %, and the *apparent* conductance (power over the assumed
+        // calibration overheat) misreads badly unless corrected.
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.3, 0.8, 1.5, 2.2]);
+        let wire = Celsius::new(45.0);
+        let t_ref = Celsius::new(15.0);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(30.0)).unwrap();
+        let correct = TempCorrect::new(wire, t_ref);
+        let v_true = 1.2;
+        let g_conv = king.conductance(MetersPerSecond::new(v_true));
+
+        for (t_op, raw_floor) in [(Celsius::new(5.0), 0.5), (Celsius::new(30.0), 0.5)] {
+            // The bridge delivers P = G_conv · (Tw − Ta); the firmware's
+            // apparent conductance divides by the calibration overheat.
+            let power = g_conv.get() * (wire.get() - t_op.get());
+            let apparent = ThermalConductance::new(power / (wire.get() - t_ref.get()));
+            let raw = cal.velocity_from_conductance(apparent).get();
+            let corrected = cal.velocity_temp_corrected(apparent, &correct, t_op).get();
+            let raw_err = (raw - v_true).abs() / v_true;
+            let corr_err = (corrected - v_true).abs() / v_true;
+            // Regression pins: uncorrected error is large (the cold case
+            // over-reads, the warm case under-reads), the corrected decode
+            // collapses it by better than 50×.
+            assert!(
+                raw_err > raw_floor,
+                "uncorrected error {raw_err} at {} °C suspiciously small",
+                t_op.get()
+            );
+            assert!(
+                corr_err < 0.02 * raw_err,
+                "corrected {corr_err} vs raw {raw_err} at {} °C",
+                t_op.get()
+            );
+        }
+        // The correction factor itself: √(30/40) cold, √(30/15) warm.
+        assert!((correct.factor(Celsius::new(5.0)) - (30.0f64 / 40.0).sqrt()).abs() < 1e-12);
+        assert!((correct.factor(Celsius::new(30.0)) - 2.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn temp_correct_clamps_degenerate_overheat() {
+        use hotwire_units::Celsius;
+        let correct = TempCorrect::new(Celsius::new(45.0), Celsius::new(15.0));
+        // Fluid estimate at/above the wire temperature: factor rails at the
+        // clamp instead of going infinite.
+        assert!(correct.factor(Celsius::new(45.0)) <= 10.0);
+        assert!(correct.factor(Celsius::new(60.0)) <= 10.0);
     }
 
     #[test]

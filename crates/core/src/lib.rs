@@ -74,6 +74,8 @@ pub mod error;
 pub mod faults;
 pub mod flow_meter;
 pub mod health;
+pub mod heat_pulse;
+pub mod meter;
 pub mod modes;
 pub mod obs;
 pub mod output;
@@ -82,10 +84,12 @@ pub mod pulsed;
 pub mod telemetry;
 
 pub use burst::{BurstConfig, BurstController, BurstReading};
-pub use calibration::KingCalibration;
+pub use calibration::{KingCalibration, TempCorrect};
 pub use config::{FlowMeterConfig, OperatingMode};
 pub use error::CoreError;
 pub use flow_meter::{FlowMeter, Measurement};
 pub use health::{HealthMonitor, HealthState, RecoveryAction};
+pub use heat_pulse::{HeatPulseCalibration, HeatPulseConfig, HeatPulseMeter};
+pub use meter::Meter;
 pub use obs::{CalSlot, EventKind, ObsEvent, Observer};
 pub use telemetry::{RecordDecodeStats, RecordError, TelemetryRecord};

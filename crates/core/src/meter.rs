@@ -1,0 +1,335 @@
+//! The modality-neutral meter contract the evaluation engine drives.
+//!
+//! Everything above the firmware — the line runner, the campaign executor,
+//! the fleet engine, the fault injector, checkpointing — used to be
+//! hard-coded to the CTA [`FlowMeter`]. This trait extracts the surface
+//! those engines actually touch, so alternate sensing modalities (the
+//! heat-pulse time-of-flight meter of [`crate::heat_pulse`], the rig's
+//! reference-instrument adapters) plug into the same physics substrate and
+//! the same deterministic execution machinery.
+//!
+//! # Contract
+//!
+//! Implementations are deterministic instruments: a meter built from a
+//! seed and stepped through a fixed environment sequence must produce a
+//! bit-identical measurement stream and [`state_digest`](Meter::state_digest)
+//! on every run, on any thread, at any job count. Concretely:
+//!
+//! * **Frame alignment** — [`step_frame`](Meter::step_frame) advances
+//!   exactly [`ticks_per_frame`](Meter::ticks_per_frame) modulator ticks
+//!   and must be bit-identical to that many [`step`](Meter::step) calls
+//!   under a constant environment; it may only be called when
+//!   [`frame_phase`](Meter::frame_phase) is 0 and must panic otherwise.
+//!   Meters without a modulator-rate inner loop report
+//!   `ticks_per_frame() == 1` and are trivially frame-aligned.
+//! * **RNG-lane draw order** — all randomness must be drawn from seeded
+//!   generators owned by the meter, in an order that is a pure function of
+//!   the tick count and the meter's own state (never of wall-clock,
+//!   thread identity, or observer presence). Fault hooks must not draw.
+//! * **Digest semantics** — [`state_digest`](Meter::state_digest) folds
+//!   every piece of observable mutable state (tick counters, RNG state,
+//!   estimator/latch state, health verdict, slow physical state) into one
+//!   stable 64-bit word. Two meters that walked bit-identical
+//!   trajectories digest equal; any divergence shows up. The fleet layer
+//!   checkpoints this per line.
+//! * **Observation is read-only** — a meter with an observer installed
+//!   and one without compute bit-identical measurements; observers only
+//!   receive events.
+//!
+//! # Object safety
+//!
+//! The trait is deliberately dyn-compatible (no generic methods, no
+//! `Self`-returning methods), which `tests/meter_trait.rs` asserts at
+//! compile time; the engines are nonetheless generic (`LineRunner<M>`)
+//! so the hot loop monomorphizes and pays no vtable dispatch.
+
+use crate::error::CoreError;
+use crate::faults::AdcFault;
+use crate::flow_meter::{FlowMeter, Measurement};
+use crate::health::HealthState;
+use crate::obs::{EventKind, Observer};
+use hotwire_afe::ThermometerDac;
+use hotwire_physics::sensor::HeaterId;
+use hotwire_physics::SensorEnvironment;
+use hotwire_units::{MetersPerSecond, Seconds, Volts, Watts};
+
+/// The meter-facing surface of the evaluation engine: stepping, drive
+/// timing, health, telemetry emission, calibration reload, fault hooks and
+/// state digest. See the [module docs](self) for the determinism contract.
+pub trait Meter: Send + std::fmt::Debug {
+    // --- stepping and drive timing ---
+
+    /// One modulator tick of co-simulation; returns a measurement on
+    /// control ticks (every [`ticks_per_frame`](Self::ticks_per_frame)-th
+    /// call), `None` in between.
+    fn step(&mut self, env: SensorEnvironment) -> Option<Measurement>;
+
+    /// Advances one full control frame — [`ticks_per_frame`](Self::ticks_per_frame)
+    /// modulator ticks under a constant environment — and returns the
+    /// control-tick measurement the frame ends on. Bit-identical to the
+    /// equivalent [`step`](Self::step) sequence (or a documented
+    /// bounded-error fast tier the implementation opts into).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the meter is not frame-aligned
+    /// ([`frame_phase`](Self::frame_phase) != 0).
+    fn step_frame(&mut self, env: SensorEnvironment) -> Measurement;
+
+    /// Modulator ticks into the current frame; 0 means frame-aligned.
+    fn frame_phase(&self) -> u32;
+
+    /// Modulator ticks per control frame (1 for meters without an
+    /// oversampled inner loop).
+    fn ticks_per_frame(&self) -> u32;
+
+    /// Scenario time advanced per control tick — the runner's line/probe
+    /// update period.
+    fn control_period(&self) -> Seconds;
+
+    /// The instrument's full-scale velocity.
+    fn full_scale(&self) -> MetersPerSecond;
+
+    // --- health, power, digest ---
+
+    /// The graceful-degradation supervisor's current verdict.
+    fn health(&self) -> HealthState;
+
+    /// Steady electrical power the instrument draws from the line supply
+    /// (sensing plus drive, averaged over its duty cycle) — the m1
+    /// head-to-head's power axis.
+    fn power_draw(&self) -> Watts;
+
+    /// Stable 64-bit digest of all observable mutable state (see the
+    /// [module docs](self) for the exact semantics).
+    fn state_digest(&self) -> u64;
+
+    // --- telemetry emission (structured observability) ---
+
+    /// Installs an event observer (replacing any previous one).
+    fn set_observer(&mut self, observer: Box<dyn Observer>);
+
+    /// Removes and returns the installed observer, if any.
+    fn take_observer(&mut self) -> Option<Box<dyn Observer>>;
+
+    /// Whether an observer is installed (the runner gates its hot-loop
+    /// instrumentation on this).
+    fn has_observer(&self) -> bool;
+
+    /// Emits one observability event (stamped with the meter's control
+    /// tick). No-op without an observer.
+    fn observe(&mut self, kind: EventKind);
+
+    // --- calibration surface ---
+
+    /// Re-reads the calibration record from persistent storage, falling
+    /// back to the redundant slot on a CRC failure (and repairing the
+    /// primary), latching a fault when every copy is gone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when no valid calibration copy survives.
+    fn reload_calibration(&mut self) -> Result<(), CoreError>;
+
+    // --- fault hooks (the injector's attack surface) ---
+
+    /// Installs (or clears, with `None`) an acquisition-path fault on the
+    /// instrument's primary ADC.
+    fn inject_adc_fault(&mut self, fault: Option<AdcFault>);
+
+    /// Derates the drive/supply rail to `fraction` of nominal (the caller
+    /// clamps to a sane range). Returns the saved pre-fault supply DAC for
+    /// meters that model one — the injector hands it back to
+    /// [`restore_supply`](Self::restore_supply) on revert, preserving
+    /// per-event save/restore semantics for overlapping windows.
+    fn degrade_supply(&mut self, fraction: f64) -> Option<ThermometerDac>;
+
+    /// Reverts a supply derate, restoring `saved` when the meter returned
+    /// one from [`degrade_supply`](Self::degrade_supply).
+    fn restore_supply(&mut self, saved: Option<ThermometerDac>);
+
+    /// Flips one bit in byte `byte` of calibration-storage slot `slot`
+    /// (the EEPROM attack; pair with
+    /// [`reload_calibration`](Self::reload_calibration) to exercise the
+    /// CRC check and redundant-slot fallback).
+    fn corrupt_calibration(&mut self, slot: usize, byte: usize);
+
+    /// An abrupt vapor/air burst blankets the sensing surfaces with extra
+    /// bubble coverage (impulse; coverage then decays naturally).
+    fn inject_bubble_burst(&mut self, coverage: f64);
+
+    /// A step of scale lands on the sensing surfaces at once (impulse;
+    /// scale does not clear on its own).
+    fn deposit_fouling(&mut self, microns: f64);
+
+    // --- slow physical state the trace records ---
+
+    /// Worst-case bubble coverage fraction across the sensing surfaces.
+    fn worst_bubble_coverage(&self) -> f64;
+
+    /// Worst-case fouling thickness across the sensing surfaces, µm.
+    fn worst_fouling_um(&self) -> f64;
+}
+
+impl Meter for FlowMeter {
+    #[inline]
+    fn step(&mut self, env: SensorEnvironment) -> Option<Measurement> {
+        FlowMeter::step(self, env)
+    }
+
+    #[inline]
+    fn step_frame(&mut self, env: SensorEnvironment) -> Measurement {
+        FlowMeter::step_frame(self, env)
+    }
+
+    #[inline]
+    fn frame_phase(&self) -> u32 {
+        FlowMeter::frame_phase(self)
+    }
+
+    #[inline]
+    fn ticks_per_frame(&self) -> u32 {
+        FlowMeter::ticks_per_frame(self)
+    }
+
+    fn control_period(&self) -> Seconds {
+        Seconds::new(self.config().decimation as f64 / self.config().modulator_rate.get())
+    }
+
+    fn full_scale(&self) -> MetersPerSecond {
+        self.config().full_scale
+    }
+
+    fn health(&self) -> HealthState {
+        FlowMeter::health(self)
+    }
+
+    fn power_draw(&self) -> Watts {
+        self.bridge_power_draw()
+    }
+
+    fn state_digest(&self) -> u64 {
+        FlowMeter::state_digest(self)
+    }
+
+    fn set_observer(&mut self, observer: Box<dyn Observer>) {
+        FlowMeter::set_observer(self, observer);
+    }
+
+    fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        FlowMeter::take_observer(self)
+    }
+
+    #[inline]
+    fn has_observer(&self) -> bool {
+        FlowMeter::has_observer(self)
+    }
+
+    fn observe(&mut self, kind: EventKind) {
+        FlowMeter::observe(self, kind);
+    }
+
+    fn reload_calibration(&mut self) -> Result<(), CoreError> {
+        FlowMeter::reload_calibration(self)
+    }
+
+    fn inject_adc_fault(&mut self, fault: Option<AdcFault>) {
+        FlowMeter::inject_adc_fault(self, fault);
+    }
+
+    /// Swaps the supply DAC for one whose full scale is `fraction` of
+    /// nominal; returns the original for restoration. (This is the exact
+    /// brownout mechanics the fault injector applied before the trait
+    /// extraction — per-event save/restore, so overlapping windows each
+    /// restore their own saved DAC.)
+    fn degrade_supply(&mut self, fraction: f64) -> Option<ThermometerDac> {
+        let original = self.platform_mut().supply_dac().clone();
+        let vref = Volts::new(original.vref().get() * fraction);
+        let degraded = ThermometerDac::ideal(original.bits(), vref)
+            .expect("clamped brownout fraction yields a valid DAC");
+        self.platform_mut().set_supply_dac(degraded);
+        Some(original)
+    }
+
+    fn restore_supply(&mut self, saved: Option<ThermometerDac>) {
+        if let Some(dac) = saved {
+            self.platform_mut().set_supply_dac(dac);
+        }
+    }
+
+    fn corrupt_calibration(&mut self, slot: usize, byte: usize) {
+        self.platform_mut().eeprom_mut().corrupt(slot, byte);
+    }
+
+    fn inject_bubble_burst(&mut self, coverage: f64) {
+        self.die_mut().inject_bubble_burst(coverage);
+    }
+
+    fn deposit_fouling(&mut self, microns: f64) {
+        self.die_mut().deposit_fouling(microns);
+    }
+
+    fn worst_bubble_coverage(&self) -> f64 {
+        let die = self.die();
+        die.bubble_coverage(HeaterId::A)
+            .max(die.bubble_coverage(HeaterId::B))
+    }
+
+    fn worst_fouling_um(&self) -> f64 {
+        let die = self.die();
+        die.fouling_thickness_um(HeaterId::A)
+            .max(die.fouling_thickness_um(HeaterId::B))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FlowMeterConfig;
+    use hotwire_physics::MafParams;
+
+    /// The trait is dyn-compatible: engines could hold `Box<dyn Meter>`
+    /// (they stay generic instead, for monomorphized hot loops).
+    fn _object_safe(_: &dyn Meter) {}
+
+    #[test]
+    fn flow_meter_trait_delegation_matches_inherent() {
+        let config = FlowMeterConfig::test_profile();
+        let mut a = FlowMeter::new(config, MafParams::nominal(), 7).unwrap();
+        let mut b = FlowMeter::new(config, MafParams::nominal(), 7).unwrap();
+        let env = SensorEnvironment::still_water();
+        for _ in 0..3 {
+            // Inherent path on `a`, trait path on `b`.
+            let ma = FlowMeter::step_frame(&mut a, env);
+            let mb = Meter::step_frame(&mut b, env);
+            assert_eq!(ma, mb);
+        }
+        assert_eq!(
+            FlowMeter::state_digest(&a),
+            Meter::state_digest(&b),
+            "trait delegation must not perturb the trajectory"
+        );
+        assert_eq!(
+            Meter::control_period(&a).get(),
+            config.decimation as f64 / config.modulator_rate.get()
+        );
+        assert_eq!(Meter::full_scale(&a), config.full_scale);
+    }
+
+    #[test]
+    fn supply_hooks_save_and_restore() {
+        let config = FlowMeterConfig::test_profile();
+        let mut m = FlowMeter::new(config, MafParams::nominal(), 3).unwrap();
+        let nominal = m.platform_mut().supply_dac().vref().get();
+        let saved = Meter::degrade_supply(&mut m, 0.5);
+        assert!(saved.is_some());
+        let sagged = m.platform_mut().supply_dac().vref().get();
+        assert!((sagged - nominal * 0.5).abs() < 1e-12);
+        Meter::restore_supply(&mut m, saved);
+        assert_eq!(m.platform_mut().supply_dac().vref().get(), nominal);
+        // The None case must leave the rail untouched (matches the
+        // injector's historical `if let Some` revert).
+        Meter::restore_supply(&mut m, None);
+        assert_eq!(m.platform_mut().supply_dac().vref().get(), nominal);
+    }
+}

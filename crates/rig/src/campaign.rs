@@ -42,6 +42,7 @@ use crate::exec;
 use crate::fault::FaultSchedule;
 use crate::line::WaterLine;
 use crate::metrics::Welford;
+use crate::modality::{AnyMeter, Modality, ReferenceMeter};
 use crate::obs::{self, EventLog, ObsConfig};
 use crate::promag::Promag50;
 use crate::record::{PolicyRecorder, RecordPolicy, Recorder, ReductionPlan, RunReductions};
@@ -49,7 +50,7 @@ use crate::runner::{LineRunner, RunTail, Trace};
 use crate::scenario::Scenario;
 use hotwire_core::calibration::CalPoint;
 use hotwire_core::config::AfeTier;
-use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig};
+use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig, HeatPulseMeter, Meter};
 use hotwire_physics::{MafParams, SensorEnvironment};
 use hotwire_units::{Celsius, MetersPerSecond, Seconds, ThermalConductance};
 use rand::rngs::StdRng;
@@ -236,6 +237,12 @@ pub enum Calibration {
 pub struct RunSpec {
     /// Label carried through to the [`RunOutcome`] (for reports).
     pub label: String,
+    /// Sensing modality of the device under test
+    /// ([`Modality::Cta`] by default). Non-CTA modalities ignore
+    /// [`calibration`](Self::calibration) and
+    /// [`auto_zero_s`](Self::auto_zero_s): the heat-pulse meter carries
+    /// its own factory calibration, and reference meters need neither.
+    pub modality: Modality,
     /// Meter configuration.
     pub config: FlowMeterConfig,
     /// Die parameters.
@@ -280,6 +287,7 @@ impl RunSpec {
     ) -> Self {
         RunSpec {
             label: label.into(),
+            modality: Modality::Cta,
             config,
             params: MafParams::nominal(),
             meter_seed: seed,
@@ -293,6 +301,15 @@ impl RunSpec {
             obs: ObsConfig::default(),
             record: RecordPolicy::Full,
         }
+    }
+
+    /// Selects the sensing modality of the device under test. The rest of
+    /// the spec (scenario, faults, windows, record policy) is
+    /// modality-agnostic, so the same template can be stamped out across
+    /// modalities for head-to-head comparisons (experiment `m1`).
+    pub fn with_modality(mut self, modality: Modality) -> Self {
+        self.modality = modality;
+        self
     }
 
     /// Overrides the die parameters.
@@ -422,7 +439,7 @@ impl RunSpec {
     pub fn execute_with<R: Recorder + ?Sized>(
         &self,
         recorder: &mut R,
-    ) -> Result<(RunTail, FlowMeter), CoreError> {
+    ) -> Result<(RunTail, AnyMeter), CoreError> {
         let (tail, meter, _) = self.execute_runner(recorder, false)?;
         Ok((tail, meter))
     }
@@ -441,8 +458,38 @@ impl RunSpec {
     pub fn execute_wiretapped<R: Recorder + ?Sized>(
         &self,
         recorder: &mut R,
-    ) -> Result<(RunTail, FlowMeter, Vec<u8>), CoreError> {
+    ) -> Result<(RunTail, AnyMeter, Vec<u8>), CoreError> {
         self.execute_runner(recorder, true)
+    }
+
+    /// Builds this spec's device under test: the CTA path goes through
+    /// [`build_meter`] (calibration step, optional auto-zero) exactly as it
+    /// always has; the heat-pulse and reference modalities carry their own
+    /// construction and ignore the spec's calibration/auto-zero fields.
+    fn build_dut(&self) -> Result<AnyMeter, CoreError> {
+        Ok(match self.modality {
+            Modality::Cta => {
+                let mut meter =
+                    build_meter(self.config, self.params, self.meter_seed, &self.calibration)?;
+                if let Some(seconds) = self.auto_zero_s {
+                    meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
+                }
+                AnyMeter::Cta(meter)
+            }
+            Modality::HeatPulse => {
+                AnyMeter::HeatPulse(HeatPulseMeter::new(self.config, self.meter_seed)?)
+            }
+            Modality::PromagRef | Modality::TurbineRef => {
+                let control_dt =
+                    Seconds::new(self.config.decimation as f64 / self.config.modulator_rate.get());
+                AnyMeter::Reference(ReferenceMeter::new(
+                    self.modality.reference_kind().expect("reference modality"),
+                    self.config.full_scale,
+                    control_dt,
+                    self.meter_seed,
+                ))
+            }
+        })
     }
 
     /// Shared body of [`execute_with`](Self::execute_with) and
@@ -451,11 +498,8 @@ impl RunSpec {
         &self,
         recorder: &mut R,
         wiretap: bool,
-    ) -> Result<(RunTail, FlowMeter, Vec<u8>), CoreError> {
-        let mut meter = build_meter(self.config, self.params, self.meter_seed, &self.calibration)?;
-        if let Some(seconds) = self.auto_zero_s {
-            meter.auto_zero_direction(seconds, SensorEnvironment::still_water());
-        }
+    ) -> Result<(RunTail, AnyMeter, Vec<u8>), CoreError> {
+        let mut meter = self.build_dut()?;
         if self.obs.enabled {
             // Installed after calibration and auto-zero, so the event log
             // covers exactly the scenario run.
@@ -515,7 +559,9 @@ pub struct RunOutcome {
     /// [`RecordPolicy::Full`] trace of the same spec).
     pub reduced: RunReductions,
     /// The meter after the run (fault latches, calibration, state intact).
-    pub meter: FlowMeter,
+    /// CTA specs carry an [`AnyMeter::Cta`]; unwrap with
+    /// [`AnyMeter::as_cta`] when CTA-specific state is needed.
+    pub meter: AnyMeter,
     /// The spec's settling time (for the settled-window statistics).
     pub settle_s: f64,
     /// The spec's measurement-window length (`0.0` = to the end).

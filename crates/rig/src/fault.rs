@@ -28,9 +28,8 @@
 use hotwire_afe::ThermometerDac;
 use hotwire_core::faults::AdcFault;
 use hotwire_core::obs::EventKind;
-use hotwire_core::{FlowMeter, Measurement, TelemetryRecord};
+use hotwire_core::{Measurement, Meter, TelemetryRecord};
 use hotwire_isif::uart::{FrameDecoder, PushOutcome};
-use hotwire_units::Volts;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -281,8 +280,11 @@ impl FaultInjector {
         self.wire.take().unwrap_or_default()
     }
 
-    /// Engages and reverts scheduled faults for scenario time `t`.
-    pub fn apply(&mut self, t: f64, meter: &mut FlowMeter) {
+    /// Engages and reverts scheduled faults for scenario time `t`. Works
+    /// against any [`Meter`]: each modality maps the attack onto its own
+    /// hardware through the trait's fault hooks (a CTA brownout swaps the
+    /// supply DAC; a heat-pulse brownout derates the heater drive).
+    pub fn apply<M: Meter>(&mut self, t: f64, meter: &mut M) {
         for i in 0..self.schedule.events.len() {
             let event = self.schedule.events[i];
             match self.phases[i] {
@@ -331,7 +333,7 @@ impl FaultInjector {
     /// (no-op unless the schedule has a UART fault). `meter` is only used
     /// to report frame-error events into the run's observability log — the
     /// wire simulation itself never touches the instrument.
-    pub fn observe(&mut self, t: f64, m: &Measurement, meter: &mut FlowMeter) {
+    pub fn observe<M: Meter>(&mut self, t: f64, m: &Measurement, meter: &mut M) {
         if !self.uart_enabled {
             return;
         }
@@ -395,9 +397,10 @@ impl FaultInjector {
     }
 }
 
-/// Engages one fault; returns the saved supply DAC for window faults that
-/// must restore it on revert.
-fn engage(kind: FaultKind, meter: &mut FlowMeter) -> Option<ThermometerDac> {
+/// Engages one fault through the [`Meter`] fault hooks; returns whatever
+/// the meter saved for restoration on revert (the CTA meter returns its
+/// original supply DAC, other modalities return `None`).
+fn engage<M: Meter>(kind: FaultKind, meter: &mut M) -> Option<ThermometerDac> {
     match kind {
         FaultKind::AdcStuck { code } => {
             meter.inject_adc_fault(Some(AdcFault::Stuck(code)));
@@ -407,14 +410,12 @@ fn engage(kind: FaultKind, meter: &mut FlowMeter) -> Option<ThermometerDac> {
             meter.inject_adc_fault(Some(AdcFault::Offset(codes)));
             None
         }
-        FaultKind::SupplyBrownout { fraction } => {
-            Some(degrade_supply(meter, fraction.clamp(0.05, 1.0)))
-        }
+        FaultKind::SupplyBrownout { fraction } => meter.degrade_supply(fraction.clamp(0.05, 1.0)),
         FaultKind::DacElementFail { span_loss } => {
-            Some(degrade_supply(meter, 1.0 - span_loss.clamp(0.0, 0.95)))
+            meter.degrade_supply(1.0 - span_loss.clamp(0.0, 0.95))
         }
         FaultKind::EepromBitFlip { slot, byte } => {
-            meter.platform_mut().eeprom_mut().corrupt(slot, byte);
+            meter.corrupt_calibration(slot, byte);
             // Force the firmware to re-read: on a corrupt primary it falls
             // back to the redundant slot and repairs; with both slots gone
             // it latches Faulted. Either way the health machine reports it.
@@ -423,26 +424,24 @@ fn engage(kind: FaultKind, meter: &mut FlowMeter) -> Option<ThermometerDac> {
         }
         FaultKind::UartCorruption { .. } => None,
         FaultKind::BubbleBurst { coverage } => {
-            meter.die_mut().inject_bubble_burst(coverage);
+            meter.inject_bubble_burst(coverage);
             None
         }
         FaultKind::SteppedFouling { microns } => {
-            meter.die_mut().deposit_fouling(microns);
+            meter.deposit_fouling(microns);
             None
         }
     }
 }
 
 /// Reverts one windowed fault (impulse faults have nothing to undo).
-fn revert(kind: FaultKind, saved_dac: Option<ThermometerDac>, meter: &mut FlowMeter) {
+fn revert<M: Meter>(kind: FaultKind, saved_dac: Option<ThermometerDac>, meter: &mut M) {
     match kind {
         FaultKind::AdcStuck { .. } | FaultKind::AdcOffset { .. } => {
             meter.inject_adc_fault(None);
         }
         FaultKind::SupplyBrownout { .. } | FaultKind::DacElementFail { .. } => {
-            if let Some(dac) = saved_dac {
-                meter.platform_mut().set_supply_dac(dac);
-            }
+            meter.restore_supply(saved_dac);
         }
         FaultKind::EepromBitFlip { .. }
         | FaultKind::UartCorruption { .. }
@@ -451,23 +450,12 @@ fn revert(kind: FaultKind, saved_dac: Option<ThermometerDac>, meter: &mut FlowMe
     }
 }
 
-/// Swaps the supply DAC for one whose full scale is `fraction` of nominal;
-/// returns the original for restoration.
-fn degrade_supply(meter: &mut FlowMeter, fraction: f64) -> ThermometerDac {
-    let original = meter.platform_mut().supply_dac().clone();
-    let vref = Volts::new(original.vref().get() * fraction);
-    let degraded = ThermometerDac::ideal(original.bits(), vref)
-        .expect("clamped brownout fraction yields a valid DAC");
-    meter.platform_mut().set_supply_dac(degraded);
-    original
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::runner::LineRunner;
     use crate::scenario::Scenario;
-    use hotwire_core::{FlowMeterConfig, HealthState};
+    use hotwire_core::{FlowMeter, FlowMeterConfig, HealthState};
     use hotwire_physics::MafParams;
 
     fn test_meter(seed: u64) -> FlowMeter {

@@ -96,11 +96,12 @@ use crate::checkpoint::{CheckpointError, FleetCheckpoint};
 use crate::exec;
 use crate::fault::FaultSchedule;
 use crate::metrics;
+use crate::modality::{Modality, ReferenceKind};
 use crate::record::{HealthCensus, RecordPolicy};
 use crate::scenario::Scenario;
 use crate::sketch::QuantileSketch;
 use hotwire_core::config::{fnv1a64, AfeTier};
-use hotwire_core::{CoreError, FlowMeterConfig};
+use hotwire_core::{CoreError, FlowMeterConfig, Meter};
 use hotwire_physics::MafParams;
 
 /// Fault schedules applied to a strided subset of a fleet's lines.
@@ -129,6 +130,43 @@ impl FaultTemplate {
     }
 }
 
+/// Reference instruments interleaved into a fleet on a strided subset of
+/// lines.
+///
+/// Every `stride`-th line (phase `offset`) runs a
+/// [`ReferenceMeter`](crate::ReferenceMeter) instead of the fleet's DUT
+/// modality, giving the population a ground-truth comparator channel: the
+/// reference lines see the same scenario template (with their own line-seed
+/// turbulence and jitter draws) and fold into the same aggregates, so a
+/// census can compare DUT statistics against co-deployed reference
+/// statistics with no extra plumbing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReferenceTemplate {
+    /// Replace lines where `i % stride == offset`.
+    /// [`FleetSpec::validate`] rejects `stride == 0`.
+    pub stride: usize,
+    /// Phase of the replaced subset (`offset < stride`).
+    pub offset: usize,
+    /// Which reference instrument the subset runs.
+    pub kind: ReferenceKind,
+}
+
+impl ReferenceTemplate {
+    /// Whether line `i` runs the reference instrument.
+    pub fn applies_to(&self, line: usize) -> bool {
+        let stride = self.stride.max(1);
+        line % stride == self.offset % stride
+    }
+
+    /// The modality the replaced lines run.
+    pub fn modality(&self) -> Modality {
+        match self.kind {
+            ReferenceKind::Promag => Modality::PromagRef,
+            ReferenceKind::Turbine => Modality::TurbineRef,
+        }
+    }
+}
+
 /// How individual lines of a fleet differ from the template.
 ///
 /// Component-tolerance and turbulence diversity is automatic — every line
@@ -145,6 +183,9 @@ pub struct LineVariation {
     pub flow_jitter: f64,
     /// Optional fault schedules on a strided subset of lines.
     pub faults: Option<FaultTemplate>,
+    /// Optional reference instruments on a strided subset of lines
+    /// (overrides the fleet's DUT modality there).
+    pub references: Option<ReferenceTemplate>,
 }
 
 impl LineVariation {
@@ -177,6 +218,23 @@ impl LineVariation {
         });
         self
     }
+
+    /// Runs a reference instrument of `kind` on every `stride`-th line
+    /// (starting at line `offset`) instead of the fleet's DUT modality.
+    #[must_use]
+    pub fn with_references_every(
+        mut self,
+        stride: usize,
+        offset: usize,
+        kind: ReferenceKind,
+    ) -> Self {
+        self.references = Some(ReferenceTemplate {
+            stride,
+            offset,
+            kind,
+        });
+        self
+    }
 }
 
 /// A degenerate [`FleetSpec`] caught by [`FleetSpec::validate`] before
@@ -201,6 +259,15 @@ pub enum FleetSpecError {
     BadSamplePeriod,
     /// `flow_jitter` is not a finite fraction in `[0, 1)`.
     BadFlowJitter,
+    /// The reference template's `stride` is zero.
+    ZeroReferenceStride,
+    /// The reference template's `offset` does not lie below its `stride`.
+    ReferenceOffsetOutOfRange {
+        /// The out-of-range phase.
+        offset: usize,
+        /// The template's stride.
+        stride: usize,
+    },
 }
 
 impl core::fmt::Display for FleetSpecError {
@@ -222,6 +289,13 @@ impl core::fmt::Display for FleetSpecError {
             FleetSpecError::BadFlowJitter => {
                 write!(f, "flow jitter must be a finite fraction in [0, 1)")
             }
+            FleetSpecError::ZeroReferenceStride => {
+                write!(f, "reference template stride is zero")
+            }
+            FleetSpecError::ReferenceOffsetOutOfRange { offset, stride } => write!(
+                f,
+                "reference template offset {offset} must lie below its stride {stride}"
+            ),
         }
     }
 }
@@ -355,6 +429,10 @@ pub const DEFAULT_EXACT_THRESHOLD: usize = 10_000;
 pub struct FleetSpec {
     /// Fleet label, carried into per-line labels and reports.
     pub label: String,
+    /// Sensing modality every DUT line runs ([`Modality::Cta`] by
+    /// default). Reference-template lines
+    /// ([`LineVariation::with_references_every`]) override it.
+    pub modality: Modality,
     /// Meter configuration shared by every line.
     pub config: FlowMeterConfig,
     /// Die parameters shared by every line (tolerances still vary per line
@@ -394,6 +472,7 @@ impl FleetSpec {
     ) -> Self {
         FleetSpec {
             label: label.into(),
+            modality: Modality::Cta,
             config,
             params: MafParams::nominal(),
             scenario,
@@ -406,6 +485,15 @@ impl FleetSpec {
             variation: LineVariation::default(),
             exact_threshold: DEFAULT_EXACT_THRESHOLD,
         }
+    }
+
+    /// Selects the sensing modality every DUT line runs (default
+    /// [`Modality::Cta`]). The rest of the spec is modality-agnostic, so
+    /// the same template stamps out head-to-head fleets across modalities.
+    #[must_use]
+    pub fn with_modality(mut self, modality: Modality) -> Self {
+        self.modality = modality;
+        self
     }
 
     /// Sets the number of lines.
@@ -516,6 +604,17 @@ impl FleetSpec {
                 });
             }
         }
+        if let Some(t) = &self.variation.references {
+            if t.stride == 0 {
+                return Err(FleetSpecError::ZeroReferenceStride);
+            }
+            if t.offset >= t.stride {
+                return Err(FleetSpecError::ReferenceOffsetOutOfRange {
+                    offset: t.offset,
+                    stride: t.stride,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -559,12 +658,17 @@ impl FleetSpec {
         } else {
             self.scenario.with_flow_scaled(self.jitter_factor(line))
         };
+        let modality = match &self.variation.references {
+            Some(template) if template.applies_to(line) => template.modality(),
+            _ => self.modality,
+        };
         let mut spec = RunSpec::new(
             format!("{}/line-{line:04}", self.label),
             self.config,
             scenario,
             self.seed,
         )
+        .with_modality(modality)
         .with_params(self.params)
         .with_meter_seed(derive_seed(self.seed, LANES * i + LANE_METER))
         .with_line_seed(derive_seed(self.seed, LANES * i + LANE_LINE))

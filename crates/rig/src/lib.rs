@@ -105,6 +105,7 @@ pub mod fleet;
 pub mod ingest;
 pub mod line;
 pub mod metrics;
+pub mod modality;
 pub mod obs;
 pub mod promag;
 pub mod record;
@@ -128,6 +129,7 @@ pub use ingest::{
 };
 pub use line::WaterLine;
 pub use metrics::Welford;
+pub use modality::{AnyMeter, Modality, ReferenceKind, ReferenceMeter};
 pub use obs::{EventLog, Histogram, ObsConfig, ObsSnapshot, RunObs};
 pub use promag::Promag50;
 pub use record::{

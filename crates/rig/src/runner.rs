@@ -16,8 +16,7 @@ use crate::record::{CsvSink, Recorder, TraceStore};
 use crate::scenario::Scenario;
 use crate::turbine::TurbineMeter;
 use hotwire_core::calibration::CalPoint;
-use hotwire_core::{CoreError, FlowMeter, HealthState};
-use hotwire_physics::sensor::HeaterId;
+use hotwire_core::{CoreError, FlowMeter, HealthState, Meter};
 use hotwire_physics::SensorEnvironment;
 use hotwire_units::Seconds;
 use rand::rngs::StdRng;
@@ -106,11 +105,15 @@ pub struct RunTail {
     pub obs: Option<RunObs>,
 }
 
-/// The co-simulation runner.
+/// The co-simulation runner, generic over the device under test: any
+/// [`Meter`] modality (CTA, heat-pulse, reference adapters) drives the
+/// same line, references, fault injector and recording machinery. The
+/// default parameter keeps every existing `LineRunner` mention compiling
+/// against the CTA meter unchanged.
 #[derive(Debug)]
-pub struct LineRunner {
+pub struct LineRunner<M: Meter = FlowMeter> {
     line: WaterLine,
-    meter: FlowMeter,
+    meter: M,
     promag: Promag50,
     turbine: TurbineMeter,
     ref_rng: StdRng,
@@ -119,13 +122,12 @@ pub struct LineRunner {
     injector: Option<FaultInjector>,
 }
 
-impl LineRunner {
+impl<M: Meter> LineRunner<M> {
     /// Builds a runner for `scenario` around an existing meter
     /// (deterministic under `seed`).
-    pub fn new(scenario: Scenario, meter: FlowMeter, seed: u64) -> Self {
-        let control_dt =
-            Seconds::new(meter.config().decimation as f64 / meter.config().modulator_rate.get());
-        let full_scale = meter.config().full_scale;
+    pub fn new(scenario: Scenario, meter: M, seed: u64) -> Self {
+        let control_dt = meter.control_period();
+        let full_scale = meter.full_scale();
         LineRunner {
             line: WaterLine::new(scenario, seed),
             meter,
@@ -170,18 +172,18 @@ impl LineRunner {
 
     /// The device under test.
     #[inline]
-    pub fn meter(&self) -> &FlowMeter {
+    pub fn meter(&self) -> &M {
         &self.meter
     }
 
     /// Mutable access to the device under test.
     #[inline]
-    pub fn meter_mut(&mut self) -> &mut FlowMeter {
+    pub fn meter_mut(&mut self) -> &mut M {
         &mut self.meter
     }
 
     /// Takes the meter back out of the runner.
-    pub fn into_meter(self) -> FlowMeter {
+    pub fn into_meter(self) -> M {
         self.meter
     }
 
@@ -309,7 +311,6 @@ impl LineRunner {
                 if let Some(obs) = run_obs.as_mut() {
                     obs.counters.samples_recorded += 1;
                 }
-                let die = self.meter.die();
                 recorder.record(&TraceSample {
                     t,
                     true_cm_s: bulk.to_cm_per_s(),
@@ -317,12 +318,8 @@ impl LineRunner {
                     promag_cm_s: promag.to_cm_per_s(),
                     turbine_cm_s: turbine.to_cm_per_s(),
                     supply_code: m.supply_code,
-                    bubble_coverage: die
-                        .bubble_coverage(HeaterId::A)
-                        .max(die.bubble_coverage(HeaterId::B)),
-                    fouling_um: die
-                        .fouling_thickness_um(HeaterId::A)
-                        .max(die.fouling_thickness_um(HeaterId::B)),
+                    bubble_coverage: self.meter.worst_bubble_coverage(),
+                    fouling_um: self.meter.worst_fouling_um(),
                     fault: m.faults.any(),
                     health: m.health,
                 });

@@ -52,15 +52,18 @@ pub use hotwire_units as units;
 /// # Ok::<(), hotwire::core::CoreError>(())
 /// ```
 pub mod prelude {
-    pub use hotwire_core::{CoreError, FlowMeter, FlowMeterConfig, HealthState, Measurement};
+    pub use hotwire_core::{
+        CoreError, FlowMeter, FlowMeterConfig, HealthState, HeatPulseMeter, Measurement, Meter,
+    };
     pub use hotwire_physics::{MafParams, SensorEnvironment};
     pub use hotwire_rig::campaign::{derive_seed, Calibration, FieldCalibration};
     pub use hotwire_rig::checkpoint::{CheckpointError, FleetCheckpoint};
     pub use hotwire_rig::fleet::{
         FleetAggregates, FleetError, FleetOutcome, FleetShard, FleetSpec, FleetSpecError,
-        LineSummary, LineVariation, PartialFleet, ShardAggregates,
+        LineSummary, LineVariation, PartialFleet, ReferenceTemplate, ShardAggregates,
     };
     pub use hotwire_rig::ingest::{ingest_fleet, IngestConfig, IngestReport, MeterSession};
+    pub use hotwire_rig::modality::{AnyMeter, Modality, ReferenceKind, ReferenceMeter};
     pub use hotwire_rig::runner::field_calibrate;
     pub use hotwire_rig::sketch::QuantileSketch;
     pub use hotwire_rig::{

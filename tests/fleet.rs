@@ -316,6 +316,53 @@ fn nan_lines_surface_instead_of_poisoning_percentiles() {
     assert_eq!(sketched.aggregates.nan_lines, a.nan_lines);
 }
 
+/// A fleet on the diurnal demand curve under pressure transients: the
+/// realistic municipal-deployment template (overnight floor, morning and
+/// evening peaks, water-hammer spikes to 7 bar) runs jobs-invariant, and
+/// the demand extremes actually reach the lines.
+#[test]
+fn diurnal_demand_fleet_under_pressure_transients_is_jobs_invariant() {
+    // Diurnal flow compressed into a 4 s "day", with the pressure-transient
+    // profile (0.5 → 3 bar working range, two 7 bar spikes) overlaid.
+    let mut scenario = Scenario::diurnal_demand(20.0, 200.0, 4.0);
+    scenario.pressure_bar = Schedule::pressure_transients(0.5, 3.0, 7.0, 2, 0.5);
+    // The full-rate test profile: the demand swing must show up in the
+    // DUT output, not just in the schedule (cheap_config's 1 kHz loop
+    // never settles on these short runs).
+    let spec = FleetSpec::new(
+        "diurnal-fleet",
+        FlowMeterConfig::test_profile(),
+        scenario,
+        0xD1A7,
+    )
+    .with_lines(9)
+    .with_sample_period(0.05)
+    .with_windows(Windows::settled(0.5, 3.0).with_extra(0.6, 0.7))
+    .with_variation(LineVariation::new().with_flow_jitter(0.05));
+    let j1 = spec.run_jobs(1).unwrap();
+    let j3 = spec.run_jobs(3).unwrap();
+    assert_outcomes_identical(&j1, &j3, "diurnal fleet, jobs 1 vs 3");
+    // The demand curve swept the lines: the settled window spans the
+    // morning peak through the evening fall, so per-line std must dwarf
+    // a steady run's noise floor.
+    for line in &j1.lines {
+        assert!(
+            line.settled_std > 20.0,
+            "line {} saw std {:.1} cm/s — diurnal swing missing",
+            line.line,
+            line.settled_std
+        );
+    }
+    // And the scenario template really carries the 7 bar spikes.
+    let mut peak = 0.0f64;
+    let mut t = 0.0;
+    while t < spec.scenario.duration_s {
+        peak = peak.max(spec.scenario.pressure_bar.value_at(t));
+        t += 0.01;
+    }
+    assert_eq!(peak, 7.0);
+}
+
 /// Degenerate specs fail fast with typed errors instead of hanging the
 /// batch loop or dividing by zero deep in the fold.
 #[test]
