@@ -35,7 +35,7 @@ use hotwire_bench::experiments::f3_ingest;
 use hotwire_core::config::{fnv1a64, AfeTier};
 use hotwire_rig::ingest::{absorb, feed, IngestConfig, IngestReport, LineIngest, MeterSession};
 use hotwire_rig::record::{HealthCensus, PolicyRecorder, RecordPolicy};
-use hotwire_rig::{exec, Fidelity, IngestStats};
+use hotwire_rig::{exec, Fidelity, IngestStats, LineConfig};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -81,7 +81,7 @@ struct CapturedLine {
 /// 5 ms telemetry cadence, every 3rd line corrupt.
 fn capture_corpus() -> Result<Vec<CapturedLine>, String> {
     let spec = f3_ingest::fleet_spec(CORPUS_LINES, CORPUS_DURATION_S)
-        .with_afe_tier(AfeTier::Fast)
+        .with_config(LineConfig::new().with_afe_tier(AfeTier::Fast))
         .with_sample_period(CORPUS_CADENCE_S);
     let lines: Vec<usize> = (0..CORPUS_LINES).collect();
     let captured = exec::parallel_map_indexed(&lines, exec::default_jobs(), |_, &line| {

@@ -45,6 +45,7 @@ experiments:
   f1   §6      — fault-injection matrix: detection / worst error / recovery
   f2   §6      — fleet simulation: population percentiles / health census
   f3   §6      — telemetry ingest: wire-derived census / detection fidelity
+  f4   §6      — fleet maintenance: recalibration cost vs population accuracy
   m1   modality — CTA vs heat-pulse time-of-flight: resolution / power / fouling";
 
 /// One experiment's rendered report plus its headline numbers for `--json`.
@@ -259,6 +260,44 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
                 text: r.to_string(),
             }
         }
+        "f4" => {
+            let r = experiments::f4_maintenance::run(speed).map_err(|e| e.to_string())?;
+            let cell = |policy: &str, modality| r.cell(policy, modality);
+            let cta = hotwire_rig::Modality::Cta;
+            let hp = hotwire_rig::Modality::HeatPulse;
+            Report {
+                metrics: vec![
+                    ("f4_none_cta_err_p99_cm_s", cell("none", cta).err_p99_cm_s),
+                    ("f4_none_hp_err_p99_cm_s", cell("none", hp).err_p99_cm_s),
+                    (
+                        "f4_scheduled_cta_persists_per_line",
+                        cell("scheduled", cta).persists_per_line,
+                    ),
+                    (
+                        "f4_scheduled_cta_err_p99_cm_s",
+                        cell("scheduled", cta).err_p99_cm_s,
+                    ),
+                    (
+                        "f4_event_cta_persists_per_line",
+                        cell("event_triggered", cta).persists_per_line,
+                    ),
+                    (
+                        "f4_event_cta_err_p99_cm_s",
+                        cell("event_triggered", cta).err_p99_cm_s,
+                    ),
+                    (
+                        "f4_hybrid_cta_actions_per_line",
+                        cell("hybrid", cta).actions_per_line,
+                    ),
+                    (
+                        "f4_hybrid_hp_actions_per_line",
+                        cell("hybrid", hp).actions_per_line,
+                    ),
+                    ("f4_hybrid_hp_err_p99_cm_s", cell("hybrid", hp).err_p99_cm_s),
+                ],
+                text: r.to_string(),
+            }
+        }
         "m1" => {
             let r = experiments::m1_modality::run(speed)?;
             let cta = r.case(hotwire_rig::Modality::Cta);
@@ -281,7 +320,7 @@ fn dispatch(id: &str, speed: Speed) -> Result<Report, String> {
 
 const ALL: &[&str] = &[
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
-    "f1", "f2", "f3", "m1",
+    "f1", "f2", "f3", "f4", "m1",
 ];
 
 /// Minimal JSON string escaping (we have no JSON dependency by design).

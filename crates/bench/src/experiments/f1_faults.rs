@@ -24,7 +24,7 @@ use crate::table::Table;
 use hotwire_core::{CoreError, HealthState, KingCalibration};
 use hotwire_rig::campaign::derive_seed;
 use hotwire_rig::fault::{FaultKind, FaultSchedule};
-use hotwire_rig::{Campaign, RunOutcome, RunSpec, Scenario};
+use hotwire_rig::{Campaign, LineConfig, RunOutcome, RunSpec, Scenario};
 
 /// Steady line speed every fault rides on, cm/s.
 const FLOW_CM_S: f64 = 100.0;
@@ -202,9 +202,11 @@ fn run_with(speed: Speed, campaign: Campaign) -> Result<FaultMatrixResult, CoreE
             .with_meter_seed(0xF1)
             .with_calibration(calibration.clone())
             .with_sample_period(0.01)
-            .with_faults(
-                FaultSchedule::new(derive_seed(0xF1A7, i as u64))
-                    .with_event(ONSET_S, window_s, kind),
+            .with_config(
+                LineConfig::new().with_faults(
+                    FaultSchedule::new(derive_seed(0xF1A7, i as u64))
+                        .with_event(ONSET_S, window_s, kind),
+                ),
             )
         })
         .collect();

@@ -31,7 +31,7 @@ use hotwire_core::config::FlowMeterConfig;
 use hotwire_core::Meter;
 use hotwire_rig::fault::{FaultKind, FaultSchedule};
 use hotwire_rig::fleet::{FleetSpec, LineVariation};
-use hotwire_rig::{Modality, RunSpec, Scenario, Windows};
+use hotwire_rig::{LineConfig, Modality, RunSpec, Scenario, Windows};
 
 /// Steady demand for every fleet, cm/s.
 const FLOW_CM_S: f64 = 100.0;
@@ -106,7 +106,7 @@ pub fn fleet_spec(modality: Modality, lines: usize, duration_s: f64) -> FleetSpe
         Scenario::steady(FLOW_CM_S, duration_s),
         0x4D31,
     )
-    .with_modality(modality)
+    .with_config(LineConfig::new().with_modality(modality))
     .with_lines(lines)
     .with_sample_period(0.05)
     .with_windows(Windows::settled(2.0, 0.0))
@@ -162,7 +162,7 @@ fn run_modality(modality: Modality, lines: usize, duration_s: f64) -> Result<Mod
         Scenario::steady(FLOW_CM_S, duration_s.min(4.0)),
         0x4D31,
     )
-    .with_modality(modality)
+    .with_config(LineConfig::new().with_modality(modality))
     .without_obs()
     .execute()
     .map_err(|e| e.to_string())?;

@@ -18,6 +18,7 @@ pub mod e12_modes;
 pub mod f1_faults;
 pub mod f2_fleet;
 pub mod f3_ingest;
+pub mod f4_maintenance;
 pub mod m1_modality;
 
 use hotwire_core::config::FlowMeterConfig;

@@ -570,6 +570,30 @@ mod tests {
     }
 
     #[test]
+    fn repeated_stores_wear_both_slots_equally() {
+        // Persist-heavy maintenance policies rate-limit on slot wear, so
+        // the accounting must be balanced: every `store` costs exactly
+        // one write cycle on the primary AND one on the mirror — never
+        // double-charging one slot or skipping the other.
+        let king = KingsLaw::water_default();
+        let points = synth_points(&king, &[0.05, 0.5, 1.0, 2.0]);
+        let cal = KingCalibration::fit(&points, KelvinDelta::new(15.0)).unwrap();
+        let mut eeprom = CalibrationStore::new();
+        for _ in 0..25 {
+            cal.store(&mut eeprom).unwrap();
+        }
+        assert_eq!(eeprom.slot_write_cycles(KingCalibration::EEPROM_SLOT), 25);
+        assert_eq!(
+            eeprom.slot_write_cycles(KingCalibration::REDUNDANT_SLOT),
+            25
+        );
+        assert_eq!(eeprom.max_slot_wear(), 25);
+        // No other slot picked up phantom wear.
+        let worn: u64 = eeprom.wear_table().iter().sum();
+        assert_eq!(worn, 50);
+    }
+
+    #[test]
     fn fit_rejects_degenerate_input() {
         let king = KingsLaw::water_default();
         assert!(

@@ -135,6 +135,10 @@ pub struct DriftMonitor {
     tau_updates: f64,
     /// Relative deviation that raises the flag.
     threshold: f64,
+    /// The most recent observed value (re-zero anchor).
+    last_value: Option<f64>,
+    /// The most recent relative deviation.
+    last_deviation: f64,
 }
 
 impl DriftMonitor {
@@ -145,13 +149,16 @@ impl DriftMonitor {
             baseline: None,
             tau_updates: tau_updates.max(1.0),
             threshold: threshold.abs(),
+            last_value: None,
+            last_deviation: 0.0,
         }
     }
 
     /// Feeds one steady-state observation; returns the relative deviation
     /// from the (slowly updated) baseline.
     pub fn update(&mut self, value: f64) -> f64 {
-        match &mut self.baseline {
+        self.last_value = Some(value);
+        let dev = match &mut self.baseline {
             None => {
                 self.baseline = Some(value);
                 0.0
@@ -163,12 +170,47 @@ impl DriftMonitor {
                 *b += (value - *b) / self.tau_updates;
                 dev
             }
-        }
+        };
+        self.last_deviation = dev;
+        dev
     }
 
     /// Whether the latest deviation magnitude breaches the threshold.
     pub fn is_drifting(&self, deviation: f64) -> bool {
         deviation.abs() > self.threshold
+    }
+
+    /// The most recent relative deviation (0 before the first update and
+    /// after a [`re_zero`](Self::re_zero)).
+    #[inline]
+    pub fn deviation(&self) -> f64 {
+        self.last_deviation
+    }
+
+    /// The aged baseline, if one has been seeded (state-digest
+    /// introspection).
+    #[inline]
+    pub fn baseline(&self) -> Option<f64> {
+        self.baseline
+    }
+
+    /// The most recently observed value, if any (state-digest
+    /// introspection).
+    #[inline]
+    pub fn last_value(&self) -> Option<f64> {
+        self.last_value
+    }
+
+    /// Accepts the most recently observed value as the new baseline and
+    /// clears the deviation — the maintenance-policy re-zero. A monitor
+    /// that has never observed a value keeps its empty baseline, so
+    /// re-zeroing under zero drift is an exact no-op (the property the
+    /// `properties` proptest pins at digest level).
+    pub fn re_zero(&mut self) {
+        if let Some(v) = self.last_value {
+            self.baseline = Some(v);
+        }
+        self.last_deviation = 0.0;
     }
 }
 
@@ -274,6 +316,36 @@ mod tests {
             flagged |= m.is_drifting(dev);
         }
         assert!(!flagged, "±0.5 % noise must not flag a 5 % threshold");
+    }
+
+    #[test]
+    fn drift_monitor_re_zero_adopts_last_value() {
+        let mut m = DriftMonitor::new(100.0, 0.05);
+        // Fresh monitor: re-zero with nothing observed is inert.
+        m.re_zero();
+        assert_eq!(m.deviation(), 0.0);
+        assert_eq!(m.update(1.0), 0.0, "first update seeds the baseline");
+        for _ in 0..50 {
+            m.update(0.8);
+        }
+        assert!(m.deviation() < -0.05, "deviation {}", m.deviation());
+        m.re_zero();
+        assert_eq!(m.deviation(), 0.0);
+        // The new baseline is the last observed value: the next identical
+        // observation reads exactly zero deviation.
+        assert_eq!(m.update(0.8), 0.0);
+    }
+
+    #[test]
+    fn drift_monitor_zero_drift_re_zero_is_identity() {
+        // The core of the digest-level no-op proptest: with the latest
+        // deviation exactly zero, re-zero changes nothing observable.
+        let mut m = DriftMonitor::new(10.0, 0.05);
+        m.update(2.5);
+        assert_eq!(m.deviation(), 0.0);
+        let before = format!("{m:?}");
+        m.re_zero();
+        assert_eq!(format!("{m:?}"), before);
     }
 
     #[test]

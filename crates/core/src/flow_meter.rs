@@ -158,6 +158,9 @@ pub struct FlowMeter {
     rng: StdRng,
     dt: Seconds,
     control_tick: u64,
+    /// Control tick at which the active calibration was installed or last
+    /// refit — the zero point of [`calibration_age`](Self::calibration_age).
+    cal_tick: u64,
     last_dir_code: i32,
     /// Learned zero-flow offset of the supply-normalized direction metric
     /// (codes per volt). Both the die-mismatch offset and the coupling
@@ -326,6 +329,7 @@ impl FlowMeter {
             rng: StdRng::seed_from_u64(seed),
             dt: config.modulator_rate.period(),
             control_tick: 0,
+            cal_tick: 0,
             last_dir_code: 0,
             dir_offset_per_volt: 0.0,
             last_temp_code: 0,
@@ -941,7 +945,7 @@ impl FlowMeter {
             RecoveryAction::ReZero => {
                 // Accept the post-fouling conductance as the new baseline
                 // instead of flagging the same drift forever.
-                self.drift = DriftMonitor::new(DRIFT_TAU_UPDATES, DRIFT_THRESHOLD);
+                self.drift.re_zero();
             }
             RecoveryAction::SoftReset => {
                 self.spikes.reset();
@@ -1097,6 +1101,7 @@ impl FlowMeter {
         let cal = KingCalibration::fit(points, self.config.overheat)?;
         cal.store(self.platform.eeprom_mut())?;
         self.calibration = Some(cal);
+        self.cal_tick = self.control_tick;
         // The calibration procedure slews the line hard between setpoints;
         // whatever the monitors latched during it is procedure noise, not a
         // field diagnosis.
@@ -1153,6 +1158,87 @@ impl FlowMeter {
             self.observe(EventKind::HealthTransition { from, to });
         }
         outcome
+    }
+
+    /// Accepts the current conductance operating point as the new drift
+    /// baseline, clearing the drift estimate ([`Meter::re_zero`]). Exact
+    /// state no-op when [`drift_estimate`](Self::drift_estimate) is `0.0`.
+    ///
+    /// [`Meter::re_zero`]: crate::Meter::re_zero
+    pub fn re_zero(&mut self) {
+        self.drift.re_zero();
+    }
+
+    /// Refits the active King calibration from the drift monitor's current
+    /// deviation and re-zeroes the baseline around the corrected fit
+    /// ([`Meter::refit_from_recent`]).
+    ///
+    /// Fouling (the §4 failure mode the drift monitor watches) multiplies
+    /// the wire's thermal conductance by a slowly shrinking factor `1 + d`
+    /// (`d < 0` for a sensitivity loss), so scaling both King coefficients
+    /// by the observed relative deviation restores the velocity decode at
+    /// the operating point. The correction is clamped to ±50 % — beyond
+    /// that the instrument needs a bath recalibration, not a field refit.
+    /// RAM-only: pair with [`persist`](Self::persist) to survive a power
+    /// cycle.
+    ///
+    /// [`Meter::refit_from_recent`]: crate::Meter::refit_from_recent
+    pub fn refit_from_recent(&mut self) -> bool {
+        let d = self.drift.deviation().clamp(-0.5, 0.5);
+        if d == 0.0 {
+            return false;
+        }
+        let Some(cal) = self.calibration.as_mut() else {
+            return false;
+        };
+        cal.a *= 1.0 + d;
+        cal.b *= 1.0 + d;
+        self.drift.re_zero();
+        self.cal_tick = self.control_tick;
+        true
+    }
+
+    /// Writes the active calibration to the EEPROM's primary and redundant
+    /// slots ([`Meter::persist`]) — one write cycle of wear on each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Calibration`] when no calibration is installed,
+    /// or the platform error when a slot write fails.
+    ///
+    /// [`Meter::persist`]: crate::Meter::persist
+    pub fn persist(&mut self) -> Result<(), CoreError> {
+        let cal = self.calibration.ok_or(CoreError::Calibration {
+            reason: "no calibration installed to persist",
+        })?;
+        cal.store(self.platform.eeprom_mut())
+    }
+
+    /// Control ticks since the active calibration was installed or last
+    /// refit ([`Meter::calibration_age`]).
+    ///
+    /// [`Meter::calibration_age`]: crate::Meter::calibration_age
+    #[inline]
+    pub fn calibration_age(&self) -> u64 {
+        self.control_tick.saturating_sub(self.cal_tick)
+    }
+
+    /// The drift monitor's most recent relative conductance deviation
+    /// ([`Meter::drift_estimate`]).
+    ///
+    /// [`Meter::drift_estimate`]: crate::Meter::drift_estimate
+    #[inline]
+    pub fn drift_estimate(&self) -> f64 {
+        self.drift.deviation()
+    }
+
+    /// The highest per-slot EEPROM write-cycle count
+    /// ([`Meter::calibration_wear`]).
+    ///
+    /// [`Meter::calibration_wear`]: crate::Meter::calibration_wear
+    #[inline]
+    pub fn calibration_wear(&self) -> u64 {
+        self.platform.eeprom().max_slot_wear()
     }
 
     /// Auto-zeroes the direction channel: runs `seconds` of simulation at
@@ -1275,7 +1361,7 @@ impl FlowMeter {
     pub fn state_digest(&self) -> u64 {
         let flags = self.fault_latch;
         let m = self.last_measurement.as_ref();
-        let words: [u64; 30] = [
+        let words: [u64; 37] = [
             self.control_tick,
             self.mod_phase as u64,
             self.rng.state()[0],
@@ -1308,6 +1394,17 @@ impl FlowMeter {
             self.die.bubble_coverage(HeaterId::B).to_bits(),
             self.die.fouling_thickness_um(HeaterId::A).to_bits(),
             self.die.fouling_thickness_um(HeaterId::B).to_bits(),
+            // Calibration-surface state: the maintenance engine mutates the
+            // installed fit and the drift monitor, so both must show up in
+            // the digest for the re-zero/refit no-op and jobs-invariance
+            // properties to bite.
+            self.calibration.map_or(0, |c| c.a.to_bits()),
+            self.calibration.map_or(0, |c| c.b.to_bits()),
+            self.calibration.map_or(0, |c| c.n.to_bits()),
+            self.drift.baseline().map_or(0, f64::to_bits),
+            self.drift.last_value().map_or(0, f64::to_bits),
+            self.drift.deviation().to_bits(),
+            self.cal_tick,
         ];
         let mut bytes = Vec::with_capacity(words.len() * 8);
         for w in words {

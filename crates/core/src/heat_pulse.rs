@@ -413,6 +413,9 @@ pub struct HeatPulseMeter {
     last_codes: [i32; 4],
 
     control_tick: u64,
+    /// Control tick at which the active calibration was installed or last
+    /// refit (the zero point of `calibration_age`).
+    cal_tick: u64,
     observer: Option<Box<dyn Observer>>,
 }
 
@@ -460,6 +463,7 @@ impl HeatPulseMeter {
             frozen_streak: 0,
             last_codes: [i32::MIN; 4],
             control_tick: 0,
+            cal_tick: 0,
             observer: None,
             rng: StdRng::seed_from_u64(seed ^ 0x4850_4D31),
             build_seed: seed,
@@ -488,6 +492,7 @@ impl HeatPulseMeter {
     pub fn install_calibration(&mut self, cal: HeatPulseCalibration) -> Result<(), CoreError> {
         cal.store(&mut self.eeprom)?;
         self.calibration = Some(cal);
+        self.cal_tick = self.control_tick;
         Ok(())
     }
 
@@ -875,6 +880,7 @@ impl Meter for HeatPulseMeter {
             cal.diffusivity.to_bits(),
             cal.spacing_m.to_bits(),
         ];
+        words.push(self.cal_tick);
         for i in 0..4 {
             words.push(self.sensor_k[i].to_bits());
             words.push(self.last_codes[i] as i64 as u64);
@@ -937,6 +943,70 @@ impl Meter for HeatPulseMeter {
             self.emit(EventKind::HealthTransition { from, to });
         }
         outcome
+    }
+
+    /// Accepts the current amplitude EWMA as the new fouling reference.
+    /// Exact state no-op when the drift estimate is already zero (either
+    /// no decode has anchored the reference yet, or the EWMA sits exactly
+    /// on it).
+    fn re_zero(&mut self) {
+        if self.amp_reference > 0.0 {
+            self.amp_reference = self.amp_ewma;
+        }
+    }
+
+    /// Compensates the fouling-induced peak lag inferred from the
+    /// amplitude droop: scale insulates the sensor head (amplitude falls
+    /// as `exp(-f/F)`) *and* delays the peak by a diffusive lag
+    /// (`FOULING_LAG_S_PER_UM` per µm), which under-reads velocity. The
+    /// refit inverts the attenuation model to estimate the layer
+    /// thickness, folds the lag bias at the characteristic transit time
+    /// into the calibration scale, and re-anchors the amplitude
+    /// reference.
+    fn refit_from_recent(&mut self) -> bool {
+        let d = Meter::drift_estimate(self);
+        if d == 0.0 {
+            return false;
+        }
+        let Some(cal) = self.calibration.as_mut() else {
+            return false;
+        };
+        // Inferred scale thickness (negative when the signal *grew* —
+        // cleaning, supply restored — which walks the correction back).
+        let fouling_um = -FOULING_ATTEN_UM * (1.0 + d).max(0.05).ln();
+        // Characteristic transit: far spacing at half full scale.
+        let t_char = cal.spacing_m / (0.5 * self.config.full_scale.get());
+        let bias = (FOULING_LAG_S_PER_UM * fouling_um / t_char).clamp(-0.5, 0.5);
+        cal.scale *= 1.0 + bias;
+        self.amp_reference = self.amp_ewma;
+        self.cal_tick = self.control_tick;
+        true
+    }
+
+    fn persist(&mut self) -> Result<(), CoreError> {
+        let cal = self.calibration.ok_or(CoreError::Calibration {
+            reason: "no calibration installed to persist",
+        })?;
+        cal.store(&mut self.eeprom)
+    }
+
+    fn calibration_age(&self) -> u64 {
+        self.control_tick.saturating_sub(self.cal_tick)
+    }
+
+    /// Relative droop of the received plume amplitude against its anchored
+    /// reference (negative = signal loss, the §4 fouling signature seen
+    /// through this modality).
+    fn drift_estimate(&self) -> f64 {
+        if self.amp_reference > 0.0 {
+            (self.amp_ewma - self.amp_reference) / self.amp_reference
+        } else {
+            0.0
+        }
+    }
+
+    fn calibration_wear(&self) -> u64 {
+        self.eeprom.max_slot_wear()
     }
 
     fn inject_adc_fault(&mut self, fault: Option<AdcFault>) {

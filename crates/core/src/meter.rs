@@ -51,7 +51,7 @@ use crate::obs::{EventKind, Observer};
 use hotwire_afe::ThermometerDac;
 use hotwire_physics::sensor::HeaterId;
 use hotwire_physics::SensorEnvironment;
-use hotwire_units::{MetersPerSecond, Seconds, Volts, Watts};
+use hotwire_units::{Celsius, MetersPerSecond, Seconds, Volts, Watts};
 
 /// The meter-facing surface of the evaluation engine: stepping, drive
 /// timing, health, telemetry emission, calibration reload, fault hooks and
@@ -121,6 +121,19 @@ pub trait Meter: Send + std::fmt::Debug {
     fn observe(&mut self, kind: EventKind);
 
     // --- calibration surface ---
+    //
+    // The modality-generic maintenance interface: a policy engine
+    // (`hotwire_rig::maintain`) decides *when* to act and drives every
+    // modality through these five actions/observables without knowing
+    // whether the calibration underneath is a King's-law fit or a
+    // time-of-flight scale. All defaults are inert no-ops so stateless
+    // instruments (the rig's reference adapters) satisfy the contract
+    // without code, and the trait stays dyn-compatible.
+    //
+    // Determinism: none of these methods may draw from the meter's RNG
+    // lanes (they run at frame boundaries between RNG-consuming steps, and
+    // the runner's jobs-invariance tests pin that a policy-managed run
+    // stays bit-identical at any job count).
 
     /// Re-reads the calibration record from persistent storage, falling
     /// back to the redundant slot on a CRC failure (and repairing the
@@ -130,6 +143,65 @@ pub trait Meter: Send + std::fmt::Debug {
     ///
     /// Returns [`CoreError`] when no valid calibration copy survives.
     fn reload_calibration(&mut self) -> Result<(), CoreError>;
+
+    /// Accepts the current operating point as the new drift reference,
+    /// clearing the drift estimate without touching the calibration
+    /// itself. Must be an exact state no-op when
+    /// [`drift_estimate`](Self::drift_estimate) is already `0.0` (pinned
+    /// at digest level by proptest). Default: no-op.
+    fn re_zero(&mut self) {}
+
+    /// Refits the active calibration from the instrument's recent drift
+    /// estimate (in RAM only — pair with [`persist`](Self::persist) to
+    /// survive a power cycle) and re-zeroes the drift reference around the
+    /// corrected fit. Returns `true` when the calibration actually
+    /// changed, `false` when there was nothing to correct (zero drift or
+    /// no calibration installed). Default: `false`.
+    fn refit_from_recent(&mut self) -> bool {
+        false
+    }
+
+    /// Writes the active calibration to persistent storage (primary plus
+    /// redundant slot — one write cycle of wear on each).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError`] when no calibration is installed or the
+    /// write fails. Default: `Ok(())` for meters without storage.
+    fn persist(&mut self) -> Result<(), CoreError> {
+        Ok(())
+    }
+
+    /// Control ticks elapsed since the active calibration was installed or
+    /// last refit — the age a `Scheduled` policy compares against its
+    /// period. Default: 0 (an ageless instrument never triggers a
+    /// scheduled refit).
+    fn calibration_age(&self) -> u64 {
+        0
+    }
+
+    /// The instrument's current relative drift estimate (signed; `0.0`
+    /// means no observed drift). For the CTA meter this is the
+    /// conductance-baseline deviation; for the heat-pulse meter the
+    /// received-amplitude droop. Default: `0.0`.
+    fn drift_estimate(&self) -> f64 {
+        0.0
+    }
+
+    /// The highest per-slot EEPROM write-cycle count — the wear figure an
+    /// event-triggered policy rate-limits persists against. Default: 0.
+    fn calibration_wear(&self) -> u64 {
+        0
+    }
+
+    /// The instrument's own fluid-temperature estimate, when it carries a
+    /// temperature channel (the CTA meter's compensated estimate) — the
+    /// observable behind an `EventTriggered` policy's temperature-delta
+    /// trigger. Default: `None` (no temperature channel; the trigger
+    /// never fires).
+    fn fluid_temperature(&self) -> Option<Celsius> {
+        None
+    }
 
     // --- fault hooks (the injector's attack surface) ---
 
@@ -231,6 +303,34 @@ impl Meter for FlowMeter {
 
     fn reload_calibration(&mut self) -> Result<(), CoreError> {
         FlowMeter::reload_calibration(self)
+    }
+
+    fn re_zero(&mut self) {
+        FlowMeter::re_zero(self);
+    }
+
+    fn refit_from_recent(&mut self) -> bool {
+        FlowMeter::refit_from_recent(self)
+    }
+
+    fn persist(&mut self) -> Result<(), CoreError> {
+        FlowMeter::persist(self)
+    }
+
+    fn calibration_age(&self) -> u64 {
+        FlowMeter::calibration_age(self)
+    }
+
+    fn drift_estimate(&self) -> f64 {
+        FlowMeter::drift_estimate(self)
+    }
+
+    fn calibration_wear(&self) -> u64 {
+        FlowMeter::calibration_wear(self)
+    }
+
+    fn fluid_temperature(&self) -> Option<Celsius> {
+        Some(self.fluid_temperature_estimate())
     }
 
     fn inject_adc_fault(&mut self, fault: Option<AdcFault>) {

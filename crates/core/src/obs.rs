@@ -75,6 +75,17 @@ pub enum EventKind {
     CalibrationReloadFailed,
     /// The telemetry receiver dropped a frame on a CRC mismatch.
     UartFrameError,
+    /// A maintenance policy re-zeroed the drift baseline (the current
+    /// operating point becomes the new reference; no stored calibration
+    /// changes).
+    CalibrationReZeroed,
+    /// A maintenance policy refit the active calibration from the
+    /// instrument's recent drift estimate (in RAM only — persistence is a
+    /// separate, wear-limited action).
+    CalibrationRefit,
+    /// A maintenance policy persisted the active calibration to EEPROM
+    /// (primary + redundant slot, one write cycle each).
+    CalibrationPersisted,
 }
 
 impl EventKind {
@@ -91,6 +102,9 @@ impl EventKind {
             EventKind::CalibrationReloaded { .. } => "calibration_reloaded",
             EventKind::CalibrationReloadFailed => "calibration_reload_failed",
             EventKind::UartFrameError => "uart_frame_error",
+            EventKind::CalibrationReZeroed => "calibration_re_zeroed",
+            EventKind::CalibrationRefit => "calibration_refit",
+            EventKind::CalibrationPersisted => "calibration_persisted",
         }
     }
 }
@@ -179,6 +193,9 @@ mod tests {
             },
             EventKind::CalibrationReloadFailed,
             EventKind::UartFrameError,
+            EventKind::CalibrationReZeroed,
+            EventKind::CalibrationRefit,
+            EventKind::CalibrationPersisted,
         ];
         let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
         let mut unique = names.clone();

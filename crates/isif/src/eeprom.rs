@@ -60,6 +60,7 @@ impl Default for Slot {
 pub struct CalibrationStore {
     slots: [Slot; SLOT_COUNT],
     write_cycles: u64,
+    slot_write_cycles: [u64; SLOT_COUNT],
 }
 
 impl CalibrationStore {
@@ -91,6 +92,7 @@ impl CalibrationStore {
         s.crc = crc16_ccitt(payload);
         s.written = true;
         self.write_cycles += 1;
+        self.slot_write_cycles[slot] += 1;
         Ok(())
     }
 
@@ -150,6 +152,30 @@ impl CalibrationStore {
     #[inline]
     pub fn write_cycles(&self) -> u64 {
         self.write_cycles
+    }
+
+    /// Write cycles accumulated by one slot (per-slot wear accounting).
+    ///
+    /// EEPROM endurance is a per-cell limit, not a device-global one: a
+    /// policy that hammers the primary slot while barely touching the
+    /// mirror wears the primary out first even though the global counter
+    /// looks fine. Out-of-range slots report 0.
+    #[inline]
+    pub fn slot_write_cycles(&self, slot: usize) -> u64 {
+        self.slot_write_cycles.get(slot).copied().unwrap_or(0)
+    }
+
+    /// The per-slot wear table, indexed by slot.
+    #[inline]
+    pub fn wear_table(&self) -> &[u64; SLOT_COUNT] {
+        &self.slot_write_cycles
+    }
+
+    /// The highest per-slot write-cycle count — the wear-levelling figure
+    /// an event-triggered persistence policy rate-limits against.
+    #[inline]
+    pub fn max_slot_wear(&self) -> u64 {
+        self.slot_write_cycles.iter().copied().max().unwrap_or(0)
     }
 
     /// Deliberately corrupts a byte of a slot (for fault-injection tests).
@@ -216,6 +242,25 @@ mod tests {
             e.read_record(99),
             Err(IsifError::EmptySlot { .. })
         ));
+    }
+
+    #[test]
+    fn per_slot_wear_is_counted() {
+        let mut e = CalibrationStore::new();
+        e.write_record(0, b"a").unwrap();
+        e.write_record(0, b"b").unwrap();
+        e.write_record(7, b"m").unwrap();
+        assert_eq!(e.write_cycles(), 3);
+        assert_eq!(e.slot_write_cycles(0), 2);
+        assert_eq!(e.slot_write_cycles(7), 1);
+        assert_eq!(e.slot_write_cycles(3), 0);
+        assert_eq!(e.slot_write_cycles(99), 0);
+        assert_eq!(e.max_slot_wear(), 2);
+        assert_eq!(e.wear_table()[0], 2);
+        // Erase clears the record but not the wear history — cells do not
+        // heal.
+        e.erase(0);
+        assert_eq!(e.slot_write_cycles(0), 2);
     }
 
     #[test]

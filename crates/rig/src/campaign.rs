@@ -41,6 +41,7 @@
 use crate::exec;
 use crate::fault::FaultSchedule;
 use crate::line::WaterLine;
+use crate::maintain::{Maintenance, MaintenanceCounters, MaintenanceEngine};
 use crate::metrics::Welford;
 use crate::modality::{AnyMeter, Modality, ReferenceMeter};
 use crate::obs::{self, EventLog, ObsConfig};
@@ -97,6 +98,27 @@ impl FieldCalibration {
             average_s,
             seed,
         }
+    }
+
+    /// Applies this recipe to `meter`: collect the setpoint observations
+    /// (up to `jobs` replicas at a time), adopt the converged
+    /// fluid-temperature estimate, fit and install King's law. **The**
+    /// single field-calibration path — [`build_meter`]'s
+    /// [`Calibration::Field`] arm and the deprecated
+    /// [`field_calibrate`](crate::runner::field_calibrate) shims both
+    /// come through here, so every caller gets bit-identical fits.
+    ///
+    /// Returns the calibration points used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Calibration`] if a setpoint records no
+    /// settled samples or the fit fails.
+    pub fn apply(&self, meter: &mut FlowMeter, jobs: usize) -> Result<Vec<CalPoint>, CoreError> {
+        let (points, estimate) = collect_calibration_points(meter, self, jobs)?;
+        meter.adopt_fluid_estimate(estimate);
+        meter.calibrate(&points)?;
+        Ok(points)
     }
 }
 
@@ -209,6 +231,111 @@ impl From<(f64, f64)> for Windows {
     }
 }
 
+/// Every per-line instrument knob of a spec, grouped in one value.
+///
+/// The same consolidation [`Windows`] applied to the reduction windows:
+/// the spec had grown one `with_*` builder per knob — modality, AFE
+/// tier, observability, faults, and now maintenance — which stopped
+/// composing once fleets and multi-modality sweeps needed to stamp the
+/// same instrument configuration onto many specs. `LineConfig` is that
+/// template: build it once, hand it to [`RunSpec::with_config`] or
+/// [`FleetSpec::with_config`](crate::fleet::FleetSpec::with_config),
+/// clone it freely. The per-knob spec builders survive as deprecated
+/// shims pinned bit-identical to the grouped path.
+///
+/// ```
+/// use hotwire_rig::campaign::LineConfig;
+/// use hotwire_rig::{Maintenance, Modality, Policy};
+///
+/// let cfg = LineConfig::new()
+///     .with_modality(Modality::HeatPulse)
+///     .with_maintenance(Maintenance::new(Policy::Scheduled { period_s: 3600.0 }))
+///     .without_obs();
+/// assert_eq!(cfg.modality, Modality::HeatPulse);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineConfig {
+    /// Sensing modality of the device under test ([`Modality::Cta`]
+    /// by default).
+    pub modality: Modality,
+    /// AFE fidelity tier ([`AfeTier::Exact`] by default).
+    pub afe_tier: AfeTier,
+    /// Maintenance policy governing in-run re-zero / refit / persist
+    /// (inactive by default).
+    pub maintenance: Maintenance,
+    /// Observability configuration (enabled by default). Fleet specs
+    /// ignore this knob: fleet lines always run unobserved
+    /// ([`RecordPolicy::MetricsOnly`]); their maintenance activity rides
+    /// the line summaries instead of event logs.
+    pub obs: ObsConfig,
+    /// Seeded fault schedule injected during the run (`None` = healthy).
+    /// Fleet specs ignore this knob: per-line fault templates live in
+    /// [`LineVariation`](crate::fleet::LineVariation).
+    pub faults: Option<FaultSchedule>,
+}
+
+impl LineConfig {
+    /// The default instrument: CTA, exact AFE, no maintenance policy,
+    /// observability on, no faults.
+    pub fn new() -> Self {
+        LineConfig::default()
+    }
+
+    /// Selects the sensing modality.
+    #[must_use]
+    pub fn with_modality(mut self, modality: Modality) -> Self {
+        self.modality = modality;
+        self
+    }
+
+    /// Selects the AFE fidelity tier.
+    #[must_use]
+    pub fn with_afe_tier(mut self, tier: AfeTier) -> Self {
+        self.afe_tier = tier;
+        self
+    }
+
+    /// Sets the maintenance policy.
+    #[must_use]
+    pub fn with_maintenance(mut self, maintenance: Maintenance) -> Self {
+        self.maintenance = maintenance;
+        self
+    }
+
+    /// Overrides the observability configuration.
+    #[must_use]
+    pub fn with_obs(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Disables observability.
+    #[must_use]
+    pub fn without_obs(mut self) -> Self {
+        self.obs.enabled = false;
+        self
+    }
+
+    /// Injects a seeded fault schedule.
+    #[must_use]
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = Some(schedule);
+        self
+    }
+}
+
+impl Default for LineConfig {
+    fn default() -> Self {
+        LineConfig {
+            modality: Modality::Cta,
+            afe_tier: AfeTier::Exact,
+            maintenance: Maintenance::default(),
+            obs: ObsConfig::default(),
+            faults: None,
+        }
+    }
+}
+
 /// How a [`RunSpec`]'s meter is calibrated before the scenario starts.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Calibration {
@@ -265,8 +392,12 @@ pub struct RunSpec {
     /// Every reduction window of the run, grouped
     /// ([`with_windows`](Self::with_windows)).
     pub windows: Windows,
+    /// Maintenance policy governing in-run re-zero / refit / persist
+    /// (inactive by default; see [`with_config`](Self::with_config) and
+    /// [`crate::maintain`]).
+    pub maintenance: Maintenance,
     /// Observability configuration (on by default; see
-    /// [`with_obs`](Self::with_obs) / [`without_obs`](Self::without_obs)).
+    /// [`with_config`](Self::with_config) / [`without_obs`](Self::without_obs)).
     pub obs: ObsConfig,
     /// What the stored trace keeps of the raw samples
     /// ([`RecordPolicy::Full`] by default). Streaming reductions
@@ -298,15 +429,44 @@ impl RunSpec {
             line_seed: seed,
             sample_period_s: 0.02,
             windows: Windows::default(),
+            maintenance: Maintenance::default(),
             obs: ObsConfig::default(),
             record: RecordPolicy::Full,
         }
+    }
+
+    /// Sets every per-line instrument knob at once — modality, AFE tier,
+    /// maintenance policy, observability, faults — from one grouped
+    /// [`LineConfig`] (the [`Windows`] consolidation applied to the
+    /// instrument knobs). Knobs not touched on the `LineConfig` are set
+    /// to its defaults, exactly as [`with_windows`](Self::with_windows)
+    /// replaces every window.
+    ///
+    /// ```
+    /// # use hotwire_rig::{RunSpec, Scenario, Modality};
+    /// # use hotwire_rig::campaign::LineConfig;
+    /// # use hotwire_core::FlowMeterConfig;
+    /// # let spec = RunSpec::new("w", FlowMeterConfig::test_profile(),
+    /// #                         Scenario::steady(50.0, 4.0), 1);
+    /// let spec = spec.with_config(LineConfig::new().with_modality(Modality::HeatPulse));
+    /// ```
+    pub fn with_config(mut self, line: LineConfig) -> Self {
+        self.modality = line.modality;
+        self.config.afe_tier = line.afe_tier;
+        self.maintenance = line.maintenance;
+        self.obs = line.obs;
+        self.faults = line.faults;
+        self
     }
 
     /// Selects the sensing modality of the device under test. The rest of
     /// the spec (scenario, faults, windows, record policy) is
     /// modality-agnostic, so the same template can be stamped out across
     /// modalities for head-to-head comparisons (experiment `m1`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "group the per-line instrument knobs in a `LineConfig` and use `with_config`"
+    )]
     pub fn with_modality(mut self, modality: Modality) -> Self {
         self.modality = modality;
         self
@@ -343,6 +503,10 @@ impl RunSpec {
     }
 
     /// Injects a seeded fault schedule during the run.
+    #[deprecated(
+        since = "0.1.0",
+        note = "group the per-line instrument knobs in a `LineConfig` and use `with_config`"
+    )]
     pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
         self.faults = Some(schedule);
         self
@@ -358,6 +522,10 @@ impl RunSpec {
     /// [`AfeTier::Exact`]). [`AfeTier::Fast`] opts into the quasi-static
     /// once-per-frame front end — orders of magnitude faster, with the
     /// error bound pinned by the core tier tests.
+    #[deprecated(
+        since = "0.1.0",
+        note = "group the per-line instrument knobs in a `LineConfig` and use `with_config`"
+    )]
     pub fn with_afe_tier(mut self, tier: AfeTier) -> Self {
         self.config.afe_tier = tier;
         self
@@ -383,6 +551,10 @@ impl RunSpec {
     }
 
     /// Overrides the observability configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "group the per-line instrument knobs in a `LineConfig` and use `with_config`"
+    )]
     pub fn with_obs(mut self, obs: ObsConfig) -> Self {
         self.obs = obs;
         self
@@ -506,6 +678,10 @@ impl RunSpec {
             meter.set_observer(Box::new(EventLog::with_capacity(self.obs.event_capacity)));
         }
         let mut runner = LineRunner::new(self.scenario.clone(), meter, self.line_seed);
+        if self.maintenance.is_active() {
+            let control_dt = runner.meter().control_period();
+            runner.install_maintenance(MaintenanceEngine::new(self.maintenance, control_dt));
+        }
         if let Some(schedule) = &self.faults {
             runner.install_faults(schedule.clone());
         }
@@ -539,6 +715,7 @@ impl RunSpec {
             },
             reduced,
             meter,
+            maintenance: tail.maintenance,
             settle_s: self.windows.settle_s,
             measure_s: self.windows.measure_s,
         })
@@ -562,6 +739,9 @@ pub struct RunOutcome {
     /// CTA specs carry an [`AnyMeter::Cta`]; unwrap with
     /// [`AnyMeter::as_cta`] when CTA-specific state is needed.
     pub meter: AnyMeter,
+    /// Maintenance-policy actions taken during the run (all zero unless
+    /// the spec carried an active [`Maintenance`] config).
+    pub maintenance: MaintenanceCounters,
     /// The spec's settling time (for the settled-window statistics).
     pub settle_s: f64,
     /// The spec's measurement-window length (`0.0` = to the end).
@@ -616,9 +796,7 @@ pub fn build_meter(
         Calibration::Field(recipe) => {
             // Setpoints run serially here: the campaign already owns the
             // worker threads, and the result is jobs-invariant anyway.
-            let (points, estimate) = collect_calibration_points(&meter, recipe, 1)?;
-            meter.adopt_fluid_estimate(estimate);
-            meter.calibrate(&points)?;
+            recipe.apply(&mut meter, 1)?;
         }
         Calibration::Points {
             points,
@@ -881,17 +1059,19 @@ mod tests {
         // statistics — match bit-for-bit at any job count.
         let specs: Vec<RunSpec> = (0..3)
             .map(|i| {
-                spec(i).with_faults(
-                    FaultSchedule::new(derive_seed(0xFA57, i))
-                        .with_event(0.5, 0.4, FaultKind::AdcStuck { code: 900 })
-                        .with_event(
-                            0.2,
-                            1.5,
-                            FaultKind::UartCorruption {
-                                flip_per_byte: 0.02,
-                                drop_per_byte: 0.02,
-                            },
-                        ),
+                spec(i).with_config(
+                    LineConfig::new().with_faults(
+                        FaultSchedule::new(derive_seed(0xFA57, i))
+                            .with_event(0.5, 0.4, FaultKind::AdcStuck { code: 900 })
+                            .with_event(
+                                0.2,
+                                1.5,
+                                FaultKind::UartCorruption {
+                                    flip_per_byte: 0.02,
+                                    drop_per_byte: 0.02,
+                                },
+                            ),
+                    ),
                 )
             })
             .collect();
@@ -979,6 +1159,56 @@ mod tests {
         assert_eq!(via_execute.trace.uart, tail.uart);
         assert_eq!(via_execute.trace.obs, tail.obs);
         assert_eq!(via_execute.reduced, reduced);
+    }
+
+    #[test]
+    fn with_config_matches_the_deprecated_builders() {
+        // The grouped entry point must pin the deprecated per-knob
+        // builders bit-identically: same final spec (specs derive
+        // PartialEq over every field), therefore same execution.
+        let schedule = FaultSchedule::new(derive_seed(0xC0FE, 1)).with_event(
+            0.5,
+            0.4,
+            crate::fault::FaultKind::AdcStuck { code: 800 },
+        );
+        let obs = ObsConfig {
+            enabled: false,
+            ..ObsConfig::default()
+        };
+        #[allow(deprecated)]
+        let sprawl = spec(0)
+            .with_modality(Modality::HeatPulse)
+            .with_afe_tier(AfeTier::Fast)
+            .with_obs(obs)
+            .with_faults(schedule.clone());
+        let mut grouped_spec = spec(0).with_config(
+            LineConfig::new()
+                .with_modality(Modality::HeatPulse)
+                .with_afe_tier(AfeTier::Fast)
+                .with_obs(obs)
+                .with_faults(schedule),
+        );
+        // The deprecated surface has no maintenance builder — the knob
+        // only exists grouped; equalize it before comparing.
+        grouped_spec.maintenance = Maintenance::default();
+        assert_eq!(sprawl, grouped_spec);
+
+        // And with maintenance on, the grouped spec routes it through
+        // execution: the engine installs and its counters come back on
+        // the outcome (zero-drift line ⇒ the scheduled trigger falls
+        // back to re-zeros, never refits).
+        let eager = Maintenance::new(crate::maintain::Policy::Scheduled { period_s: 0.2 })
+            .with_min_service_interval(0.1);
+        let outcome = spec(1)
+            .with_config(LineConfig::new().with_maintenance(eager))
+            .execute()
+            .unwrap();
+        assert!(
+            outcome.maintenance.re_zeros > 0,
+            "scheduled policy never serviced: {:?}",
+            outcome.maintenance
+        );
+        assert_eq!(outcome.maintenance.refits, 0);
     }
 
     #[test]

@@ -33,11 +33,14 @@ use std::path::Path;
 
 use crate::fault::FaultKind;
 use crate::fleet::{LineSummary, ShardAggregates};
+use crate::maintain::MaintenanceCounters;
 use crate::record::HealthCensus;
 use crate::sketch::QuantileSketch;
 
 /// Codec version written to (and required from) every checkpoint file.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2 added the maintenance-counter totals line and the four per-line
+/// counter fields in each summary record.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written, read, or adopted.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,7 +210,7 @@ impl FleetCheckpoint {
         }
     }
 
-    /// Renders the checkpoint as the v1 line-oriented text format.
+    /// Renders the checkpoint as the v2 line-oriented text format.
     pub fn encode(&self) -> String {
         let s = &self.shard;
         let mut out = String::new();
@@ -228,6 +231,12 @@ impl FleetCheckpoint {
             s.settled_mean_min.to_bits(),
             s.settled_mean_max.to_bits()
         );
+        let m = &s.maintenance;
+        let _ = writeln!(
+            out,
+            "maintenance {} {} {} {}",
+            m.re_zeros, m.refits, m.persists, m.persists_skipped
+        );
         let _ = writeln!(out, "incidence {}", s.fault_incidence.len());
         for (kind, count) in &s.fault_incidence {
             let _ = writeln!(out, "{kind} {count}");
@@ -242,9 +251,10 @@ impl FleetCheckpoint {
                 line.fault_kinds.join(",")
             };
             let lh = line.health.counts;
+            let lm = &line.maintenance;
             let _ = writeln!(
                 out,
-                "{} {} {:016x} {:016x} {:016x} {:016x} {} {} {} {} {} {} {:016x} {}",
+                "{} {} {:016x} {:016x} {:016x} {:016x} {} {} {} {} {} {} {:016x} {} {} {} {} {}",
                 line.line,
                 line.samples,
                 line.settled_mean.to_bits(),
@@ -258,6 +268,10 @@ impl FleetCheckpoint {
                 lh[3],
                 line.trace_heap_bytes,
                 line.meter_digest,
+                lm.re_zeros,
+                lm.refits,
+                lm.persists,
+                lm.persists_skipped,
                 kinds
             );
         }
@@ -265,7 +279,7 @@ impl FleetCheckpoint {
         out
     }
 
-    /// Parses the v1 text format.
+    /// Parses the v2 text format.
     ///
     /// # Errors
     ///
@@ -366,6 +380,15 @@ impl FleetCheckpoint {
         shard.settled_mean_min = f64::from_bits(parse_hex(n, "mean min", &means[0])?);
         shard.settled_mean_max = f64::from_bits(parse_hex(n, "mean max", &means[1])?);
 
+        let (n, l) = next("maintenance")?;
+        let maint = fields(n, l, "maintenance", 4)?;
+        shard.maintenance = MaintenanceCounters {
+            re_zeros: parse(n, "re_zeros", &maint[0])?,
+            refits: parse(n, "refits", &maint[1])?,
+            persists: parse(n, "persists", &maint[2])?,
+            persists_skipped: parse(n, "persists_skipped", &maint[3])?,
+        };
+
         let (n, l) = next("incidence")?;
         let kinds = parse(n, "incidence count", &fields(n, l, "incidence", 1)?[0])? as usize;
         for _ in 0..kinds {
@@ -403,16 +426,16 @@ impl FleetCheckpoint {
         for _ in 0..count {
             let (n, l) = next("summary record")?;
             let tokens: Vec<&str> = l.split_whitespace().collect();
-            if tokens.len() != 14 {
+            if tokens.len() != 18 {
                 return Err(CheckpointError::Parse {
                     line: n,
-                    reason: format!("summary record wants 14 fields, got {}", tokens.len()),
+                    reason: format!("summary record wants 18 fields, got {}", tokens.len()),
                 });
             }
-            let fault_kinds = if tokens[13] == "-" {
+            let fault_kinds = if tokens[17] == "-" {
                 Vec::new()
             } else {
-                tokens[13]
+                tokens[17]
                     .split(',')
                     .map(|name| {
                         FaultKind::intern_name(name).ok_or_else(|| CheckpointError::Parse {
@@ -440,6 +463,12 @@ impl FleetCheckpoint {
                 },
                 trace_heap_bytes: parse(n, "trace_heap_bytes", tokens[11])? as usize,
                 meter_digest: parse_hex(n, "meter_digest", tokens[12])?,
+                maintenance: MaintenanceCounters {
+                    re_zeros: parse(n, "re_zeros", tokens[13])?,
+                    refits: parse(n, "refits", tokens[14])?,
+                    persists: parse(n, "persists", tokens[15])?,
+                    persists_skipped: parse(n, "persists_skipped", tokens[16])?,
+                },
                 fault_kinds,
             });
         }
@@ -493,6 +522,12 @@ mod tests {
                 },
                 trace_heap_bytes: 0,
                 meter_digest: 0xDEAD_BEEF_0000_0000 + line as u64,
+                maintenance: MaintenanceCounters {
+                    re_zeros: i as u64,
+                    refits: 2 * i as u64,
+                    persists: u64::from(line == 4),
+                    persists_skipped: u64::from(line == 5) * 3,
+                },
             };
             shard.push(summary, 628.3, with_summaries);
         }
@@ -556,7 +591,7 @@ mod tests {
         let ck = FleetCheckpoint::new(1, 12, sample_shard(true));
         let good = ck.encode();
         // Foreign version.
-        let foreign = good.replacen("v1", "v9", 1);
+        let foreign = good.replacen("v2", "v9", 1);
         assert_eq!(
             FleetCheckpoint::decode(&foreign),
             Err(CheckpointError::UnsupportedVersion(9))

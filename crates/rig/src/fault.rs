@@ -572,18 +572,17 @@ mod tests {
 
     #[test]
     fn eeprom_flip_triggers_redundant_slot_fallback() {
-        use crate::runner::field_calibrate_jobs;
+        use crate::campaign::FieldCalibration;
         use hotwire_core::KingCalibration;
 
         let mut meter = test_meter(36);
-        field_calibrate_jobs(
-            &mut meter,
-            &[15.0, 50.0, 100.0, 160.0, 220.0],
-            0.6,
-            0.4,
-            36,
-            1,
-        )
+        FieldCalibration {
+            setpoints_cm_s: vec![15.0, 50.0, 100.0, 160.0, 220.0],
+            settle_s: 0.6,
+            average_s: 0.4,
+            seed: 36,
+        }
+        .apply(&mut meter, 1)
         .unwrap();
         let schedule = FaultSchedule::new(36).with_event(
             0.2,

@@ -91,10 +91,11 @@ use std::collections::BTreeMap;
 use std::ops::ControlFlow;
 use std::path::Path;
 
-use crate::campaign::{derive_seed, Calibration, RunOutcome, RunSpec, Windows};
+use crate::campaign::{derive_seed, Calibration, LineConfig, RunOutcome, RunSpec, Windows};
 use crate::checkpoint::{CheckpointError, FleetCheckpoint};
 use crate::exec;
 use crate::fault::FaultSchedule;
+use crate::maintain::{Maintenance, MaintenanceCounters};
 use crate::metrics;
 use crate::modality::{Modality, ReferenceKind};
 use crate::record::{HealthCensus, RecordPolicy};
@@ -453,6 +454,10 @@ pub struct FleetSpec {
     pub batch_size: usize,
     /// Fleet-level seed; every per-line seed derives from it.
     pub seed: u64,
+    /// Maintenance policy every DUT line runs (inactive by default).
+    /// Reference-template lines carry it too, harmlessly: their inert
+    /// calibration surface never triggers.
+    pub maintenance: Maintenance,
     /// How lines differ from the template.
     pub variation: LineVariation,
     /// Largest fleet (in lines) that retains per-line [`LineSummary`]s and
@@ -482,14 +487,33 @@ impl FleetSpec {
             lines: 100,
             batch_size: 256,
             seed,
+            maintenance: Maintenance::default(),
             variation: LineVariation::default(),
             exact_threshold: DEFAULT_EXACT_THRESHOLD,
         }
     }
 
+    /// Sets the instrument knobs every line shares — modality, AFE tier,
+    /// maintenance policy — from one grouped [`LineConfig`], mirroring
+    /// [`RunSpec::with_config`]. The config's `obs` and `faults` knobs do
+    /// not apply at fleet granularity and are ignored: fleet lines always
+    /// run unobserved at [`RecordPolicy::MetricsOnly`], and per-line
+    /// fault templates live in [`LineVariation`].
+    #[must_use]
+    pub fn with_config(mut self, line: LineConfig) -> Self {
+        self.modality = line.modality;
+        self.config.afe_tier = line.afe_tier;
+        self.maintenance = line.maintenance;
+        self
+    }
+
     /// Selects the sensing modality every DUT line runs (default
     /// [`Modality::Cta`]). The rest of the spec is modality-agnostic, so
     /// the same template stamps out head-to-head fleets across modalities.
+    #[deprecated(
+        since = "0.1.0",
+        note = "group the per-line instrument knobs in a `LineConfig` and use `with_config`"
+    )]
     #[must_use]
     pub fn with_modality(mut self, modality: Modality) -> Self {
         self.modality = modality;
@@ -551,6 +575,10 @@ impl FleetSpec {
     /// [`AfeTier::Exact`]). [`AfeTier::Fast`] opts the whole fleet into
     /// the quasi-static once-per-frame front end — orders of magnitude
     /// faster, with the error bound pinned by the core tier tests.
+    #[deprecated(
+        since = "0.1.0",
+        note = "group the per-line instrument knobs in a `LineConfig` and use `with_config`"
+    )]
     #[must_use]
     pub fn with_afe_tier(mut self, tier: AfeTier) -> Self {
         self.config.afe_tier = tier;
@@ -662,13 +690,26 @@ impl FleetSpec {
             Some(template) if template.applies_to(line) => template.modality(),
             _ => self.modality,
         };
-        let mut spec = RunSpec::new(
+        let faults = self.variation.faults.as_ref().and_then(|template| {
+            template.applies_to(line).then(|| {
+                let mut schedule = template.schedule.clone();
+                schedule.seed = derive_seed(self.seed, LANES * i + LANE_FAULT);
+                schedule
+            })
+        });
+        let mut line_config = LineConfig::new()
+            .with_modality(modality)
+            .with_maintenance(self.maintenance)
+            .without_obs();
+        line_config.afe_tier = self.config.afe_tier;
+        line_config.faults = faults;
+        RunSpec::new(
             format!("{}/line-{line:04}", self.label),
             self.config,
             scenario,
             self.seed,
         )
-        .with_modality(modality)
+        .with_config(line_config)
         .with_params(self.params)
         .with_meter_seed(derive_seed(self.seed, LANES * i + LANE_METER))
         .with_line_seed(derive_seed(self.seed, LANES * i + LANE_LINE))
@@ -676,15 +717,6 @@ impl FleetSpec {
         .with_sample_period(self.sample_period_s)
         .with_windows(self.windows.clone())
         .with_record(RecordPolicy::MetricsOnly)
-        .without_obs();
-        if let Some(template) = &self.variation.faults {
-            if template.applies_to(line) {
-                let mut schedule = template.schedule.clone();
-                schedule.seed = derive_seed(self.seed, LANES * i + LANE_FAULT);
-                spec = spec.with_faults(schedule);
-            }
-        }
-        spec
     }
 
     /// The shard covering lines `[start, end)`. Panics if the range is
@@ -981,6 +1013,9 @@ pub struct LineSummary {
     pub err_max_abs: f64,
     /// Samples recorded while a fault was active.
     pub fault_samples: u64,
+    /// Maintenance-policy actions the line's engine took (all zero when
+    /// the fleet carries no active [`Maintenance`] config).
+    pub maintenance: MaintenanceCounters,
     /// Health-state census over the line's simulated time.
     pub health: HealthCensus,
     /// Names of the fault kinds scheduled on this line (empty = healthy
@@ -1010,6 +1045,7 @@ impl LineSummary {
             err_rms: red.err_rms(),
             err_max_abs: red.err_max_abs,
             fault_samples: red.fault_samples,
+            maintenance: outcome.maintenance,
             health: red.health_census,
             fault_kinds,
             trace_heap_bytes: outcome.trace.samples.heap_bytes(),
@@ -1102,6 +1138,9 @@ pub struct ShardAggregates {
     pub lines_faulted: u64,
     /// Summed per-line trace storage, bytes (0 under `MetricsOnly`).
     pub trace_heap_bytes: usize,
+    /// Maintenance-policy actions summed over the range — the
+    /// recalibration-cost axis of the f4 frontier.
+    pub maintenance: MaintenanceCounters,
     /// Health-state census summed over the range's simulated time.
     pub health: HealthCensus,
     /// Lines per scheduled fault kind, keyed by
@@ -1134,6 +1173,7 @@ impl ShardAggregates {
             fault_samples: 0,
             lines_faulted: 0,
             trace_heap_bytes: 0,
+            maintenance: MaintenanceCounters::default(),
             health: HealthCensus::default(),
             fault_incidence: BTreeMap::new(),
             resolution_pct_fs: QuantileSketch::new(),
@@ -1163,6 +1203,7 @@ impl ShardAggregates {
         if summary.fault_samples > 0 {
             self.lines_faulted += 1;
         }
+        self.maintenance.merge(&summary.maintenance);
         self.health.merge(&summary.health);
         let mut seen: Vec<&'static str> = Vec::new();
         for &kind in &summary.fault_kinds {
@@ -1204,6 +1245,7 @@ impl ShardAggregates {
         self.fault_samples += other.fault_samples;
         self.lines_faulted += other.lines_faulted;
         self.trace_heap_bytes += other.trace_heap_bytes;
+        self.maintenance.merge(&other.maintenance);
         self.health.merge(&other.health);
         for (kind, count) in &other.fault_incidence {
             *self.fault_incidence.entry(kind.clone()).or_insert(0) += count;
@@ -1286,6 +1328,7 @@ impl ShardAggregates {
             lines_faulted: self.lines_faulted,
             fault_samples: self.fault_samples,
             trace_heap_bytes: self.trace_heap_bytes,
+            maintenance: self.maintenance,
         }
     }
 }
@@ -1327,6 +1370,9 @@ pub struct FleetAggregates {
     /// Summed per-line trace sample storage, bytes — 0 by construction
     /// under the forced `MetricsOnly` policy.
     pub trace_heap_bytes: usize,
+    /// Maintenance-policy actions summed across the fleet (all zero
+    /// when the spec carries no active [`Maintenance`] config).
+    pub maintenance: MaintenanceCounters,
 }
 
 impl FleetAggregates {
@@ -1395,6 +1441,14 @@ impl core::fmt::Display for FleetAggregates {
                 self.lines_faulted, self.fault_samples
             )?;
         }
+        let m = &self.maintenance;
+        if m.actions() > 0 || m.persists_skipped > 0 {
+            writeln!(
+                f,
+                "maintenance: {} re-zeros, {} refits, {} persists ({} skipped)",
+                m.re_zeros, m.refits, m.persists, m.persists_skipped
+            )?;
+        }
         write!(f, "trace heap: {} bytes", self.trace_heap_bytes)
     }
 }
@@ -1454,6 +1508,38 @@ mod tests {
         );
         assert_eq!(a.record, RecordPolicy::MetricsOnly);
         assert!(!a.obs.enabled);
+    }
+
+    #[test]
+    fn fleet_with_config_matches_the_deprecated_builders() {
+        // The grouped entry point pins the deprecated per-knob builders:
+        // identical FleetSpec (PartialEq over every field), identical
+        // line specs, therefore identical runs.
+        #[allow(deprecated)]
+        let sprawl = small_fleet()
+            .with_modality(Modality::HeatPulse)
+            .with_afe_tier(AfeTier::Fast);
+        let grouped = small_fleet().with_config(
+            LineConfig::new()
+                .with_modality(Modality::HeatPulse)
+                .with_afe_tier(AfeTier::Fast),
+        );
+        assert_eq!(sprawl, grouped);
+        assert_eq!(sprawl.line_spec(5), grouped.line_spec(5));
+    }
+
+    #[test]
+    fn maintenance_config_reaches_every_line_spec() {
+        let maintenance = Maintenance::new(crate::maintain::Policy::Hybrid {
+            period_s: 40.0,
+            on_degraded: true,
+            drift_threshold: 0.05,
+            temp_delta_c: 2.0,
+        });
+        let fleet = small_fleet().with_config(LineConfig::new().with_maintenance(maintenance));
+        for line in 0..12 {
+            assert_eq!(fleet.line_spec(line).maintenance, maintenance);
+        }
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //!   ramps, staircases, pressure peaks)
 //! * [`mod@line`] — the measurement line: schedules + pipe profile + turbulence
 //!   → the instantaneous [`SensorEnvironment`] at the probe
+//! * [`maintain`] — deterministic per-line maintenance policies
+//!   ([`Policy`], [`MaintenanceEngine`]): scheduled / event-triggered /
+//!   hybrid re-zero–refit–persist decisions driven through the
+//!   modality-generic `Meter` calibration surface, wear-budgeted and
+//!   RNG-neutral
 //! * [`promag`] — behavioural model of the Endress+Hauser Promag 50
 //!   electromagnetic reference meter
 //! * [`turbine`] — behavioural model of a turbine-wheel meter (the
@@ -104,6 +109,7 @@ pub mod fault;
 pub mod fleet;
 pub mod ingest;
 pub mod line;
+pub mod maintain;
 pub mod metrics;
 pub mod modality;
 pub mod obs;
@@ -115,7 +121,8 @@ pub mod sketch;
 pub mod turbine;
 
 pub use campaign::{
-    Calibration, Campaign, FieldCalibration, RunOutcome, RunSpec, Windows, PAPER_SETPOINTS_CM_S,
+    Calibration, Campaign, FieldCalibration, LineConfig, RunOutcome, RunSpec, Windows,
+    PAPER_SETPOINTS_CM_S,
 };
 pub use checkpoint::{CheckpointError, FleetCheckpoint};
 pub use fault::{FaultEvent, FaultInjector, FaultKind, FaultSchedule, UartStats};
@@ -128,6 +135,7 @@ pub use ingest::{
     MeterSession,
 };
 pub use line::WaterLine;
+pub use maintain::{Maintenance, MaintenanceCounters, MaintenanceEngine, Policy};
 pub use metrics::Welford;
 pub use modality::{AnyMeter, Modality, ReferenceKind, ReferenceMeter};
 pub use obs::{EventLog, Histogram, ObsConfig, ObsSnapshot, RunObs};

@@ -395,6 +395,34 @@ impl Meter for AnyMeter {
         dispatch!(self, m => m.reload_calibration())
     }
 
+    fn re_zero(&mut self) {
+        dispatch!(self, m => m.re_zero())
+    }
+
+    fn refit_from_recent(&mut self) -> bool {
+        dispatch!(self, m => m.refit_from_recent())
+    }
+
+    fn persist(&mut self) -> Result<(), CoreError> {
+        dispatch!(self, m => m.persist())
+    }
+
+    fn calibration_age(&self) -> u64 {
+        dispatch!(self, m => m.calibration_age())
+    }
+
+    fn drift_estimate(&self) -> f64 {
+        dispatch!(self, m => m.drift_estimate())
+    }
+
+    fn calibration_wear(&self) -> u64 {
+        dispatch!(self, m => m.calibration_wear())
+    }
+
+    fn fluid_temperature(&self) -> Option<hotwire_units::Celsius> {
+        dispatch!(self, m => m.fluid_temperature())
+    }
+
     fn inject_adc_fault(&mut self, fault: Option<AdcFault>) {
         dispatch!(self, m => m.inject_adc_fault(fault))
     }

@@ -267,6 +267,12 @@ pub struct Counters {
     pub calibration_failures: u64,
     /// Telemetry frames dropped on CRC mismatch.
     pub uart_frame_errors: u64,
+    /// Maintenance-policy drift re-zeros.
+    pub calibration_re_zeros: u64,
+    /// Maintenance-policy in-RAM calibration refits.
+    pub calibration_refits: u64,
+    /// Maintenance-policy calibration persists to EEPROM.
+    pub calibration_persists: u64,
 }
 
 impl Counters {
@@ -297,13 +303,16 @@ impl Counters {
                 }
                 EventKind::CalibrationReloadFailed => self.calibration_failures += 1,
                 EventKind::UartFrameError => self.uart_frame_errors += 1,
+                EventKind::CalibrationReZeroed => self.calibration_re_zeros += 1,
+                EventKind::CalibrationRefit => self.calibration_refits += 1,
+                EventKind::CalibrationPersisted => self.calibration_persists += 1,
             }
         }
     }
 
     /// The counters as stable `(name, value)` pairs, in declaration order —
     /// the single source of truth for JSON rendering and merging.
-    pub fn as_pairs(&self) -> [(&'static str, u64); 15] {
+    pub fn as_pairs(&self) -> [(&'static str, u64); 18] {
         [
             ("modulator_steps", self.modulator_steps),
             ("control_ticks", self.control_ticks),
@@ -320,10 +329,13 @@ impl Counters {
             ("calibration_fallbacks", self.calibration_fallbacks),
             ("calibration_failures", self.calibration_failures),
             ("uart_frame_errors", self.uart_frame_errors),
+            ("calibration_re_zeros", self.calibration_re_zeros),
+            ("calibration_refits", self.calibration_refits),
+            ("calibration_persists", self.calibration_persists),
         ]
     }
 
-    fn as_pairs_mut(&mut self) -> [(&'static str, &mut u64); 15] {
+    fn as_pairs_mut(&mut self) -> [(&'static str, &mut u64); 18] {
         [
             ("modulator_steps", &mut self.modulator_steps),
             ("control_ticks", &mut self.control_ticks),
@@ -340,6 +352,9 @@ impl Counters {
             ("calibration_fallbacks", &mut self.calibration_fallbacks),
             ("calibration_failures", &mut self.calibration_failures),
             ("uart_frame_errors", &mut self.uart_frame_errors),
+            ("calibration_re_zeros", &mut self.calibration_re_zeros),
+            ("calibration_refits", &mut self.calibration_refits),
+            ("calibration_persists", &mut self.calibration_persists),
         ]
     }
 }

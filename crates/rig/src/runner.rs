@@ -5,10 +5,11 @@
 //! paper's evaluation line, where the MAF prototype and the Promag 50 see
 //! the same water.
 
-use crate::campaign::{self, FieldCalibration};
+use crate::campaign::FieldCalibration;
 use crate::exec;
 use crate::fault::{FaultInjector, FaultSchedule, UartStats};
 use crate::line::WaterLine;
+use crate::maintain::{MaintenanceCounters, MaintenanceEngine};
 use crate::metrics::Welford;
 use crate::obs::RunObs;
 use crate::promag::Promag50;
@@ -103,6 +104,10 @@ pub struct RunTail {
     pub uart: UartStats,
     /// Structured observability, when an observer was installed.
     pub obs: Option<RunObs>,
+    /// Maintenance-policy actions taken during the run (all zero unless
+    /// an engine was installed — see
+    /// [`install_maintenance`](LineRunner::install_maintenance)).
+    pub maintenance: MaintenanceCounters,
 }
 
 /// The co-simulation runner, generic over the device under test: any
@@ -120,6 +125,7 @@ pub struct LineRunner<M: Meter = FlowMeter> {
     env: SensorEnvironment,
     control_dt: Seconds,
     injector: Option<FaultInjector>,
+    maintain: Option<MaintenanceEngine>,
 }
 
 impl<M: Meter> LineRunner<M> {
@@ -137,7 +143,17 @@ impl<M: Meter> LineRunner<M> {
             env: SensorEnvironment::still_water(),
             control_dt,
             injector: None,
+            maintain: None,
         }
+    }
+
+    /// Installs a maintenance-policy engine: it is consulted once per
+    /// produced measurement (one control tick, at the frame boundary)
+    /// during [`run`](Self::run) and may re-zero / refit / persist the
+    /// meter's calibration. RNG-lane-neutral — see
+    /// [`maintain`](crate::maintain).
+    pub fn install_maintenance(&mut self, engine: MaintenanceEngine) {
+        self.maintain = Some(engine);
     }
 
     /// Installs a fault schedule: its events will fire at their scheduled
@@ -296,6 +312,14 @@ impl<M: Meter> LineRunner<M> {
                 steps_since_control = 0;
             }
 
+            // Frame boundary: one maintenance-policy evaluation per
+            // produced measurement (identical clocking on the frame-batched
+            // and per-tick paths; draws no RNG, so the reference lanes
+            // below are untouched).
+            if let Some(engine) = self.maintain.as_mut() {
+                engine.service(&mut self.meter);
+            }
+
             // Control tick: refresh environment and references.
             self.env = self.line.step(self.control_dt);
             let bulk = self.line.bulk_velocity();
@@ -327,6 +351,9 @@ impl<M: Meter> LineRunner<M> {
         }
         if let Some(injector) = &self.injector {
             tail.uart = injector.stats();
+        }
+        if let Some(engine) = &self.maintain {
+            tail.maintenance = engine.counters();
         }
         if let Some(mut obs) = run_obs {
             // Collect the event log the campaign layer installed; the
@@ -371,6 +398,12 @@ pub fn expected_samples(duration_s: f64, sample_period_s: f64) -> usize {
 /// # Errors
 ///
 /// Returns [`CoreError::Calibration`] if the fit fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "CTA-only direct path: build a `FieldCalibration` and call its `apply`, \
+            or put `Calibration::Field` on a `RunSpec` and let the campaign \
+            route it per modality"
+)]
 pub fn field_calibrate(
     meter: &mut FlowMeter,
     setpoints_cm_s: &[f64],
@@ -378,6 +411,7 @@ pub fn field_calibrate(
     average_s: f64,
     seed: u64,
 ) -> Result<Vec<CalPoint>, CoreError> {
+    #[allow(deprecated)]
     field_calibrate_jobs(
         meter,
         setpoints_cm_s,
@@ -393,6 +427,12 @@ pub fn field_calibrate(
 /// # Errors
 ///
 /// Returns [`CoreError::Calibration`] if the fit fails.
+#[deprecated(
+    since = "0.1.0",
+    note = "CTA-only direct path: build a `FieldCalibration` and call its `apply`, \
+            or put `Calibration::Field` on a `RunSpec` and let the campaign \
+            route it per modality"
+)]
 pub fn field_calibrate_jobs(
     meter: &mut FlowMeter,
     setpoints_cm_s: &[f64],
@@ -401,16 +441,14 @@ pub fn field_calibrate_jobs(
     seed: u64,
     jobs: usize,
 ) -> Result<Vec<CalPoint>, CoreError> {
-    let recipe = FieldCalibration {
+    // Thin shim over the routed path — bit-identical by construction.
+    FieldCalibration {
         setpoints_cm_s: setpoints_cm_s.to_vec(),
         settle_s,
         average_s,
         seed,
-    };
-    let (points, estimate) = campaign::collect_calibration_points(meter, &recipe, jobs)?;
-    meter.adopt_fluid_estimate(estimate);
-    meter.calibrate(&points)?;
-    Ok(points)
+    }
+    .apply(meter, jobs)
 }
 
 #[cfg(test)]
@@ -448,7 +486,14 @@ mod tests {
     #[test]
     fn field_calibration_improves_accuracy() {
         let mut meter = test_meter(12);
-        field_calibrate(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 0.6, 0.4, 12).unwrap();
+        FieldCalibration {
+            setpoints_cm_s: vec![15.0, 50.0, 100.0, 160.0, 220.0],
+            settle_s: 0.6,
+            average_s: 0.4,
+            seed: 12,
+        }
+        .apply(&mut meter, exec::default_jobs())
+        .unwrap();
         let mut runner = LineRunner::new(Scenario::steady(120.0, 4.0), meter, 13);
         let trace = runner.run(0.01);
         let mean = metrics::mean(trace.samples.dut_in(2.0, 4.0));
@@ -456,6 +501,28 @@ mod tests {
             (mean - 120.0).abs() < 8.0,
             "calibrated DUT mean {mean} cm/s at 120 cm/s true"
         );
+    }
+
+    #[test]
+    fn deprecated_field_calibrate_shim_matches_routed_path() {
+        // The CTA-only free functions are shims over
+        // `FieldCalibration::apply` — equal points and equal meter state,
+        // bit for bit.
+        let mut via_shim = test_meter(21);
+        #[allow(deprecated)]
+        let shim_points =
+            field_calibrate(&mut via_shim, &[20.0, 90.0, 180.0], 0.5, 0.3, 21).unwrap();
+        let mut via_recipe = test_meter(21);
+        let recipe_points = FieldCalibration {
+            setpoints_cm_s: vec![20.0, 90.0, 180.0],
+            settle_s: 0.5,
+            average_s: 0.3,
+            seed: 21,
+        }
+        .apply(&mut via_recipe, exec::default_jobs())
+        .unwrap();
+        assert_eq!(shim_points, recipe_points);
+        assert_eq!(via_shim.state_digest(), via_recipe.state_digest());
     }
 
     #[test]

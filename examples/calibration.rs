@@ -29,7 +29,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\ncollecting {} calibration points against the Promag 50…",
         setpoints.len()
     );
-    let points = field_calibrate(&mut meter, &setpoints, 1.0, 0.5, 77)?;
+    let points = FieldCalibration {
+        setpoints_cm_s: setpoints.to_vec(),
+        settle_s: 1.0,
+        average_s: 0.5,
+        seed: 77,
+    }
+    .apply(&mut meter, 1)?;
     for p in &points {
         println!(
             "  v = {:6.1} cm/s   G = {:.4e} W/K",

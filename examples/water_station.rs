@@ -12,7 +12,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut meter = FlowMeter::new(FlowMeterConfig::water_station(), MafParams::nominal(), 2008)?;
 
     println!("== field calibration against the Promag 50 ==");
-    let points = field_calibrate(&mut meter, &[15.0, 50.0, 100.0, 160.0, 220.0], 1.0, 0.5, 7)?;
+    let points = FieldCalibration {
+        setpoints_cm_s: vec![15.0, 50.0, 100.0, 160.0, 220.0],
+        settle_s: 1.0,
+        average_s: 0.5,
+        seed: 7,
+    }
+    .apply(&mut meter, 1)?;
     let cal = meter.calibration().expect("calibration installed");
     println!(
         "fitted King's law: A = {:.3e} W/K, B = {:.3e}, n = {:.3} ({} points, rms residual {:.2} %)",

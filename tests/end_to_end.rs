@@ -5,7 +5,7 @@ use hotwire::core::config::FlowMeterConfig;
 use hotwire::core::direction::FlowDirection;
 use hotwire::core::FlowMeter;
 use hotwire::physics::{MafParams, SensorEnvironment};
-use hotwire::rig::runner::field_calibrate;
+use hotwire::rig::campaign::FieldCalibration;
 use hotwire::rig::{metrics, LineRunner, Scenario};
 use hotwire::units::MetersPerSecond;
 
@@ -14,10 +14,21 @@ fn meter(seed: u64) -> FlowMeter {
         .expect("meter builds")
 }
 
+fn field_calibrate(m: &mut FlowMeter, setpoints_cm_s: &[f64], seed: u64) {
+    FieldCalibration {
+        setpoints_cm_s: setpoints_cm_s.to_vec(),
+        settle_s: 0.6,
+        average_s: 0.4,
+        seed,
+    }
+    .apply(m, 1)
+    .expect("calibrates");
+}
+
 #[test]
 fn calibrated_meter_tracks_full_staircase() {
     let mut m = meter(1);
-    field_calibrate(&mut m, &[15.0, 50.0, 100.0, 160.0, 220.0], 0.6, 0.4, 1).expect("calibrates");
+    field_calibrate(&mut m, &[15.0, 50.0, 100.0, 160.0, 220.0], 1);
     let mut runner = LineRunner::new(Scenario::fig11_staircase(3.0), m, 1);
     let trace = runner.run(0.05);
     // Settled tail of each dwell: tracking within a band.
@@ -41,7 +52,7 @@ fn worst_case_die_is_rescued_by_field_calibration() {
     // A ±1 % heater mismatch dwarfs the dual-heater direction signal, so a
     // toleranced die *requires* the per-unit direction auto-zero before use.
     m.auto_zero_direction(0.5, SensorEnvironment::still_water());
-    field_calibrate(&mut m, &[15.0, 60.0, 120.0, 200.0], 0.6, 0.4, 2).expect("calibrates");
+    field_calibrate(&mut m, &[15.0, 60.0, 120.0, 200.0], 2);
     let mut runner = LineRunner::new(Scenario::steady(150.0, 4.0), m, 2);
     let trace = runner.run(0.02);
     let mean = metrics::mean(trace.samples.dut_in(2.0, 4.0));
@@ -54,7 +65,7 @@ fn worst_case_die_is_rescued_by_field_calibration() {
 #[test]
 fn calibration_survives_simulated_power_cycle() {
     let mut m = meter(3);
-    field_calibrate(&mut m, &[20.0, 80.0, 180.0], 0.6, 0.4, 3).expect("calibrates");
+    field_calibrate(&mut m, &[20.0, 80.0, 180.0], 3);
     let stored = *m.calibration().expect("installed");
     // "Power cycle": reload from the CRC-protected EEPROM record.
     m.reload_calibration().expect("record intact");
@@ -67,7 +78,7 @@ fn eeprom_corruption_is_detected_not_silently_used() {
     use hotwire::core::HealthState;
 
     let mut m = meter(4);
-    field_calibrate(&mut m, &[20.0, 80.0, 180.0], 0.6, 0.4, 4).expect("calibrates");
+    field_calibrate(&mut m, &[20.0, 80.0, 180.0], 4);
     let stored = *m.calibration().expect("installed");
     // A corrupt primary fails its CRC but degrades to the redundant mirror
     // slot — never silently used, never fatal while a good copy survives.

@@ -233,7 +233,8 @@ fn interrupted_resume_is_bit_identical_at_any_jobs() {
     for (jobs, fast_tier) in [(1, false), (2, false), (3, false), (2, true)] {
         let mut spec = faulted_fleet(13, 1.0, 0.3, 0.3).with_batch_size(4);
         if fast_tier {
-            spec = spec.with_afe_tier(hotwire::core::config::AfeTier::Fast);
+            spec = spec
+                .with_config(LineConfig::new().with_afe_tier(hotwire::core::config::AfeTier::Fast));
         }
         let uninterrupted = spec.run_jobs(jobs).unwrap();
 

@@ -8,7 +8,7 @@ use hotwire::core::EventKind;
 use hotwire::rig::campaign::derive_seed;
 use hotwire::rig::fault::{FaultKind, FaultSchedule};
 use hotwire::rig::obs;
-use hotwire::rig::{Campaign, RunSpec, Scenario};
+use hotwire::rig::{Campaign, LineConfig, RunSpec, Scenario};
 
 fn base_spec(label: &str, seed_index: u64) -> RunSpec {
     RunSpec::new(
@@ -25,10 +25,12 @@ fn fault_runs_emit_cause_then_consequence_events() {
     // An ADC freeze plus an EEPROM bit flip: the injector must report both
     // activations through the meter's observer, and the EEPROM flip's
     // forced calibration reload must land *after* its cause.
-    let spec = base_spec("obs-fault-events", 1).with_faults(
-        FaultSchedule::new(derive_seed(0x0B5E, 101))
-            .with_event(0.5, 0.5, FaultKind::AdcStuck { code: 900 })
-            .with_event(1.2, 0.2, FaultKind::EepromBitFlip { slot: 0, byte: 3 }),
+    let spec = base_spec("obs-fault-events", 1).with_config(
+        LineConfig::new().with_faults(
+            FaultSchedule::new(derive_seed(0x0B5E, 101))
+                .with_event(0.5, 0.5, FaultKind::AdcStuck { code: 900 })
+                .with_event(1.2, 0.2, FaultKind::EepromBitFlip { slot: 0, byte: 3 }),
+        ),
     );
     let outcome = Campaign::with_jobs(1).run(&[spec]).unwrap().remove(0);
     let obs = outcome.trace.obs.expect("observability on by default");
@@ -103,7 +105,7 @@ fn fault_runs_emit_cause_then_consequence_events() {
 fn uart_corruption_is_counted_and_logged() {
     // Heavy bit-flip probability over most of the run: some telemetry
     // frames must fail CRC, and counter and event log must agree.
-    let spec = base_spec("obs-uart-errors", 2).with_faults(
+    let spec = base_spec("obs-uart-errors", 2).with_config(LineConfig::new().with_faults(
         FaultSchedule::new(derive_seed(0x0B5E, 102)).with_event(
             0.2,
             2.0,
@@ -112,7 +114,7 @@ fn uart_corruption_is_counted_and_logged() {
                 drop_per_byte: 0.0,
             },
         ),
-    );
+    ));
     let outcome = Campaign::with_jobs(1).run(&[spec]).unwrap().remove(0);
     let obs = outcome.trace.obs.expect("observability on by default");
     assert!(
@@ -159,17 +161,19 @@ fn merged_snapshots_are_jobs_invariant_under_faults() {
     // and --jobs 4, fault schedules included.
     let specs: Vec<RunSpec> = (0..4)
         .map(|i| {
-            base_spec(&format!("obs-jobs-{i}"), 10 + i as u64).with_faults(
-                FaultSchedule::new(derive_seed(0x0B5E, 200 + i as u64))
-                    .with_event(0.4, 0.4, FaultKind::AdcStuck { code: 700 + 50 * i })
-                    .with_event(
-                        0.2,
-                        2.0,
-                        FaultKind::UartCorruption {
-                            flip_per_byte: 0.02,
-                            drop_per_byte: 0.02,
-                        },
-                    ),
+            base_spec(&format!("obs-jobs-{i}"), 10 + i as u64).with_config(
+                LineConfig::new().with_faults(
+                    FaultSchedule::new(derive_seed(0x0B5E, 200 + i as u64))
+                        .with_event(0.4, 0.4, FaultKind::AdcStuck { code: 700 + 50 * i })
+                        .with_event(
+                            0.2,
+                            2.0,
+                            FaultKind::UartCorruption {
+                                flip_per_byte: 0.02,
+                                drop_per_byte: 0.02,
+                            },
+                        ),
+                ),
             )
         })
         .collect();

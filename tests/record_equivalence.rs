@@ -14,7 +14,7 @@ use hotwire::rig::campaign::derive_seed;
 use hotwire::rig::fault::{FaultKind, FaultSchedule};
 use hotwire::rig::metrics;
 use hotwire::rig::scenario::{Scenario, Schedule};
-use hotwire::rig::{Campaign, RecordPolicy, RunOutcome, RunSpec, TraceStore, Windows};
+use hotwire::rig::{Campaign, LineConfig, RecordPolicy, RunOutcome, RunSpec, TraceStore, Windows};
 
 /// Bit-level f64 equality (same-NaN counts as equal, unlike `==`).
 #[track_caller]
@@ -63,10 +63,12 @@ fn faulted_spec(policy: RecordPolicy) -> RunSpec {
             .with_series(3.5, 8.0)
             .with_err(4.0, 7.0),
     )
-    .with_faults(FaultSchedule::new(derive_seed(0x0EC1, 1)).with_event(
-        4.0,
-        2.0,
-        FaultKind::AdcStuck { code: 1200 },
+    .with_config(LineConfig::new().with_faults(
+        FaultSchedule::new(derive_seed(0x0EC1, 1)).with_event(
+            4.0,
+            2.0,
+            FaultKind::AdcStuck { code: 1200 },
+        ),
     ))
     .with_record(policy)
 }
